@@ -1,0 +1,76 @@
+(* E8 — the Section 9 observation: "finding a counterexample can
+   sometimes take most of the execution time required for model
+   checking".
+
+   For each workload: time to decide the specification vs time to
+   produce the counterexample / witness trace, and the latter's share
+   of the total. *)
+
+let row name ~check ~trace =
+  let _, t_check = Harness.time_once check in
+  let _, t_trace = Harness.time_once trace in
+  [
+    name;
+    Harness.seconds_string t_check;
+    Harness.seconds_string t_trace;
+    Printf.sprintf "%.0f%%" (100.0 *. t_trace /. (t_check +. t_trace));
+  ]
+
+let run ~full =
+  let rows = ref [] in
+  let add r = rows := r :: !rows in
+  (* Arbiter liveness counterexample. *)
+  let arb_users = if full then 3 else 2 in
+  let arb = Circuit.Arbiter.model arb_users in
+  let arb_spec = Circuit.Arbiter.liveness_spec arb_users in
+  add
+    (row
+       (Printf.sprintf "arbiter-%d liveness" arb_users)
+       ~check:(fun () -> ignore (Ctl.Fair.holds arb arb_spec))
+       ~trace:(fun () ->
+         ignore (Counterex.Explain.counterexample arb arb_spec)));
+  (* Fair EG witness on the SCC chain. *)
+  let chain =
+    Workloads.scc_chain ~fair_last:true ~components:(if full then 10 else 6)
+      ~size:4 ()
+  in
+  let cm, encode = Explicit.Bridge.to_kripke chain in
+  let cstart = encode 0 in
+  add
+    (row "scc-chain EG true"
+       ~check:(fun () -> ignore (Ctl.Fair.eg cm cm.Kripke.space))
+       ~trace:(fun () ->
+         ignore (Counterex.Witness.eg cm ~f:cm.Kripke.space ~start:cstart)));
+  (* CTL* witness. *)
+  let tog = Workloads.togglers (if full then 7 else 5) in
+  let cs =
+    List.init 3 (fun j ->
+        let p = Ctl.Check.sat tog (Ctl.atom (Printf.sprintf "t%d" j)) in
+        { Ctlstar.Gffg.gf = p; fg = Bdd.diff tog.Kripke.man tog.Kripke.space p })
+  in
+  let tstart =
+    match Kripke.pick_state tog tog.Kripke.init with
+    | Some st -> st
+    | None -> assert false
+  in
+  add
+    (row "ctlstar 3 conjuncts"
+       ~check:(fun () -> ignore (Ctlstar.Gffg.check tog cs))
+       ~trace:(fun () -> ignore (Ctlstar.Gffg.witness tog cs ~start:tstart)));
+  Harness.print_table
+    ~title:"E8: counterexample generation as a share of total verification time"
+    ~header:[ "workload"; "check"; "trace"; "trace share" ]
+    (List.rev !rows);
+  Harness.note
+    "Section 9: \"finding a counterexample can sometimes take most of the";
+  Harness.note
+    "execution time required for model checking\" — witness construction";
+  Harness.note
+    "re-runs nested fixpoints (rings, closure sets), so its share is large."
+
+let bechamel =
+  let m = lazy (Circuit.Arbiter.model 2) in
+  Bechamel.Test.make ~name:"e8-arbiter2-counterexample"
+    (Bechamel.Staged.stage (fun () ->
+         let m = Lazy.force m in
+         Counterex.Explain.counterexample m (Circuit.Arbiter.liveness_spec 2)))

@@ -1,0 +1,72 @@
+(* E3 — Figures 1 & 2: cycle-closing strategies across SCC chains.
+
+   On a chain of k strongly connected components with the fairness
+   constraint sitting in the last (terminal) one, the first greedy
+   round anchors the cycle start near the top of the chain and must
+   restart after descending (Figure 2).  The Restart strategy discovers
+   this only after completing the round; Precompute notices as soon as
+   the walk leaves E[(EG f) U {t}].  Rows compare rounds, witness
+   length and time. *)
+
+let witness_with strategy m ~start =
+  Counterex.Witness.eg_stats ~strategy m ~f:m.Kripke.space ~start
+
+let run ~full =
+  let size = 4 in
+  let ks = if full then [ 2; 4; 6; 8; 10; 12 ] else [ 2; 4; 6; 8 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let g = Workloads.scc_chain ~fair_last:true ~components:k ~size () in
+        let m, encode = Explicit.Bridge.to_kripke g in
+        let start = encode 0 in
+        let (tr_r, stats_r), t_r =
+          Harness.time_once (fun () ->
+              witness_with Counterex.Witness.Restart m ~start)
+        in
+        let (tr_p, stats_p), t_p =
+          Harness.time_once (fun () ->
+              witness_with Counterex.Witness.Precompute m ~start)
+        in
+        [
+          string_of_int k;
+          string_of_int stats_r.Counterex.Witness.rounds;
+          string_of_int (Kripke.Trace.length tr_r);
+          Harness.seconds_string t_r;
+          string_of_int stats_p.Counterex.Witness.rounds;
+          string_of_int (Kripke.Trace.length tr_p);
+          Harness.seconds_string t_p;
+        ])
+      ks
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "E3: cycle-closing strategies on a k-SCC chain (components of %d states)"
+         size)
+    ~header:
+      [ "k SCCs"; "R rounds"; "R length"; "R time"; "P rounds"; "P length";
+        "P time" ]
+    rows;
+  Harness.note
+    "R = Restart (simple strategy), P = Precompute E[(EG f) U {t}] (Section 6's";
+  Harness.note
+    "\"slightly more sophisticated approach\").  Witnesses span several SCCs";
+  Harness.note
+    "(Figure 2); both find short counterexamples because the number of SCCs";
+  Harness.note "crossed stays small."
+
+let bechamel =
+  let g = Workloads.scc_chain ~fair_last:true ~components:5 ~size:4 () in
+  let prepared = lazy (Explicit.Bridge.to_kripke g) in
+  let mk name strategy =
+    Bechamel.Test.make ~name
+      (Bechamel.Staged.stage (fun () ->
+           let m, encode = Lazy.force prepared in
+           witness_with strategy m ~start:(encode 0)))
+  in
+  Bechamel.Test.make_grouped ~name:"e3-scc-strategies"
+    [
+      mk "restart" Counterex.Witness.Restart;
+      mk "precompute" Counterex.Witness.Precompute;
+    ]

@@ -1,0 +1,66 @@
+(* E6 — symbolic vs explicit model checking (the Section 4 motivation:
+   OBDDs pushed model checking past the state explosion that stopped
+   explicit enumeration — the paper's arbiter itself "failed" under an
+   explicit checker and needed symbolic techniques).
+
+   Workload: the n-cell ring, whose reachable set is the full 2^n; the
+   specification is the resettability property AG EF "all low".  The
+   explicit side pays for enumerating the graph; past ~2^14 states it
+   is not run at all. *)
+
+let all_low m n =
+  let bman = m.Kripke.man in
+  Bdd.conj bman
+    (List.init n (fun i ->
+         Bdd.diff bman m.Kripke.space
+           (Ctl.Check.sat m (Ctl.atom (Printf.sprintf "c%d" i)))))
+
+let run ~full =
+  let sizes = if full then [ 4; 6; 8; 10; 12; 14; 16; 20 ] else [ 4; 6; 8; 10; 12 ] in
+  let explicit_cap = 16384.0 in
+  let rows =
+    List.map
+      (fun n ->
+        let m = Workloads.ring n in
+        let states = Kripke.count_states m m.Kripke.space in
+        let spec = Ctl.AG (Ctl.EF (Ctl.Pred (all_low m n))) in
+        let t_sym = Harness.estimate_ns (fun () -> Ctl.Check.holds m spec) in
+        let t_explicit =
+          if states > explicit_cap then None
+          else
+            let (), t =
+              Harness.time_once (fun () ->
+                  let g, _, mask_of = Explicit.Bridge.of_kripke m in
+                  let atom _ = mask_of (all_low m n) in
+                  ignore
+                    (Explicit.Ectl.holds g ~atom
+                       (Ctl.AG (Ctl.EF (Ctl.atom "low")))))
+            in
+            Some t
+        in
+        [
+          string_of_int n;
+          Printf.sprintf "%.0f" states;
+          Harness.ns_string t_sym;
+          (match t_explicit with
+          | Some t -> Harness.seconds_string t
+          | None -> "(skipped)");
+        ])
+      sizes
+  in
+  Harness.print_table
+    ~title:"E6: symbolic vs explicit checking of AG EF all-low on the n-cell ring"
+    ~header:[ "cells"; "states"; "symbolic"; "explicit (incl. enumeration)" ]
+    rows;
+  Harness.note
+    "the explicit EMC baseline enumerates the graph first and stops being";
+  Harness.note
+    "feasible around 2^14 states, while the symbolic checker keeps scaling —";
+  Harness.note "the crossover the paper's Section 4 describes."
+
+let bechamel =
+  let m = lazy (Workloads.ring 10) in
+  Bechamel.Test.make ~name:"e6-symbolic-ring10"
+    (Bechamel.Staged.stage (fun () ->
+         let m = Lazy.force m in
+         Ctl.Check.holds m (Ctl.AG (Ctl.EF (Ctl.Pred (all_low m 10))))))

@@ -1,0 +1,71 @@
+(* Shared benchmarking utilities: Bechamel-based estimation for fast
+   operations, single-shot wall-clock timing for long runs, and aligned
+   table rendering for the per-experiment reports. *)
+
+let cfg ?(quota_s = 0.5) () =
+  Bechamel.Benchmark.cfg ~limit:2000
+    ~quota:(Bechamel.Time.second quota_s)
+    ~kde:None ~stabilize:false ()
+
+(* Estimated nanoseconds per run, by OLS over monotonic-clock samples. *)
+let estimate_ns ?quota_s f =
+  let test = Bechamel.Test.make ~name:"t" (Bechamel.Staged.stage f) in
+  let elt =
+    match Bechamel.Test.elements test with
+    | [ e ] -> e
+    | _ -> assert false
+  in
+  let measures = [ Bechamel.Toolkit.Instance.monotonic_clock ] in
+  let raw = Bechamel.Benchmark.run (cfg ?quota_s ()) measures elt in
+  let ols =
+    Bechamel.Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Bechamel.Measure.run |]
+  in
+  let result =
+    Bechamel.Analyze.one ols Bechamel.Toolkit.Instance.monotonic_clock raw
+  in
+  match Bechamel.Analyze.OLS.estimates result with
+  | Some [ e ] -> e
+  | Some _ | None -> Float.nan
+
+(* One wall-clock measurement, for thunks too slow to sample. *)
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let pp_ns ppf ns =
+  if Float.is_nan ns then Format.pp_print_string ppf "-"
+  else if ns < 1e3 then Format.fprintf ppf "%.0f ns" ns
+  else if ns < 1e6 then Format.fprintf ppf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Format.fprintf ppf "%.2f ms" (ns /. 1e6)
+  else Format.fprintf ppf "%.2f s" (ns /. 1e9)
+
+let ns_string ns = Format.asprintf "%a" pp_ns ns
+
+let seconds_string s = ns_string (s *. 1e9)
+
+(* Aligned plain-text tables. *)
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%-*s" (List.nth widths c) cell)
+         row)
+  in
+  Format.printf "@.== %s ==@." title;
+  Format.printf "%s@." (line header);
+  Format.printf "%s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter (fun row -> Format.printf "%s@." (line row)) rows
+
+let note fmt = Format.printf ("   " ^^ fmt ^^ "@.")
+
+(* Deterministic randomness for reproducible workloads. *)
+let rng seed = Random.State.make [| 0x5eed; seed |]

@@ -1,0 +1,240 @@
+(* smv_check — a command-line symbolic model checker in the style of
+   SMV: parse a model, check every SPEC (plus any --spec formulas),
+   print verdicts and, for failed universal / satisfied existential
+   specifications, an execution trace (Section 6). *)
+
+let ( let* ) = Result.bind
+
+type options = {
+  file : string;
+  extra_specs : string list;
+  fair : bool;
+  traces : bool;
+  stats : bool;
+  partitioned : bool;
+  simulate : int option;
+  seed : int;
+}
+
+let load opts =
+  match Smv.load_file ~partitioned:opts.partitioned opts.file with
+  | compiled -> Ok compiled
+  | exception Sys_error msg -> Error msg
+  | exception Smv.Lexer.Error (msg, pos) ->
+    Error (Format.asprintf "%s: lexical error at %a: %s" opts.file Smv.Ast.pp_pos pos msg)
+  | exception Smv.Parser.Error (msg, pos) ->
+    Error (Format.asprintf "%s: syntax error at %a: %s" opts.file Smv.Ast.pp_pos pos msg)
+  | exception (Smv.Compile.Error (msg, pos) | Smv.Flatten.Error (msg, pos))
+    ->
+    let where =
+      match pos with
+      | Some p -> Format.asprintf " at %a" Smv.Ast.pp_pos p
+      | None -> ""
+    in
+    Error (Printf.sprintf "%s: error%s: %s" opts.file where msg)
+
+let compile_extra compiled text =
+  match Smv.Compile.compile_expr compiled text with
+  | f -> Ok (text, f)
+  | exception Smv.Lexer.Error (msg, _) | exception Smv.Parser.Error (msg, _)
+  ->
+    Error (Printf.sprintf "--spec %S: %s" text msg)
+  | exception Smv.Compile.Error (msg, _) ->
+    Error (Printf.sprintf "--spec %S: %s" text msg)
+
+let print_model_stats m =
+  let reachable = Kripke.reachable m in
+  Format.printf "model: %d state bits, %.0f states in the state space, %.0f reachable@."
+    m.Kripke.nbits
+    (Kripke.count_states m m.Kripke.space)
+    (Kripke.count_states m reachable);
+  let dead = Kripke.deadlocks m in
+  if not (Bdd.is_zero dead) then
+    Format.printf
+      "warning: %.0f deadlocked states (CTL semantics assumes a total relation)@."
+      (Kripke.count_states m dead)
+
+(* The paper: a true existential specification gets a witness, a false
+   universal one gets a counterexample. *)
+let rec existential = function
+  | Ctl.EX _ | Ctl.EF _ | Ctl.EG _ | Ctl.EU _ -> true
+  | Ctl.Not f -> not (existential f)
+  | Ctl.True | Ctl.False | Ctl.Atom _ | Ctl.Pred _ | Ctl.And _ | Ctl.Or _
+  | Ctl.Imp _ | Ctl.Iff _ | Ctl.AX _ | Ctl.AF _ | Ctl.AG _ | Ctl.AU _ ->
+    false
+
+let check_one m ~fair ~traces (name, spec) =
+  let holds = if fair then Ctl.Fair.holds m spec else Ctl.Check.holds m spec in
+  Format.printf "-- specification %s is %s@." name
+    (if holds then "true" else "false");
+  if holds && traces && existential spec then begin
+    match Counterex.Explain.witness m spec with
+    | Some tr ->
+      Format.printf "-- as demonstrated by the following execution sequence@.";
+      Format.printf "%a@." (Kripke.Trace.pp m) tr
+    | None -> ()
+    | exception Counterex.Explain.Cannot_explain _ -> ()
+  end;
+  if (not holds) && traces then begin
+    (* Counterexamples always use fair semantics when constraints are
+       declared, as SMV does. *)
+    match Counterex.Explain.counterexample m spec with
+    | Some tr ->
+      Format.printf
+        "-- as demonstrated by the following execution sequence@.";
+      Format.printf "%a@." (Kripke.Trace.pp m) tr;
+      Format.printf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
+        (if Kripke.Trace.is_lasso tr then
+           Printf.sprintf " (cycle of length %d)"
+             (List.length tr.Kripke.Trace.cycle)
+         else "")
+    | None ->
+      Format.printf
+        "-- (no initial-state counterexample: the formula fails only under plain semantics)@."
+    | exception Counterex.Explain.Cannot_explain msg ->
+      Format.printf "-- (could not build a linear counterexample: %s)@." msg
+  end;
+  holds
+
+(* Random walk from a random initial state: pick a uniform successor
+   at each step (by enumerating successors; intended for interactive
+   exploration of small-to-medium models). *)
+let simulate m ~steps ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pick set =
+    match Kripke.states_in m set with
+    | [] -> None
+    | states ->
+      Some (List.nth states (Random.State.int rng (List.length states)))
+  in
+  match pick m.Kripke.init with
+  | None -> Format.printf "no initial state@."
+  | Some st ->
+    let rec walk acc st k =
+      if k = 0 then List.rev acc
+      else
+        match pick (Kripke.post m (Kripke.state_to_bdd m st)) with
+        | None -> List.rev acc (* deadlock *)
+        | Some st' -> walk (st' :: acc) st' (k - 1)
+    in
+    let tr = Kripke.Trace.finite (walk [ st ] st steps) in
+    Format.printf "-- random simulation (%d steps, seed %d)@." steps seed;
+    Format.printf "%a@." (Kripke.Trace.pp m) tr
+
+let run opts =
+  let* compiled = load opts in
+  let m = compiled.Smv.Compile.model in
+  if opts.stats then print_model_stats m;
+  (match opts.simulate with
+  | Some steps -> simulate m ~steps ~seed:opts.seed
+  | None -> ());
+  let* extra =
+    List.fold_left
+      (fun acc text ->
+        let* acc = acc in
+        let* spec = compile_extra compiled text in
+        Ok (spec :: acc))
+      (Ok []) opts.extra_specs
+  in
+  let specs = compiled.Smv.Compile.specs @ List.rev extra in
+  if specs = [] then begin
+    Format.printf "no specifications to check@.";
+    Ok true
+  end
+  else
+    let ok =
+      List.fold_left
+        (fun ok spec ->
+          check_one m ~fair:opts.fair ~traces:opts.traces spec && ok)
+        true specs
+    in
+    Ok ok
+
+open Cmdliner
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"MODEL.smv" ~doc:"SMV model to check.")
+
+let spec_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "s"; "spec" ] ~docv:"FORMULA"
+        ~doc:"Additional CTL specification to check (repeatable).")
+
+let no_fair_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fairness" ]
+        ~doc:
+          "Ignore FAIRNESS constraints when deciding specifications \
+           (counterexample generation still respects them).")
+
+let no_trace_arg =
+  Arg.(
+    value & flag
+    & info [ "q"; "no-trace" ] ~doc:"Do not print counterexample traces.")
+
+let partitioned_arg =
+  Arg.(
+    value & flag
+    & info [ "partitioned" ]
+        ~doc:
+          "Use a conjunctively partitioned transition relation with early            quantification for image computation.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print model statistics (state counts, deadlocks).")
+
+let simulate_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "simulate" ] ~docv:"STEPS"
+        ~doc:"Print a random execution of the given length before checking.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N" ~doc:"Random seed for --simulate.")
+
+let main file extra_specs no_fair no_trace stats partitioned simulate seed =
+  let opts =
+    {
+      file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
+      partitioned; simulate; seed;
+    }
+  in
+  match run opts with
+  | Ok true -> 0
+  | Ok false -> 1
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    2
+
+let cmd =
+  let doc = "symbolic CTL model checker with counterexample generation" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Checks every SPEC of an SMV model with the BDD-based symbolic \
+         algorithm of Clarke, Grumberg, McMillan and Zhao, honouring \
+         FAIRNESS constraints, and prints a counterexample execution \
+         trace (a finite path, or a path followed by a repeating cycle) \
+         for every failed specification.";
+      `S Manpage.s_examples;
+      `P "smv_check examples/models/mutex.smv";
+      `P "smv_check --spec 'AG (tr1 -> AF ta1)' arbiter.smv";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "smv_check" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const main $ file_arg $ spec_arg $ no_fair_arg $ no_trace_arg
+      $ stats_arg $ partitioned_arg $ simulate_arg $ seed_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,76 @@
+(* Section 7: checking and witnessing the restricted CTL* class
+   E /\ (GF p \/ FG q).
+
+   The model is a job server that alternates between serving and
+   maintenance; a CTL* formula asks for an execution that either
+   serves infinitely often or eventually stays in maintenance, while
+   never crashing.
+
+   Run with:  dune exec examples/ctlstar_demo.exe *)
+
+let () =
+  let b = Kripke.Builder.create () in
+  let st =
+    Kripke.Builder.enum_var b "state" [ "serve"; "maint"; "crash" ]
+  in
+  let man = Kripke.Builder.man b in
+  let is = Kripke.Builder.is b and is' = Kripke.Builder.is' b in
+  let s name = Kripke.S name in
+  Kripke.Builder.add_init b (is st (s "serve"));
+  List.iter
+    (Kripke.Builder.add_trans_case b)
+    [
+      Bdd.and_ man (is st (s "serve")) (is' st (s "serve"));
+      Bdd.and_ man (is st (s "serve")) (is' st (s "maint"));
+      Bdd.and_ man (is st (s "serve")) (is' st (s "crash"));
+      Bdd.and_ man (is st (s "maint")) (is' st (s "maint"));
+      Bdd.and_ man (is st (s "maint")) (is' st (s "serve"));
+      Bdd.and_ man (is st (s "crash")) (is' st (s "crash"));
+    ];
+  Kripke.Builder.add_label b "serving" (is st (s "serve"));
+  Kripke.Builder.add_label b "maintaining" (is st (s "maint"));
+  Kripke.Builder.add_label b "crashed" (is st (s "crash"));
+  let m = Kripke.Builder.build b in
+
+  let serving = Ctlstar.Atom "serving" in
+  let maintaining = Ctlstar.Atom "maintaining" in
+  let crashed = Ctlstar.Atom "crashed" in
+  let formula =
+    Ctlstar.E
+      (Ctlstar.PAnd
+         ( Ctlstar.POr (Ctlstar.gf serving, Ctlstar.fg maintaining),
+           Ctlstar.fg (Ctlstar.Not crashed) ))
+  in
+  Format.printf "model: job server with states serve / maint / crash@.";
+  Format.printf "formula: %s@." (Ctlstar.to_string formula);
+  Format.printf "holds on all initial states: %b@.@."
+    (Ctlstar.Gffg.holds m formula);
+
+  (* Build the witness by hand through the conjunct interface, showing
+     the branch resolution the algorithm performs. *)
+  let set name = Ctl.Check.sat m (Ctl.atom name) in
+  let zero = Bdd.zero m.Kripke.man in
+  let conjuncts =
+    [
+      { Ctlstar.Gffg.gf = set "serving"; fg = set "maintaining" };
+      { Ctlstar.Gffg.gf = zero;
+        fg = Bdd.diff m.Kripke.man m.Kripke.space (set "crashed") };
+    ]
+  in
+  match Kripke.pick_state m m.Kripke.init with
+  | None -> assert false
+  | Some start ->
+    let choices = Ctlstar.Gffg.resolve m conjuncts ~start in
+    List.iteri
+      (fun i choice ->
+        Format.printf "conjunct %d resolved to the %s branch@." (i + 1)
+          (match choice with
+          | Ctlstar.Gffg.Took_gf -> "GF"
+          | Ctlstar.Gffg.Took_fg -> "FG"))
+      choices;
+    let tr = Ctlstar.Gffg.witness m conjuncts ~start in
+    Format.printf "@.witness (%d states, cycle of %d):@." (Kripke.Trace.length tr)
+      (List.length tr.Kripke.Trace.cycle);
+    Format.printf "%a@." (Kripke.Trace.pp m) tr;
+    Format.printf "witness validates: %b@."
+      (Ctlstar.Gffg.witness_ok m conjuncts tr)

@@ -1,0 +1,68 @@
+(* Quickstart: build a model with the Builder API, check CTL
+   specifications, and print a counterexample trace.
+
+   The model is the classic two-process mutual exclusion protocol with
+   a turn variable.  Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. Declare state variables. *)
+  let b = Kripke.Builder.create () in
+  let p = Kripke.Builder.enum_var b "p" [ "idle"; "try"; "crit" ] in
+  let q = Kripke.Builder.enum_var b "q" [ "idle"; "try"; "crit" ] in
+  let turn = Kripke.Builder.bool_var b "turn" in
+  let man = Kripke.Builder.man b in
+  let is = Kripke.Builder.is b and is' = Kripke.Builder.is' b in
+  let v = Kripke.Builder.v b in
+  let s name = Kripke.S name in
+
+  (* 2. Initial states: both processes idle, turn = process p. *)
+  Kripke.Builder.add_init b
+    (Bdd.conj man
+       [ is p (s "idle"); is q (s "idle"); Bdd.not_ man (v turn) ]);
+
+  (* 3. Transitions, one interleaved process step per case. *)
+  let turn' = Kripke.Builder.v' b turn in
+  let step_of who ~my_turn ~turn_after_exit =
+    let keep = Kripke.Builder.keep_all_but b [ who; turn ] in
+    let keep_turn = Kripke.Builder.unchanged b turn in
+    [
+      Bdd.conj man [ is who (s "idle"); is' who (s "try"); keep; keep_turn ];
+      Bdd.conj man [ is who (s "idle"); is' who (s "idle"); keep; keep_turn ];
+      Bdd.conj man
+        [ is who (s "try"); my_turn; is' who (s "crit"); keep; keep_turn ];
+      Bdd.conj man [ is who (s "try"); is' who (s "try"); keep; keep_turn ];
+      (* leaving the critical section hands the turn over *)
+      Bdd.conj man
+        [ is who (s "crit"); is' who (s "idle"); keep; turn_after_exit ];
+    ]
+  in
+  List.iter (Kripke.Builder.add_trans_case b)
+    (step_of p ~my_turn:(Bdd.not_ man (v turn)) ~turn_after_exit:turn');
+  List.iter (Kripke.Builder.add_trans_case b)
+    (step_of q ~my_turn:(v turn) ~turn_after_exit:(Bdd.not_ man turn'));
+
+  (* 4. Atomic propositions for the specification language. *)
+  Kripke.Builder.add_label b "p_try" (is p (s "try"));
+  Kripke.Builder.add_label b "p_crit" (is p (s "crit"));
+  Kripke.Builder.add_label b "q_crit" (is q (s "crit"));
+  let m = Kripke.Builder.build b in
+
+  (* 5. Check specifications. *)
+  let check text =
+    let spec = Ctl.Parse.formula text in
+    let holds = Ctl.Fair.holds m spec in
+    Format.printf "-- specification %s is %b@." text holds;
+    if not holds then
+      match Counterex.Explain.counterexample m spec with
+      | Some tr ->
+        Format.printf "%a@." (Kripke.Trace.pp m) tr;
+        Format.printf "-- (%d states%s)@." (Kripke.Trace.length tr)
+          (if Kripke.Trace.is_lasso tr then ", lasso" else "")
+      | None -> ()
+  in
+  Format.printf "state space: %.0f states, %.0f reachable@."
+    (Kripke.count_states m m.Kripke.space)
+    (Kripke.count_states m (Kripke.reachable m));
+  check "AG !(p_crit & q_crit)";
+  check "EF p_crit";
+  check "AG (p_try -> AF p_crit)"

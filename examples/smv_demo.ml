@@ -1,0 +1,56 @@
+(* Driving the SMV frontend programmatically: load a model from
+   source, check its SPECs, add one more, and inspect the state space.
+
+   Run with:  dune exec examples/smv_demo.exe *)
+
+let source =
+  {|
+-- A small elevator controller: a cabin on floors 0..3 serving a
+-- sticky request for floor 3.
+MODULE main
+VAR
+  floor : 0..3;
+  moving_up : boolean;
+  request3 : boolean;
+ASSIGN
+  init(floor) := 0;
+  init(moving_up) := TRUE;
+  init(request3) := FALSE;
+  next(request3) := case
+      floor = 3 : FALSE;          -- served
+      request3 : TRUE;            -- sticky until served
+      TRUE : {TRUE, FALSE};       -- may arrive at any time
+    esac;
+  next(moving_up) := case
+      floor = 3 : FALSE;
+      floor = 0 : TRUE;
+      TRUE : moving_up;
+    esac;
+  next(floor) := case
+      moving_up & floor < 3 : floor + 1;
+      !moving_up & floor > 0 : floor - 1;
+      TRUE : floor;
+    esac;
+SPEC AG (request3 -> AF floor = 3)
+SPEC AG EF floor = 0
+SPEC AG (floor = 3 -> AX floor = 2)
+|}
+
+let () =
+  let compiled = Smv.load_string source in
+  let m = compiled.Smv.Compile.model in
+  Format.printf "elevator model: %.0f reachable states@."
+    (Kripke.count_states m (Kripke.reachable m));
+  List.iter
+    (fun (name, spec) ->
+      Format.printf "-- specification %s is %b@." name (Ctl.Fair.holds m spec))
+    compiled.Smv.Compile.specs;
+  (* An extra query, compiled against the same model. *)
+  let extra = "EF (floor = 3 & !request3)" in
+  let spec = Smv.Compile.compile_expr compiled extra in
+  Format.printf "-- specification %s is %b@." extra (Ctl.Fair.holds m spec);
+  (* Show a witness for an existential property. *)
+  match Counterex.Explain.witness m (Smv.Compile.compile_expr compiled "EF floor = 3") with
+  | Some tr ->
+    Format.printf "@.witness for EF floor = 3:@.%a@." (Kripke.Trace.pp m) tr
+  | None -> Format.printf "no witness@."

@@ -1,0 +1,9 @@
+(** ω-automata and language containment (Section 8): {!Streett}
+    automata (Büchi as a special case) and the {!Containment} check
+    with counterexample words. *)
+
+module Streett = Streett
+module Product = Product
+module Containment = Containment
+module Rabin = Rabin
+module Muller = Muller

@@ -1,0 +1,128 @@
+type 'a t = {
+  nstates : int;
+  init : int;
+  alphabet : 'a array;
+  trans : int list array array;
+  accept : (int list * int list) list;
+}
+
+let make ~nstates ~init ~alphabet ~delta ~accept =
+  if Array.length alphabet = 0 then
+    invalid_arg "Streett.make: empty alphabet";
+  let nletters = Array.length alphabet in
+  let check_state s =
+    if s < 0 || s >= nstates then
+      invalid_arg (Printf.sprintf "Streett.make: state %d out of range" s)
+  in
+  check_state init;
+  let trans = Array.init nstates (fun _ -> Array.make nletters []) in
+  List.iter
+    (fun (s, a, s') ->
+      check_state s;
+      check_state s';
+      if a < 0 || a >= nletters then
+        invalid_arg (Printf.sprintf "Streett.make: letter %d out of range" a);
+      if not (List.mem s' trans.(s).(a)) then
+        trans.(s).(a) <- s' :: trans.(s).(a))
+    delta;
+  Array.iter (fun row -> Array.iteri (fun a ss -> row.(a) <- List.sort compare ss) row) trans;
+  let accept =
+    List.map
+      (fun (u, v) ->
+        List.iter check_state u;
+        List.iter check_state v;
+        (List.sort_uniq compare u, List.sort_uniq compare v))
+      accept
+  in
+  { nstates; init; alphabet; trans; accept }
+
+let of_buchi ~nstates ~init ~alphabet ~delta ~accepting =
+  make ~nstates ~init ~alphabet ~delta ~accept:[ ([], accepting) ]
+
+let is_deterministic k =
+  Array.for_all
+    (fun row -> Array.for_all (fun ss -> List.length ss <= 1) row)
+    k.trans
+
+let is_complete k =
+  Array.for_all (fun row -> Array.for_all (fun ss -> ss <> []) row) k.trans
+
+let complete k =
+  if is_complete k then k
+  else
+    let sink = k.nstates in
+    let nletters = Array.length k.alphabet in
+    let delta = ref [] in
+    Array.iteri
+      (fun s row ->
+        Array.iteri
+          (fun a ss ->
+            if ss = [] then delta := (s, a, sink) :: !delta
+            else List.iter (fun s' -> delta := (s, a, s') :: !delta) ss)
+          row)
+      k.trans;
+    for a = 0 to nletters - 1 do
+      delta := (sink, a, sink) :: !delta
+    done;
+    let accept =
+      match k.accept with
+      | [] -> [ (List.init k.nstates Fun.id, []) ]
+      | pairs -> pairs
+    in
+    make ~nstates:(k.nstates + 1) ~init:k.init ~alphabet:k.alphabet
+      ~delta:!delta ~accept
+
+let successors k s a = k.trans.(s).(a)
+
+let run_inf_accepts k inf =
+  let inf = List.sort_uniq compare inf in
+  List.for_all
+    (fun (u, v) ->
+      List.for_all (fun s -> List.mem s u) inf
+      || List.exists (fun s -> List.mem s v) inf)
+    k.accept
+
+let lasso_inf k ~prefix ~cycle =
+  if not (is_deterministic k) then
+    invalid_arg "Streett.lasso_inf: nondeterministic automaton";
+  if not (is_complete k) then
+    invalid_arg "Streett.lasso_inf: incomplete automaton";
+  if cycle = [] then invalid_arg "Streett.lasso_inf: empty cycle";
+  let step s a =
+    match k.trans.(s).(a) with
+    | [ s' ] -> s'
+    | [] | _ :: _ -> assert false
+  in
+  let s = List.fold_left step k.init prefix in
+  (* Iterate the cycle until the state at the cycle head repeats; the
+     automaton state after each full cycle traversal eventually loops
+     (at most nstates distinct values). *)
+  let rec find_loop seen s =
+    if List.mem s seen then (s, seen) else
+      find_loop (s :: seen) (List.fold_left step s cycle)
+  in
+  let entry, _ = find_loop [] s in
+  (* States visited while repeating the cycle from [entry]. *)
+  let rec collect acc s remaining =
+    match remaining with
+    | [] -> (acc, s)
+    | a :: rest ->
+      let s' = step s a in
+      collect (s' :: acc) s' rest
+  in
+  let rec full_inf acc s =
+    let acc', s' = collect acc s cycle in
+    if s' = entry then acc' else full_inf acc' s'
+  in
+  full_inf [ entry ] entry
+
+let accepts_lasso_det k ~prefix ~cycle =
+  run_inf_accepts k (lasso_inf k ~prefix ~cycle)
+
+let letter_index k letter =
+  let rec find i =
+    if i >= Array.length k.alphabet then raise Not_found
+    else if k.alphabet.(i) = letter then i
+    else find (i + 1)
+  in
+  find 0

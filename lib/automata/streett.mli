@@ -1,0 +1,78 @@
+(** Streett ω-automata (Section 8).
+
+    A (nondeterministic) ω-automaton [K = (S, s0, Σ, Δ, F)] with the
+    Streett acceptance condition [F = {(U_1,V_1), ..., (U_n,V_n)}]:
+    a run [r] is accepting when for every pair, [inf(r) ⊆ U_i] or
+    [inf(r) ∩ V_i ≠ ∅].  States are integers [0 .. nstates-1]; letters
+    are indices into the [alphabet] array. *)
+
+type 'a t = private {
+  nstates : int;
+  init : int;
+  alphabet : 'a array;
+  trans : int list array array;
+      (** [trans.(s).(a)] — successors of state [s] on letter [a] *)
+  accept : (int list * int list) list;
+      (** pairs [(U_i, V_i)], as sorted state lists *)
+}
+
+val make :
+  nstates:int ->
+  init:int ->
+  alphabet:'a array ->
+  delta:(int * int * int) list ->
+  accept:(int list * int list) list ->
+  'a t
+(** Build an automaton from transition triples [(s, letter, s')].
+    Raises [Invalid_argument] for out-of-range states or letters, or an
+    empty alphabet. *)
+
+val of_buchi :
+  nstates:int ->
+  init:int ->
+  alphabet:'a array ->
+  delta:(int * int * int) list ->
+  accepting:int list ->
+  'a t
+(** A Büchi automaton (visit [accepting] infinitely often) as the
+    Streett automaton with the single pair [(∅, accepting)] — since
+    [inf(r)] is never empty, the acceptance degenerates to
+    [inf(r) ∩ accepting ≠ ∅]. *)
+
+val is_deterministic : 'a t -> bool
+(** At most one successor per state and letter. *)
+
+val is_complete : 'a t -> bool
+(** At least one successor per state and letter. *)
+
+val complete : 'a t -> 'a t
+(** Language-preserving completion: missing transitions are directed to
+    a fresh rejecting sink (if the automaton is already complete it is
+    returned unchanged).  When the acceptance list is empty — accepting
+    everything — the pair [(original states, ∅)] is added so that
+    sink runs are still rejected. *)
+
+val successors : 'a t -> int -> int -> int list
+(** [successors k s a] = [trans.(s).(a)]. *)
+
+val lasso_inf : 'a t -> prefix:int list -> cycle:int list -> int list
+(** For a {e deterministic, complete} automaton: the set of states the
+    unique run on [prefix . cycle^ω] visits infinitely often (letters
+    as alphabet indices).  Raises [Invalid_argument] on
+    nondeterministic or incomplete automata, or an empty cycle. *)
+
+val accepts_lasso_det :
+  'a t -> prefix:int list -> cycle:int list -> bool
+(** For a {e deterministic, complete} automaton: does the (unique) run
+    on the word [prefix . cycle^ω] — letters given as alphabet
+    indices — accept?  Raises [Invalid_argument] on nondeterministic
+    or incomplete automata, or an empty cycle. *)
+
+val run_inf_accepts : 'a t -> int list -> bool
+(** Does a run whose infinitely-repeated state set is exactly the given
+    list satisfy the acceptance condition?  (Used to validate the
+    system run of a containment counterexample.) *)
+
+val letter_index : 'a t -> 'a -> int
+(** Index of a letter in the alphabet (physical/structural equality);
+    raises [Not_found]. *)

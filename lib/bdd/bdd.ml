@@ -1,0 +1,424 @@
+(* Reduced ordered BDDs with hash-consing and memoised operations.
+
+   Invariants maintained by [mk]:
+   - ordering: on every path from the root, variable indices strictly
+     increase;
+   - reduction: no node has [low == high], and no two distinct nodes have
+     the same (var, low, high) triple (unique table).
+
+   Under these invariants structural identity is semantic equivalence,
+   so [equal] is constant-time and operation caches can be keyed by node
+   ids. *)
+
+type t =
+  | False
+  | True
+  | Node of node
+
+and node = { nid : int; var : int; low : t; high : t }
+
+type man = {
+  unique : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  exists_cache : (int * int, t) Hashtbl.t;
+  forall_cache : (int * int, t) Hashtbl.t;
+  relprod_cache : (int * int * int, t) Hashtbl.t;
+  constrain_cache : (int * int, t) Hashtbl.t;
+}
+
+let create ?(unique_size = 20_011) ?(cache_size = 20_011) () =
+  {
+    unique = Hashtbl.create unique_size;
+    next_id = 2;
+    ite_cache = Hashtbl.create cache_size;
+    exists_cache = Hashtbl.create cache_size;
+    forall_cache = Hashtbl.create cache_size;
+    relprod_cache = Hashtbl.create cache_size;
+    constrain_cache = Hashtbl.create cache_size;
+  }
+
+let zero _ = False
+let one _ = True
+
+let id = function
+  | False -> 0
+  | True -> 1
+  | Node n -> n.nid
+
+let is_zero = function False -> true | True | Node _ -> false
+let is_one = function True -> true | False | Node _ -> false
+let equal a b = id a = id b
+let compare a b = Stdlib.compare (id a) (id b)
+let hash b = id b
+
+let topvar = function
+  | Node n -> n.var
+  | False | True -> invalid_arg "Bdd.topvar: constant"
+
+let low = function
+  | Node n -> n.low
+  | False | True -> invalid_arg "Bdd.low: constant"
+
+let high = function
+  | Node n -> n.high
+  | False | True -> invalid_arg "Bdd.high: constant"
+
+(* The only node constructor: reduces and hash-conses. *)
+let mk m v lo hi =
+  if equal lo hi then lo
+  else
+    let key = (v, id lo, id hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+
+let var m v =
+  if v < 0 then invalid_arg "Bdd.var: negative variable";
+  mk m v False True
+
+let nvar m v =
+  if v < 0 then invalid_arg "Bdd.nvar: negative variable";
+  mk m v True False
+
+(* Root variable treating constants as deeper than everything. *)
+let level = function
+  | False | True -> max_int
+  | Node n -> n.var
+
+(* Cofactors with respect to a variable at or above the root. *)
+let cofactors f v =
+  match f with
+  | Node n when n.var = v -> (n.low, n.high)
+  | False | True | Node _ -> (f, f)
+
+let rec ite m f g h =
+  match f with
+  | True -> g
+  | False -> h
+  | Node _ ->
+    if equal g h then g
+    else if is_one g && is_zero h then f
+    else
+      let key = (id f, id g, id h) in
+      match Hashtbl.find_opt m.ite_cache key with
+      | Some r -> r
+      | None ->
+        let v = min (level f) (min (level g) (level h)) in
+        let f0, f1 = cofactors f v
+        and g0, g1 = cofactors g v
+        and h0, h1 = cofactors h v in
+        let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
+        let r = mk m v lo hi in
+        Hashtbl.add m.ite_cache key r;
+        r
+
+let not_ m f = ite m f False True
+let and_ m f g = ite m f g False
+let or_ m f g = ite m f True g
+let xor m f g = ite m f (not_ m g) g
+let imp m f g = ite m f g True
+let iff m f g = ite m f g (not_ m g)
+let diff m f g = ite m f (not_ m g) False
+let conj m fs = List.fold_left (and_ m) True fs
+let disj m fs = List.fold_left (or_ m) False fs
+let subset m f g = is_zero (diff m f g)
+
+let rec restrict m f v b =
+  match f with
+  | False | True -> f
+  | Node n ->
+    if n.var > v then f
+    else if n.var = v then if b then n.high else n.low
+    else mk m n.var (restrict m n.low v b) (restrict m n.high v b)
+
+let cube m vs =
+  let sorted = List.sort_uniq Stdlib.compare vs in
+  List.fold_right (fun v acc -> mk m v False acc) sorted True
+
+(* Skip cube variables above the level [v] (they do not occur in the
+   operand, so quantifying them is a no-op for that branch). *)
+let rec cube_from c v =
+  match c with
+  | Node n when n.var < v -> cube_from n.high v
+  | False | True | Node _ -> c
+
+let rec exists m c f =
+  match (f, c) with
+  | (False | True), _ -> f
+  | _, (True | False) -> f
+  | Node nf, Node _ -> (
+    let c = cube_from c nf.var in
+    match c with
+    | True | False -> f
+    | Node nc ->
+      let key = (id f, id c) in
+      (match Hashtbl.find_opt m.exists_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          if nf.var = nc.var then
+            or_ m (exists m nc.high nf.low) (exists m nc.high nf.high)
+          else mk m nf.var (exists m c nf.low) (exists m c nf.high)
+        in
+        Hashtbl.add m.exists_cache key r;
+        r))
+
+let rec forall m c f =
+  match (f, c) with
+  | (False | True), _ -> f
+  | _, (True | False) -> f
+  | Node nf, Node _ -> (
+    let c = cube_from c nf.var in
+    match c with
+    | True | False -> f
+    | Node nc ->
+      let key = (id f, id c) in
+      (match Hashtbl.find_opt m.forall_cache key with
+      | Some r -> r
+      | None ->
+        let r =
+          if nf.var = nc.var then
+            and_ m (forall m nc.high nf.low) (forall m nc.high nf.high)
+          else mk m nf.var (forall m c nf.low) (forall m c nf.high)
+        in
+        Hashtbl.add m.forall_cache key r;
+        r))
+
+(* Relational product: exists c (f /\ g) in a single recursion, the
+   workhorse of image computation. *)
+let rec and_exists m c f g =
+  match (f, g) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _, _ -> (
+    match c with
+    | True | False -> and_ m f g
+    | Node _ -> (
+      let v = min (level f) (level g) in
+      let c = cube_from c v in
+      match c with
+      | True | False -> and_ m f g
+      | Node nc ->
+        (* Normalise the cache key: /\ is commutative. *)
+        let i, j = if id f <= id g then (id f, id g) else (id g, id f) in
+        let key = (i, j, id c) in
+        (match Hashtbl.find_opt m.relprod_cache key with
+        | Some r -> r
+        | None ->
+          let f0, f1 = cofactors f v and g0, g1 = cofactors g v in
+          let r =
+            if nc.var = v then
+              or_ m (and_exists m nc.high f0 g0) (and_exists m nc.high f1 g1)
+            else mk m v (and_exists m c f0 g0) (and_exists m c f1 g1)
+          in
+          Hashtbl.add m.relprod_cache key r;
+          r)))
+
+(* Generalized cofactor (Coudert-Madre "constrain"): a function that
+   agrees with [f] on [c] and may take any value outside it, chosen so
+   the result is often much smaller than [f].  Key property:
+   [c /\ constrain f c = c /\ f]. *)
+let rec constrain m f c =
+  match c with
+  | False -> invalid_arg "Bdd.constrain: care set is empty"
+  | True -> f
+  | Node _ -> (
+    match f with
+    | False | True -> f
+    | Node _ ->
+      if equal f c then True
+      else
+        let key = (id f, id c) in
+        (match Hashtbl.find_opt m.constrain_cache key with
+        | Some r -> r
+        | None ->
+          let v = min (level f) (level c) in
+          let f0, f1 = cofactors f v and c0, c1 = cofactors c v in
+          let r =
+            if is_zero c1 then constrain m f0 c0
+            else if is_zero c0 then constrain m f1 c1
+            else mk m v (constrain m f0 c0) (constrain m f1 c1)
+          in
+          Hashtbl.add m.constrain_cache key r;
+          r))
+
+let rename m f perm =
+  (* Rebuild bottom-up through ITE so that non-monotone permutations are
+     handled correctly; memoised per call. *)
+  let memo = Hashtbl.create 1024 in
+  let rec go f =
+    match f with
+    | False | True -> f
+    | Node n -> (
+      match Hashtbl.find_opt memo n.nid with
+      | Some r -> r
+      | None ->
+        let v' = perm n.var in
+        if v' < 0 then invalid_arg "Bdd.rename: negative target variable";
+        let r = ite m (var m v') (go n.high) (go n.low) in
+        Hashtbl.add memo n.nid r;
+        r)
+  in
+  go f
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 64 in
+  let rec go = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        Hashtbl.replace vars n.var ();
+        go n.low;
+        go n.high
+      end
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars []
+  |> List.sort Stdlib.compare
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        go n.low;
+        go n.high
+      end
+  in
+  go f;
+  Hashtbl.length seen
+
+let rec eval f env =
+  match f with
+  | False -> false
+  | True -> true
+  | Node n -> if env n.var then eval n.high env else eval n.low env
+
+let sat_count f n =
+  (* Weighted count: a node at variable v counts assignments over the
+     variables v..n-1; crossing a gap of k levels multiplies by 2^k. *)
+  let memo = Hashtbl.create 256 in
+  let rec go f =
+    match f with
+    | False -> 0.0
+    | True -> 1.0
+    | Node nd -> (
+      match Hashtbl.find_opt memo nd.nid with
+      | Some c -> c
+      | None ->
+        let weight branch =
+          let sub = go branch in
+          let lvl = level branch in
+          let gap = (if lvl = max_int then n else lvl) - nd.var - 1 in
+          sub *. Float.pow 2.0 (float_of_int gap)
+        in
+        let c = weight nd.low +. weight nd.high in
+        Hashtbl.add memo nd.nid c;
+        c)
+  in
+  if List.exists (fun v -> v >= n) (support f) then
+    invalid_arg "Bdd.sat_count: support exceeds variable universe";
+  let top_gap = min (level f) n in
+  go f *. Float.pow 2.0 (float_of_int top_gap)
+
+let any_sat f =
+  let rec go acc = function
+    | False -> raise Not_found
+    | True -> List.rev acc
+    | Node n -> (
+      match n.low with
+      | False -> go ((n.var, true) :: acc) n.high
+      | True | Node _ -> go ((n.var, false) :: acc) n.low)
+  in
+  go [] f
+
+let fold_sat f vars ~init ~f:k =
+  let vars = Array.of_list vars in
+  let nv = Array.length vars in
+  let pos = Hashtbl.create (2 * nv) in
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) vars;
+  let assign = Array.make nv false in
+  (* Walk variables in index order; the diagram's support is a subset of
+     [vars], so at step i the residual diagram's root is >= vars.(i). *)
+  let rec go acc i f =
+    match f with
+    | False -> acc
+    | True | Node _ ->
+      if i = nv then (match f with True -> k acc assign | False | Node _ -> acc)
+      else
+        let v = vars.(i) in
+        let f0, f1 =
+          match f with
+          | Node n when n.var = v -> (n.low, n.high)
+          | False | True | Node _ -> (f, f)
+        in
+        assign.(i) <- false;
+        let acc = go acc (i + 1) f0 in
+        assign.(i) <- true;
+        let acc = go acc (i + 1) f1 in
+        assign.(i) <- false;
+        acc
+  in
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem pos v) then
+        invalid_arg "Bdd.fold_sat: support not contained in vars")
+    (support f);
+  go init 0 f
+
+let count_nodes m = m.next_id - 2
+
+let clear_caches m =
+  Hashtbl.reset m.ite_cache;
+  Hashtbl.reset m.constrain_cache;
+  Hashtbl.reset m.exists_cache;
+  Hashtbl.reset m.forall_cache;
+  Hashtbl.reset m.relprod_cache
+
+let pp ppf f =
+  match f with
+  | False -> Format.fprintf ppf "false"
+  | True -> Format.fprintf ppf "true"
+  | Node n ->
+    Format.fprintf ppf "<bdd #%d root=v%d nodes=%d>" n.nid n.var (size f)
+
+let to_dot ?(name = fun v -> Printf.sprintf "v%d" v) f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph bdd {\n";
+  Buffer.add_string buf "  node [shape=circle];\n";
+  Buffer.add_string buf "  f0 [label=\"0\", shape=box];\n";
+  Buffer.add_string buf "  f1 [label=\"1\", shape=box];\n";
+  let seen = Hashtbl.create 64 in
+  let node_name = function
+    | False -> "f0"
+    | True -> "f1"
+    | Node n -> Printf.sprintf "n%d" n.nid
+  in
+  let rec go = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d [label=\"%s\"];\n" n.nid (name n.var));
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> %s [style=dashed];\n" n.nid
+             (node_name n.low));
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> %s;\n" n.nid (node_name n.high));
+        go n.low;
+        go n.high
+      end
+  in
+  go f;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,171 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    A from-scratch BDD package in the style of the one inside the SMV
+    model checker: hash-consed nodes (so structural equality coincides
+    with semantic equivalence), a memoised if-then-else kernel, boolean
+    connectives, restriction, existential/universal quantification over
+    variable cubes, the combined relational product
+    [exists cube (f /\ g)], variable renaming, and satisfying-assignment
+    extraction.
+
+    Variables are non-negative integers ordered by [<]: smaller variable
+    indices appear closer to the root on every path.  All operations on
+    diagrams from the same manager are pure; diagrams are immutable and
+    maximally shared. *)
+
+type man
+(** A BDD manager: owns the unique table and the operation caches.
+    Diagrams from different managers must never be mixed; doing so is a
+    programming error ([Invalid_argument] is *not* guaranteed to be
+    raised, because detecting it on every operation would be too
+    costly). *)
+
+type t
+(** A BDD over the manager it was created from. *)
+
+val create : ?unique_size:int -> ?cache_size:int -> unit -> man
+(** [create ()] makes a fresh manager.  [unique_size] and [cache_size]
+    are initial sizes of the unique table and the operation caches. *)
+
+(** {1 Constants and variables} *)
+
+val zero : man -> t
+(** The constant false. *)
+
+val one : man -> t
+(** The constant true. *)
+
+val var : man -> int -> t
+(** [var m v] is the diagram for variable [v].  [v] must be
+    non-negative; raises [Invalid_argument] otherwise. *)
+
+val nvar : man -> int -> t
+(** [nvar m v] is the negation of variable [v]. *)
+
+(** {1 Structure} *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val id : t -> int
+(** Unique id of a node; equal ids (within one manager) mean equal
+    functions.  [zero] has id 0 and [one] has id 1. *)
+
+val equal : t -> t -> bool
+(** Constant-time semantic equivalence (hash-consing). *)
+
+val compare : t -> t -> int
+(** Total order on diagrams by id, for use in sets and maps. *)
+
+val hash : t -> int
+
+val topvar : t -> int
+(** Root variable of a non-constant diagram.
+    Raises [Invalid_argument] on constants. *)
+
+val low : t -> t
+(** Else-branch (variable false) of a non-constant diagram. *)
+
+val high : t -> t
+(** Then-branch (variable true) of a non-constant diagram. *)
+
+(** {1 Boolean connectives} *)
+
+val ite : man -> t -> t -> t -> t
+(** [ite m f g h] is (f /\ g) \/ (~f /\ h). *)
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val iff : man -> t -> t -> t
+val diff : man -> t -> t -> t
+(** [diff m f g] is f /\ ~g. *)
+
+val conj : man -> t list -> t
+(** Conjunction of a list (true for the empty list). *)
+
+val disj : man -> t list -> t
+(** Disjunction of a list (false for the empty list). *)
+
+val subset : man -> t -> t -> bool
+(** [subset m f g] holds iff f implies g (as state sets: f ⊆ g). *)
+
+(** {1 Restriction and quantification} *)
+
+val restrict : man -> t -> int -> bool -> t
+(** [restrict m f v b] is f with variable [v] fixed to [b]. *)
+
+val cube : man -> int list -> t
+(** [cube m vs] is the positive cube over the variables [vs]; used to
+    name quantifier scopes.  Duplicates are allowed and ignored. *)
+
+val exists : man -> t -> t -> t
+(** [exists m cube f] existentially quantifies the variables of the
+    positive cube [cube] out of [f]. *)
+
+val forall : man -> t -> t -> t
+(** [forall m cube f] universally quantifies the variables of [cube]. *)
+
+val and_exists : man -> t -> t -> t -> t
+(** [and_exists m cube f g] is [exists m cube (and_ m f g)], computed in
+    one pass — the relational-product operation at the heart of symbolic
+    image computation. *)
+
+val constrain : man -> t -> t -> t
+(** [constrain m f c] — the generalized cofactor (Coudert-Madre): a
+    function that agrees with [f] everywhere in the care set [c] and is
+    arbitrary (chosen to shrink the diagram) outside it, so that
+    [c /\ constrain f c = c /\ f].  Model checkers use it to simplify
+    intermediate sets against reachability invariants.  Raises
+    [Invalid_argument] when [c] is the constant false. *)
+
+(** {1 Renaming} *)
+
+val rename : man -> t -> (int -> int) -> t
+(** [rename m f perm] substitutes variable [perm v] for each variable
+    [v] in the support of [f].  [perm] must be injective on the support;
+    it need not be monotone. *)
+
+(** {1 Inspection} *)
+
+val support : t -> int list
+(** Variables occurring in the diagram, sorted increasingly. *)
+
+val size : t -> int
+(** Number of distinct internal nodes (constants not counted). *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val sat_count : t -> int -> float
+(** [sat_count f n] is the number of satisfying assignments over the
+    variable universe [{0, ..., n-1}], as a float (state spaces beyond
+    2^62 still get a meaningful answer).  Every variable in the support
+    of [f] must be < [n]. *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying partial assignment (the lexicographically least cube,
+    preferring [false] branches), as (variable, value) pairs sorted by
+    variable.  Raises [Not_found] on the constant false. *)
+
+val fold_sat : t -> int list -> init:'a -> f:('a -> bool array -> 'a) -> 'a
+(** [fold_sat f vars ~init ~f:k] folds [k] over every total assignment
+    to [vars] (given as the positions of a bool array parallel to
+    [vars]) that satisfies the diagram.  The support of the diagram must
+    be contained in [vars].  Assignments are enumerated in
+    lexicographic order with [false] < [true]. *)
+
+val count_nodes : man -> int
+(** Number of live nodes ever created in the manager. *)
+
+val clear_caches : man -> unit
+(** Drop the operation caches (the unique table is kept, so canonicity
+    is unaffected).  Useful between phases of a long run. *)
+
+val pp : Format.formatter -> t -> unit
+(** Structural summary printer (id, root variable, node count). *)
+
+val to_dot : ?name:(int -> string) -> t -> string
+(** Graphviz rendering; [name] maps variable indices to labels. *)

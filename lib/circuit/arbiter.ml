@@ -1,0 +1,76 @@
+let sig_ fmt i = Printf.sprintf fmt i
+
+let netlist n =
+  if n < 2 then invalid_arg "Arbiter.netlist: need at least two users";
+  let users = List.init n (fun i -> i + 1) in
+  let ur = sig_ "ur%d" and tr = sig_ "tr%d" and g = sig_ "g%d" in
+  let ta = sig_ "ta%d" and ua = sig_ "ua%d" in
+  let open Netlist in
+  let env_rules =
+    List.map
+      (fun i ->
+        env ~name:(sig_ "user%d" i) ~output:(ur i)
+          ~rise:(Not (Sig (ua i)))
+          ~fall:(Sig (ua i)))
+      users
+  in
+  let request_gates =
+    List.map
+      (fun i ->
+        gate ~name:(sig_ "AND_req%d" i) ~output:(tr i)
+          (And (Sig (ur i), Not (Sig (ua i)))))
+      users
+  in
+  let me_rules =
+    me_element ~name:"ME"
+      ~requests:(List.map tr users)
+      ~grants:(List.map g users)
+  in
+  let or_gate =
+    gate ~name:"OR_meo" ~output:"meo" (disj (List.map (fun i -> Sig (g i)) users))
+  in
+  let ack_gates =
+    List.map
+      (fun i ->
+        gate ~name:(sig_ "AND_ack%d" i) ~output:(ta i)
+          (And (Sig (g i), Sig "meo")))
+      users
+  in
+  let user_acks =
+    List.map
+      (fun i -> gate ~name:(sig_ "BUF_ua%d" i) ~output:(ua i) (Sig (ta i)))
+      users
+  in
+  {
+    rules =
+      env_rules @ request_gates @ me_rules @ (or_gate :: ack_gates)
+      @ user_acks;
+    init_high = [];
+  }
+
+let model n = Netlist.compile (netlist n)
+
+let liveness_spec _n = Ctl.Parse.formula "AG (tr1 -> AF ta1)"
+
+let specs n =
+  let users = List.init n (fun i -> i + 1) in
+  let pairs =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None) users)
+      users
+  in
+  let mutex prefix =
+    List.map
+      (fun (i, j) ->
+        let text = Printf.sprintf "AG !(%s%d & %s%d)" prefix i prefix j in
+        (text, Ctl.Parse.formula text))
+      pairs
+  in
+  let liveness =
+    List.map
+      (fun i ->
+        let text = Printf.sprintf "AG (tr%d -> AF ta%d)" i i in
+        (text, Ctl.Parse.formula text))
+      users
+  in
+  mutex "g" @ mutex "ua" @ liveness

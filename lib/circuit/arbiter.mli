@@ -1,0 +1,33 @@
+(** The asynchronous arbiter case study (Section 6, Figure 3).
+
+    A reconstruction of the Seitz-style speed-independent arbiter: user
+    [i] raises a request [ur_i]; an AND gate forwards it as [tr_i]; a
+    mutual-exclusion element grants [g_i] to at most one requester; the
+    grant propagates through the OR gate [meo] and an AND gate to the
+    acknowledgement [ta_i], buffered to the user as [ua_i].  Gate
+    fairness ensures every gate eventually responds; the environment is
+    unconstrained (a user may request, hold, or stay idle forever).
+
+    The dimensions (exact netlist of Dill's thesis) are not public in
+    the paper, so the circuit here is built to exhibit the same
+    qualitative behaviour the case study reports: grant mutual
+    exclusion holds, while the liveness specification
+    [AG (tr1 -> AF ta1)] fails with a fair lasso counterexample. *)
+
+val netlist : int -> Netlist.t
+(** [netlist n] — the arbiter with [n >= 2] users.  Signals (per user
+    [i], 1-based): [ur<i>], [tr<i>], [g<i>], [ta<i>], [ua<i>]; plus the
+    shared [meo].  Raises [Invalid_argument] when [n < 2]. *)
+
+val model : int -> Kripke.t
+(** Compiled symbolic model of {!netlist}. *)
+
+val specs : int -> (string * Ctl.t) list
+(** The specifications checked in the case study, with source-like
+    names: grant mutual exclusion (true), acknowledgement mutual
+    exclusion, and the per-user liveness properties
+    [AG (tr<i> -> AF ta<i>)] (false — the bug). *)
+
+val liveness_spec : int -> Ctl.t
+(** [AG (tr1 -> AF ta1)], the specification whose counterexample the
+    paper reports (78 states, cycle of length 30 on their netlist). *)

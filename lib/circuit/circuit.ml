@@ -1,0 +1,5 @@
+(** Gate-level speed-independent asynchronous circuits ({!Netlist}) and
+    the reconstructed Seitz {!Arbiter} of the Section 6 case study. *)
+
+module Netlist = Netlist
+module Arbiter = Arbiter

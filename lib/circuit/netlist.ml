@@ -1,0 +1,159 @@
+type signal = string
+
+type cond =
+  | Sig of signal
+  | Const of bool
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+let conj = function
+  | [] -> Const true
+  | c :: rest -> List.fold_left (fun acc d -> And (acc, d)) c rest
+
+let disj = function
+  | [] -> Const false
+  | c :: rest -> List.fold_left (fun acc d -> Or (acc, d)) c rest
+
+type rule = {
+  rule_name : string;
+  output : signal;
+  rise : cond;
+  fall : cond;
+  fair : bool;
+}
+
+let gate ~name ~output f =
+  { rule_name = name; output; rise = f; fall = Not f; fair = true }
+
+let c_element ~name ~output a b =
+  { rule_name = name; output; rise = And (a, b); fall = And (Not a, Not b); fair = true }
+
+let env ~name ~output ~rise ~fall =
+  { rule_name = name; output; rise; fall; fair = false }
+
+let me_element ~name ~requests ~grants =
+  if List.length requests <> List.length grants || requests = [] then
+    invalid_arg "Netlist.me_element: requests/grants mismatch";
+  let no_grant = conj (List.map (fun g -> Not (Sig g)) grants) in
+  List.map2
+    (fun r g ->
+      {
+        rule_name = Printf.sprintf "%s.%s" name g;
+        output = g;
+        rise = And (Sig r, no_grant);
+        fall = Not (Sig r);
+        fair = true;
+      })
+    requests grants
+
+type t = {
+  rules : rule list;
+  init_high : signal list;
+}
+
+exception Bad_netlist of string
+
+let rec cond_signals = function
+  | Sig s -> [ s ]
+  | Const _ -> []
+  | Not c -> cond_signals c
+  | And (a, b) | Or (a, b) -> cond_signals a @ cond_signals b
+
+let signals t =
+  List.concat_map
+    (fun r -> (r.output :: cond_signals r.rise) @ cond_signals r.fall)
+    t.rules
+  @ t.init_high
+  |> List.sort_uniq String.compare
+
+let check t =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt seen r.output with
+      | Some other ->
+        raise
+          (Bad_netlist
+             (Printf.sprintf "signal %s driven by both %s and %s" r.output
+                other r.rule_name))
+      | None -> Hashtbl.replace seen r.output r.rule_name)
+    t.rules
+
+let compile t =
+  check t;
+  let b = Kripke.Builder.create () in
+  let bman = Kripke.Builder.man b in
+  let vars = Hashtbl.create 16 in
+  List.iter
+    (fun s -> Hashtbl.replace vars s (Kripke.Builder.bool_var b s))
+    (signals t);
+  let var s = Hashtbl.find vars s in
+  let rec denote = function
+    | Sig s -> Kripke.Builder.v b (var s)
+    | Const true -> Bdd.one bman
+    | Const false -> Bdd.zero bman
+    | Not c -> Bdd.not_ bman (denote c)
+    | And (c, d) -> Bdd.and_ bman (denote c) (denote d)
+    | Or (c, d) -> Bdd.or_ bman (denote c) (denote d)
+  in
+  let enabled_bdd r =
+    let out = Kripke.Builder.v b (var r.output) in
+    Bdd.or_ bman
+      (Bdd.and_ bman (Bdd.not_ bman out) (denote r.rise))
+      (Bdd.and_ bman out (denote r.fall))
+  in
+  (* Firing: toggle the output, freeze everything else. *)
+  List.iter
+    (fun r ->
+      let out = var r.output in
+      let toggles =
+        Bdd.iff bman
+          (Kripke.Builder.v' b out)
+          (Bdd.not_ bman (Kripke.Builder.v b out))
+      in
+      Kripke.Builder.add_trans_case b
+        (Bdd.conj bman
+           [ enabled_bdd r; toggles; Kripke.Builder.keep_all_but b [ out ] ]))
+    t.rules;
+  (* Quiescent states stutter. *)
+  let any_enabled = Bdd.disj bman (List.map enabled_bdd t.rules) in
+  Kripke.Builder.add_trans_case b
+    (Bdd.and_ bman
+       (Bdd.not_ bman any_enabled)
+       (Kripke.Builder.keep_all_but b []));
+  (* Initial values. *)
+  List.iter
+    (fun s ->
+      let lit = Kripke.Builder.v b (var s) in
+      if List.mem s t.init_high then Kripke.Builder.add_init b lit
+      else Kripke.Builder.add_init b (Bdd.not_ bman lit))
+    (signals t);
+  (* Weak fairness: each fair rule is stable infinitely often. *)
+  List.iter
+    (fun r ->
+      if r.fair then
+        Kripke.Builder.add_fairness b (Bdd.not_ bman (enabled_bdd r)))
+    t.rules;
+  Kripke.Builder.label_all_bools b;
+  Kripke.Builder.build b
+
+let enabled (m : Kripke.t) t r =
+  ignore t;
+  let bman = m.Kripke.man in
+  let lit s =
+    let v = Kripke.var_by_name m s in
+    Kripke.cur_bit m v.Kripke.bits.(0)
+  in
+  let rec denote = function
+    | Sig s -> lit s
+    | Const true -> Bdd.one bman
+    | Const false -> Bdd.zero bman
+    | Not c -> Bdd.not_ bman (denote c)
+    | And (c, d) -> Bdd.and_ bman (denote c) (denote d)
+    | Or (c, d) -> Bdd.or_ bman (denote c) (denote d)
+  in
+  let out = lit r.output in
+  Bdd.or_ bman
+    (Bdd.and_ bman (Bdd.not_ bman out) (denote r.rise))
+    (Bdd.and_ bman out (denote r.fall))

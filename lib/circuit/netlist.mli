@@ -1,0 +1,73 @@
+(** Speed-independent asynchronous circuits at the gate level
+    (the Section 6 case-study substrate).
+
+    A circuit is a set of boolean signals, each driven by a rule giving
+    the conditions under which it rises and falls.  Execution is
+    interleaved: at each step one {e enabled} signal fires (an enabled
+    quiescent circuit stutters), which models arbitrary gate delays —
+    "each gate can take an arbitrarily long time to respond to its
+    inputs".  Gates carry a weak-fairness constraint ("the gate is
+    stable infinitely often"), so that along fair paths every gate
+    eventually responds; environment rules carry none (the user may
+    legitimately never request). *)
+
+type signal = string
+
+(** Boolean conditions over signals. *)
+type cond =
+  | Sig of signal
+  | Const of bool
+  | Not of cond
+  | And of cond * cond
+  | Or of cond * cond
+
+val conj : cond list -> cond
+val disj : cond list -> cond
+
+type rule = {
+  rule_name : string;
+  output : signal;
+  rise : cond;  (** may fire high when low and this holds *)
+  fall : cond;  (** may fire low when high and this holds *)
+  fair : bool;  (** add the weak-fairness constraint for this rule *)
+}
+
+val gate : name:string -> output:signal -> cond -> rule
+(** A combinational gate: the output rises when the function holds and
+    falls when it does not (fair). *)
+
+val c_element : name:string -> output:signal -> cond -> cond -> rule
+(** A Muller C-element: rises when both inputs hold, falls when
+    neither does (fair). *)
+
+val env : name:string -> output:signal -> rise:cond -> fall:cond -> rule
+(** An environment driver: fires nondeterministically when its
+    conditions hold; not fair. *)
+
+val me_element :
+  name:string -> requests:signal list -> grants:signal list -> rule list
+(** A mutual-exclusion element: grant [g_i] may rise when [r_i] holds
+    and no grant is currently high; it falls when [r_i] is withdrawn.
+    At most one grant is ever high (an invariant the compiled model
+    maintains by construction).  [requests] and [grants] must have
+    equal non-zero length. *)
+
+type t = {
+  rules : rule list;
+  init_high : signal list;  (** signals initially 1 (others start 0) *)
+}
+
+exception Bad_netlist of string
+
+val signals : t -> signal list
+(** Every signal mentioned, sorted; includes undriven (constant)
+    signals. *)
+
+val compile : t -> Kripke.t
+(** Symbolic model of the circuit: one boolean variable per signal
+    (all labelled), interleaved firing semantics with a quiescent
+    stutter loop, one fairness constraint per fair rule.  Raises
+    {!Bad_netlist} when two rules drive one signal. *)
+
+val enabled : Kripke.t -> t -> rule -> Bdd.t
+(** The states in which the rule's output is unstable (may fire). *)

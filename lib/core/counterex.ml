@@ -1,0 +1,8 @@
+(** The paper's contribution: generation of counterexamples and
+    witnesses for symbolic model checking (Section 6), trace
+    {!Validate}-ion, and the recursive {!Explain}er that turns a failed
+    universal specification into a printable execution trace. *)
+
+module Witness = Witness
+module Explain = Explain
+module Validate = Validate

@@ -1,0 +1,64 @@
+(** Witness construction for the basic CTL operators (Section 6).
+
+    All functions take state sets that must come from the corresponding
+    checker ({!Ctl.Check} / {!Ctl.Fair}) on the same model, and a
+    concrete start state satisfying the formula; they return an
+    execution trace demonstrating it.  [EG] witnesses are lassos whose
+    cycle visits every fairness constraint of the model at least once —
+    the "finite witness" of Section 6; by Theorem 1 finding a
+    minimal-length one is NP-complete, so the construction is the
+    paper's greedy heuristic: repeatedly descend the saved onion rings
+    to the nearest not-yet-visited fairness constraint, then close the
+    cycle. *)
+
+exception No_witness of string
+(** Raised when the start state does not satisfy the formula the
+    witness is requested for (i.e. the caller did not check first), or
+    when an internal invariant is broken. *)
+
+(** How to complete the cycle of a fair [EG] witness (Section 6). *)
+type strategy =
+  | Restart
+      (** the simple strategy: try to close the cycle after visiting
+          all constraints; on failure restart the construction from the
+          path's final state (descending the SCC DAG, Figure 2) *)
+  | Precompute
+      (** the "slightly more sophisticated" strategy: after fixing the
+          cycle-start state [t], precompute [E[(EG f) U {t}]] and
+          restart as soon as the path first leaves that set *)
+
+type stats = {
+  restarts : int;  (** completed constraint rounds that failed to close *)
+  rounds : int;    (** total constraint-visiting rounds (restarts + 1) *)
+}
+
+val ex : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+(** Two-state witness for [EX f] (no fairness): [start] followed by a
+    successor in [f]. *)
+
+val eu : Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+(** Finite witness for [E[f U g]] (no fairness): a shortest-via-rings
+    path from [start] through [f]-states to a [g]-state. *)
+
+val eg : ?strategy:strategy -> Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+(** Lasso witness for [EG f] under the model's fairness constraints
+    (all of Section 6).  With no declared constraints this degenerates
+    to a plain [EG] witness. *)
+
+val eg_stats :
+  ?strategy:strategy ->
+  Kripke.t ->
+  f:Bdd.t ->
+  start:Kripke.state ->
+  Kripke.Trace.t * stats
+(** Like {!eg} but also reports how many rounds the construction
+    needed — the quantity the strategy ablation (experiment E3)
+    measures. *)
+
+val ex_fair : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+(** Witness for [EX f] under fairness: a step into [f /\ fair],
+    extended to an infinite fair path by an [EG true] witness. *)
+
+val eu_fair : Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+(** Witness for [E[f U g]] under fairness: a finite prefix to
+    [g /\ fair], extended to an infinite fair path. *)

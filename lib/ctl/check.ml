@@ -1,0 +1,61 @@
+exception Unknown_atom of string
+
+let ex (m : Kripke.t) s = Kripke.pre m s
+
+let eu (m : Kripke.t) f g =
+  let bman = m.Kripke.man in
+  let rec go q =
+    let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
+    if Bdd.equal q q' then q else go q'
+  in
+  go g
+
+let eu_rings (m : Kripke.t) f g =
+  let bman = m.Kripke.man in
+  let rec go acc q =
+    let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
+    if Bdd.equal q q' then List.rev acc else go (q' :: acc) q'
+  in
+  Array.of_list (go [ g ] g)
+
+let eg (m : Kripke.t) f =
+  let bman = m.Kripke.man in
+  let rec go z =
+    let z' = Bdd.and_ bman z (Bdd.and_ bman f (ex m z)) in
+    if Bdd.equal z z' then z else go z'
+  in
+  go (Bdd.and_ bman f m.Kripke.space)
+
+(* Interpret a formula with the three basic operators supplied, so that
+   the plain and fair checkers share one traversal. *)
+let sat_with ~ex ~eu ~eg (m : Kripke.t) formula =
+  let bman = m.Kripke.man in
+  let space = m.Kripke.space in
+  let atom_set name =
+    match Kripke.label m name with
+    | set -> Bdd.and_ bman set space
+    | exception Not_found -> raise (Unknown_atom name)
+  in
+  let rec go = function
+    | Syntax.True -> space
+    | Syntax.False -> Bdd.zero bman
+    | Syntax.Atom name -> atom_set name
+    | Syntax.Pred set -> Bdd.and_ bman set space
+    | Syntax.Not f -> Bdd.diff bman space (go f)
+    | Syntax.And (a, b) -> Bdd.and_ bman (go a) (go b)
+    | Syntax.Or (a, b) -> Bdd.or_ bman (go a) (go b)
+    | Syntax.EX f -> ex m (go f)
+    | Syntax.EU (a, b) -> eu m (go a) (go b)
+    | Syntax.EG f -> eg m (go f)
+    | (Syntax.Imp _ | Syntax.Iff _ | Syntax.EF _ | Syntax.AX _ | Syntax.AF _
+      | Syntax.AG _ | Syntax.AU _) as f ->
+      (* [enf] leaves none of these behind. *)
+      ignore f;
+      assert false
+  in
+  go (Syntax.enf formula)
+
+let sat m formula = sat_with ~ex ~eu ~eg m formula
+
+let holds m formula =
+  Bdd.subset m.Kripke.man m.Kripke.init (sat m formula)

@@ -1,0 +1,40 @@
+(** Symbolic CTL model checking without fairness (Section 4).
+
+    Every function returns state sets as subsets of the model's valid
+    encoding [space], so boolean negation behaves like set complement
+    within the state space. *)
+
+exception Unknown_atom of string
+(** Raised when a formula mentions an atom the model does not label. *)
+
+val sat : Kripke.t -> Syntax.t -> Bdd.t
+(** [sat m f] — the set of states of [m] satisfying [f] (the [Check]
+    procedure of Section 4). *)
+
+val holds : Kripke.t -> Syntax.t -> bool
+(** Does every initial state satisfy the formula? *)
+
+val ex : Kripke.t -> Bdd.t -> Bdd.t
+(** [CheckEX]: states with a successor in the argument set. *)
+
+val eu : Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t
+(** [CheckEU f g]: least fixpoint [lfp Z. g \/ (f /\ EX Z)]. *)
+
+val eg : Kripke.t -> Bdd.t -> Bdd.t
+(** [CheckEG f]: greatest fixpoint [gfp Z. f /\ EX Z]. *)
+
+val sat_with :
+  ex:(Kripke.t -> Bdd.t -> Bdd.t) ->
+  eu:(Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t) ->
+  eg:(Kripke.t -> Bdd.t -> Bdd.t) ->
+  Kripke.t ->
+  Syntax.t ->
+  Bdd.t
+(** Generic traversal with the three basic operators supplied; the fair
+    checker instantiates it with [CheckFairEX/EU/EG] (Section 5). *)
+
+val eu_rings : Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t array
+(** The increasing approximation sequence [Q_0 = g, Q_{i+1} = Q_i \/ (f
+    /\ EX Q_i)] up to (and including) the fixpoint — the "onion rings"
+    that witness construction walks down.  [Q_i] is the set of states
+    that can reach [g] in [i] or fewer steps through [f]-states. *)

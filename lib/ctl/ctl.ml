@@ -1,0 +1,8 @@
+(** CTL: syntax ({!Syntax}, re-exported), concrete-syntax {!Parse}r,
+    the symbolic {!Check}er of Section 4 and the {!Fair} checker of
+    Section 5. *)
+
+include Syntax
+module Parse = Parse
+module Check = Check
+module Fair = Fair

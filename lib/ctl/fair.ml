@@ -1,0 +1,61 @@
+type rings = {
+  constr : Bdd.t;
+  layers : Bdd.t array;
+}
+
+let constraints (m : Kripke.t) =
+  match m.Kripke.fairness with
+  | [] -> [ m.Kripke.space ]
+  | hs -> hs
+
+(* One step of the outer greatest fixpoint:
+   z |-> f /\ /\_k EX (E[f U (z /\ h_k)]). *)
+let eg_step m f hs z =
+  let bman = m.Kripke.man in
+  List.fold_left
+    (fun acc h ->
+      let target = Bdd.and_ bman z h in
+      let reach = Check.eu m f target in
+      Bdd.and_ bman acc (Check.ex m reach))
+    f hs
+
+let eg (m : Kripke.t) f =
+  let bman = m.Kripke.man in
+  let hs = constraints m in
+  let f = Bdd.and_ bman f m.Kripke.space in
+  let rec go z =
+    let z' = eg_step m f hs z in
+    if Bdd.equal z z' then z else go z'
+  in
+  go f
+
+let eg_with_rings (m : Kripke.t) f =
+  let bman = m.Kripke.man in
+  let z = eg m f in
+  let f = Bdd.and_ bman f m.Kripke.space in
+  let ring h =
+    { constr = h; layers = Check.eu_rings m f (Bdd.and_ bman z h) }
+  in
+  (z, List.map ring (constraints m))
+
+(* Memoising [fair] per model would need physical-identity caching of
+   models; the computation is a fixpoint over fixpoints but models are
+   checked many formulas at a time, so callers that care (the checker
+   below) compute it once per [sat]. *)
+let fair_states (m : Kripke.t) = eg m m.Kripke.space
+
+let ex_with ~fair m f = Check.ex m (Bdd.and_ m.Kripke.man f fair)
+
+let eu_with ~fair m f g = Check.eu m f (Bdd.and_ m.Kripke.man g fair)
+
+let ex m f = ex_with ~fair:(fair_states m) m f
+let eu m f g = eu_with ~fair:(fair_states m) m f g
+
+let sat m formula =
+  let fair = fair_states m in
+  Check.sat_with ~ex:(fun m f -> ex_with ~fair m f)
+    ~eu:(fun m f g -> eu_with ~fair m f g)
+    ~eg:(fun m f -> eg m f)
+    m formula
+
+let holds m formula = Bdd.subset m.Kripke.man m.Kripke.init (sat m formula)

@@ -1,0 +1,43 @@
+(** CTL model checking under fairness constraints (Section 5).
+
+    The model's [fairness] field lists state sets [H = {h_1, ..., h_n}];
+    path quantifiers range over paths along which every [h_k] holds
+    infinitely often.  A model with an empty list behaves as if it had
+    the single trivial constraint [true], which makes the witness
+    machinery uniform (a plain [EG] witness is a fair [EG] witness for
+    [H = {true}]). *)
+
+type rings = {
+  constr : Bdd.t;  (** the fairness constraint [h] *)
+  layers : Bdd.t array;
+      (** the saved approximations [Q^h_i] of [E[f U (Z /\ h)]] from the
+          final outer iteration, [Q^h_0 = Z /\ h] *)
+}
+(** The "onion rings" Section 6's witness construction descends. *)
+
+val constraints : Kripke.t -> Bdd.t list
+(** The effective fairness constraints: the model's list, or [[true]]
+    when it is empty. *)
+
+val eg : Kripke.t -> Bdd.t -> Bdd.t
+(** [CheckFairEG]: greatest fixpoint
+    [gfp Z. f /\ /\_k EX (E[f U (Z /\ h_k)])]. *)
+
+val eg_with_rings : Kripke.t -> Bdd.t -> Bdd.t * rings list
+(** Fair [EG] together with the ring sequences saved in the last outer
+    iteration, one per effective constraint. *)
+
+val fair_states : Kripke.t -> Bdd.t
+(** [fair = CheckFairEG true]: states at the start of some fair path. *)
+
+val ex : Kripke.t -> Bdd.t -> Bdd.t
+(** [CheckFairEX f = CheckEX (f /\ fair)]. *)
+
+val eu : Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t
+(** [CheckFairEU f g = CheckEU f (g /\ fair)]. *)
+
+val sat : Kripke.t -> Syntax.t -> Bdd.t
+(** Full CTL over fair paths ([CheckFair]). *)
+
+val holds : Kripke.t -> Syntax.t -> bool
+(** Does every initial state satisfy the formula over fair paths? *)

@@ -1,0 +1,230 @@
+exception Error of string
+
+type token =
+  | Tident of string
+  | Ttrue
+  | Tfalse
+  | Tnot
+  | Tand
+  | Tor
+  | Timp
+  | Tiff
+  | Tlpar
+  | Trpar
+  | Tlbrack
+  | Trbrack
+  | Tex
+  | Tef
+  | Teg
+  | Tax
+  | Taf
+  | Tag
+  | Te
+  | Ta
+  | Tu
+  | Teof
+
+let describe = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Ttrue -> "'true'"
+  | Tfalse -> "'false'"
+  | Tnot -> "'!'"
+  | Tand -> "'&'"
+  | Tor -> "'|'"
+  | Timp -> "'->'"
+  | Tiff -> "'<->'"
+  | Tlpar -> "'('"
+  | Trpar -> "')'"
+  | Tlbrack -> "'['"
+  | Trbrack -> "']'"
+  | Tex -> "'EX'"
+  | Tef -> "'EF'"
+  | Teg -> "'EG'"
+  | Tax -> "'AX'"
+  | Taf -> "'AF'"
+  | Tag -> "'AG'"
+  | Te -> "'E'"
+  | Ta -> "'A'"
+  | Tu -> "'U'"
+  | Teof -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+
+let keyword = function
+  | "true" -> Ttrue
+  | "false" -> Tfalse
+  | "EX" -> Tex
+  | "EF" -> Tef
+  | "EG" -> Teg
+  | "AX" -> Tax
+  | "AF" -> Taf
+  | "AG" -> Tag
+  | "E" -> Te
+  | "A" -> Ta
+  | "U" -> Tu
+  | s -> Tident s
+
+let tokenize input =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev ((Teof, i) :: acc)
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '!' then go (i + 1) ((Tnot, i) :: acc)
+      else if c = '&' then go (i + 1) ((Tand, i) :: acc)
+      else if c = '|' then go (i + 1) ((Tor, i) :: acc)
+      else if c = '(' then go (i + 1) ((Tlpar, i) :: acc)
+      else if c = ')' then go (i + 1) ((Trpar, i) :: acc)
+      else if c = '[' then go (i + 1) ((Tlbrack, i) :: acc)
+      else if c = ']' then go (i + 1) ((Trbrack, i) :: acc)
+      else if c = '-' && i + 1 < n && input.[i + 1] = '>' then
+        go (i + 2) ((Timp, i) :: acc)
+      else if c = '<' && i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>'
+      then go (i + 3) ((Tiff, i) :: acc)
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        (* '-' is allowed inside identifiers (signal names) but must not
+           swallow a following "->". *)
+        while
+          !j < n
+          && is_ident_char input.[!j]
+          && not (input.[!j] = '-' && !j + 1 < n && input.[!j + 1] = '>')
+        do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        go !j ((keyword word, i) :: acc)
+      end
+      else raise (Error (Printf.sprintf "unexpected character %C at %d" c i))
+  in
+  go 0 []
+
+(* Recursive-descent parser over the token list. *)
+type stream = { mutable toks : (token * int) list }
+
+let peek s = match s.toks with [] -> (Teof, 0) | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s tok =
+  let got, pos = peek s in
+  if got = tok then advance s
+  else
+    raise
+      (Error
+         (Printf.sprintf "expected %s but found %s at %d" (describe tok)
+            (describe got) pos))
+
+let rec p_iff s =
+  let a = p_imp s in
+  match peek s with
+  | Tiff, _ ->
+    advance s;
+    Syntax.Iff (a, p_iff s)
+  | _ -> a
+
+and p_imp s =
+  let a = p_or s in
+  match peek s with
+  | Timp, _ ->
+    advance s;
+    Syntax.Imp (a, p_imp s)
+  | _ -> a
+
+and p_or s =
+  let rec loop a =
+    match peek s with
+    | Tor, _ ->
+      advance s;
+      loop (Syntax.Or (a, p_and s))
+    | _ -> a
+  in
+  loop (p_and s)
+
+and p_and s =
+  let rec loop a =
+    match peek s with
+    | Tand, _ ->
+      advance s;
+      loop (Syntax.And (a, p_unary s))
+    | _ -> a
+  in
+  loop (p_unary s)
+
+and p_unary s =
+  let tok, pos = peek s in
+  match tok with
+  | Tnot ->
+    advance s;
+    Syntax.Not (p_unary s)
+  | Tex ->
+    advance s;
+    Syntax.EX (p_unary s)
+  | Tef ->
+    advance s;
+    Syntax.EF (p_unary s)
+  | Teg ->
+    advance s;
+    Syntax.EG (p_unary s)
+  | Tax ->
+    advance s;
+    Syntax.AX (p_unary s)
+  | Taf ->
+    advance s;
+    Syntax.AF (p_unary s)
+  | Tag ->
+    advance s;
+    Syntax.AG (p_unary s)
+  | Te ->
+    advance s;
+    let a, b = p_until s in
+    Syntax.EU (a, b)
+  | Ta ->
+    advance s;
+    let a, b = p_until s in
+    Syntax.AU (a, b)
+  | Ttrue ->
+    advance s;
+    Syntax.True
+  | Tfalse ->
+    advance s;
+    Syntax.False
+  | Tident name ->
+    advance s;
+    Syntax.Atom name
+  | Tlpar ->
+    advance s;
+    let f = p_iff s in
+    expect s Trpar;
+    f
+  | Tand | Tor | Timp | Tiff | Trpar | Tlbrack | Trbrack | Tu | Teof ->
+    raise
+      (Error (Printf.sprintf "unexpected %s at %d" (describe tok) pos))
+
+and p_until s =
+  expect s Tlbrack;
+  let a = p_iff s in
+  expect s Tu;
+  let b = p_iff s in
+  expect s Trbrack;
+  (a, b)
+
+let formula input =
+  let s = { toks = tokenize input } in
+  let f = p_iff s in
+  (match peek s with
+  | Teof, _ -> ()
+  | tok, pos ->
+    raise
+      (Error (Printf.sprintf "trailing %s at %d" (describe tok) pos)));
+  f
+
+let formula_opt input =
+  match formula input with
+  | f -> Ok f
+  | exception Error msg -> Stdlib.Error msg

@@ -1,0 +1,23 @@
+(** Concrete syntax for CTL formulas.
+
+    Grammar (loosest to tightest binding):
+
+    {v
+      f ::= f <-> f | f -> f | f | f | f & f | unary
+      unary ::= !unary | EX unary | EF unary | EG unary
+              | AX unary | AF unary | AG unary
+              | E [ f U f ] | A [ f U f ]
+              | true | false | ident | ( f )
+    v}
+
+    [->] is right-associative; [&] and [|] are left-associative.
+    Identifiers start with a letter or underscore and may contain
+    letters, digits, [_], [.] and [-] (gate and signal names). *)
+
+exception Error of string
+(** Parse failure, with a human-readable message including position. *)
+
+val formula : string -> Syntax.t
+(** Parse a formula; raises {!Error}. *)
+
+val formula_opt : string -> (Syntax.t, string) result

@@ -1,0 +1,6 @@
+(** The restricted CTL* machinery of Section 7: {!Syntax} for CTL*
+    state/path formulas (re-exported) and {!Gffg} for checking and
+    witnessing [E /\ (GF p \/ FG q)] formulas. *)
+
+include Syntax
+module Gffg = Gffg

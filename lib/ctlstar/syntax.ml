@@ -1,0 +1,86 @@
+type state_formula =
+  | True
+  | False
+  | Atom of string
+  | Pred of Bdd.t
+  | Not of state_formula
+  | And of state_formula * state_formula
+  | Or of state_formula * state_formula
+  | E of path_formula
+  | A of path_formula
+
+and path_formula =
+  | State of state_formula
+  | PNot of path_formula
+  | PAnd of path_formula * path_formula
+  | POr of path_formula * path_formula
+  | X of path_formula
+  | F of path_formula
+  | G of path_formula
+  | U of path_formula * path_formula
+
+let gf f = G (F (State f))
+let fg f = F (G (State f))
+
+let rec pp_state ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom s -> Format.pp_print_string ppf s
+  | Pred b -> Format.fprintf ppf "{%a}" Bdd.pp b
+  | Not f -> Format.fprintf ppf "!(%a)" pp_state f
+  | And (a, b) -> Format.fprintf ppf "(%a & %a)" pp_state a pp_state b
+  | Or (a, b) -> Format.fprintf ppf "(%a | %a)" pp_state a pp_state b
+  | E p -> Format.fprintf ppf "E (%a)" pp_path p
+  | A p -> Format.fprintf ppf "A (%a)" pp_path p
+
+and pp_path ppf = function
+  | State f -> pp_state ppf f
+  | PNot p -> Format.fprintf ppf "!(%a)" pp_path p
+  | PAnd (a, b) -> Format.fprintf ppf "(%a & %a)" pp_path a pp_path b
+  | POr (a, b) -> Format.fprintf ppf "(%a | %a)" pp_path a pp_path b
+  | X p -> Format.fprintf ppf "X (%a)" pp_path p
+  | F p -> Format.fprintf ppf "F (%a)" pp_path p
+  | G p -> Format.fprintf ppf "G (%a)" pp_path p
+  | U (a, b) -> Format.fprintf ppf "[%a U %a]" pp_path a pp_path b
+
+let to_string f = Format.asprintf "%a" pp_state f
+
+type conjunct = {
+  gf_part : state_formula option;
+  fg_part : state_formula option;
+}
+
+exception Unsupported of string
+
+let unsupported p =
+  raise
+    (Unsupported (Format.asprintf "not in the GF/FG class: %a" pp_path p))
+
+(* A leaf is GF s, FG s, or a disjunction of the two. *)
+let rec leaf = function
+  | G (F (State s)) -> { gf_part = Some s; fg_part = None }
+  | F (G (State s)) -> { gf_part = None; fg_part = Some s }
+  | POr (a, b) -> (
+    let la = leaf a and lb = leaf b in
+    match (la, lb) with
+    | { gf_part = Some p; fg_part = None }, { gf_part = None; fg_part = Some q }
+    | { gf_part = None; fg_part = Some q }, { gf_part = Some p; fg_part = None }
+      ->
+      { gf_part = Some p; fg_part = Some q }
+    | _, _ -> unsupported (POr (a, b)))
+  | p -> unsupported p
+
+(* Conjunction of leaves. *)
+let rec conjuncts = function
+  | PAnd (a, b) -> conjuncts a @ conjuncts b
+  | p -> [ leaf p ]
+
+(* Top-level disjunction of conjunctions. *)
+let rec classify = function
+  | POr (a, b) -> (
+    (* A disjunction is either a leaf (GF \/ FG) or a split between
+       whole disjuncts; try the leaf reading first. *)
+    match leaf (POr (a, b)) with
+    | c -> [ [ c ] ]
+    | exception Unsupported _ -> classify a @ classify b)
+  | p -> [ conjuncts p ]

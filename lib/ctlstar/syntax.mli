@@ -1,0 +1,64 @@
+(** CTL* formulas (Section 7).
+
+    CTL* distinguishes state formulas (true in a state) from path
+    formulas (true along a path).  Model checking the full logic is
+    expensive; the checker in {!Gffg} handles the class the paper
+    identifies as efficiently checkable,
+    [E \/_i /\_j (GF p_ij \/ FG q_ij)], to which {!classify} reduces
+    suitable formulas. *)
+
+type state_formula =
+  | True
+  | False
+  | Atom of string
+  | Pred of Bdd.t
+  | Not of state_formula
+  | And of state_formula * state_formula
+  | Or of state_formula * state_formula
+  | E of path_formula  (** some path from here satisfies the body *)
+  | A of path_formula  (** all paths from here satisfy the body *)
+
+and path_formula =
+  | State of state_formula  (** holds on a path iff at its first state *)
+  | PNot of path_formula
+  | PAnd of path_formula * path_formula
+  | POr of path_formula * path_formula
+  | X of path_formula
+  | F of path_formula
+  | G of path_formula
+  | U of path_formula * path_formula
+
+(** {1 Convenience} *)
+
+val gf : state_formula -> path_formula
+(** [GF f] — infinitely often. *)
+
+val fg : state_formula -> path_formula
+(** [FG f] — eventually always. *)
+
+val pp_state : Format.formatter -> state_formula -> unit
+val pp_path : Format.formatter -> path_formula -> unit
+val to_string : state_formula -> string
+
+(** {1 Classification} *)
+
+type conjunct = {
+  gf_part : state_formula option;  (** the [GF p] disjunct, if present *)
+  fg_part : state_formula option;  (** the [FG q] disjunct, if present *)
+}
+(** One conjunct [(GF p \/ FG q)]; a missing disjunct behaves as
+    [false]. *)
+
+exception Unsupported of string
+(** The formula is outside the efficiently checkable class. *)
+
+val classify : path_formula -> conjunct list list
+(** Rewrite the body of an [E] quantifier into the paper's normal form
+    [\/_i /\_j (GF p_ij \/ FG q_ij)] — one conjunct list per disjunct.
+    Accepts any nesting of [POr] above [PAnd] above [GF]/[FG]-shaped
+    leaves (written as [G (F _)], [F (G _)], or their disjunction);
+    a bare state formula [s] is accepted as [FG s /\ GF s]'s degenerate
+    form is *not* assumed — it is rejected ({!Unsupported}) because
+    [s] at the first state only is not expressible in the class.
+
+    Raises {!Unsupported} otherwise. *)

@@ -1,0 +1,33 @@
+(** Explicit-state CTL model checking — the EMC baseline of Section 4
+    and the independent oracle the symbolic checker is tested against.
+
+    Satisfaction sets are boolean masks over the graph's states.  The
+    fair [EG] here is computed from strongly connected components (an
+    SCC of [f]-states that is non-trivial and intersects every fairness
+    constraint, reached backwards through [f]-states), deliberately
+    *not* the fixpoint characterisation the symbolic checker uses, so
+    the two implementations cross-validate each other. *)
+
+val ex : Egraph.t -> bool array -> bool array
+val eu : Egraph.t -> bool array -> bool array -> bool array
+val eg : Egraph.t -> bool array -> bool array
+
+val fair_eg : Egraph.t -> bool array -> bool array
+(** [EG f] over the graph's fairness constraints, via fair SCCs. *)
+
+val fair_states : Egraph.t -> bool array
+(** [fair_eg true]. *)
+
+val sat :
+  Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool array
+(** Evaluate a CTL formula, resolving atoms with [atom] (which should
+    raise for unknown names).  No fairness. *)
+
+val sat_fair :
+  Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool array
+(** Evaluate over fair paths (the graph's fairness constraints). *)
+
+val holds : Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool
+(** All initial states satisfy the formula (no fairness). *)
+
+val holds_fair : Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool

@@ -1,0 +1,42 @@
+(** Explicit state-transition graphs.
+
+    The representation the pre-BDD EMC model checker worked on
+    (Section 4): states are integers [0 .. nstates-1], the transition
+    relation is an adjacency array, fairness constraints and state sets
+    are boolean masks. *)
+
+type t = private {
+  nstates : int;
+  succ : int array array;   (** successors, per state *)
+  pred : int array array;   (** predecessors, per state *)
+  init : int list;
+  fairness : bool array list;
+}
+
+val make :
+  nstates:int ->
+  edges:(int * int) list ->
+  init:int list ->
+  ?fairness:bool array list ->
+  unit ->
+  t
+(** Build a graph; edges and initial states must be in range, fairness
+    masks must have length [nstates] ([Invalid_argument] otherwise).
+    Duplicate edges are collapsed. *)
+
+val mask_of_list : nstates:int -> int list -> bool array
+(** Convenience: the mask with exactly these states set. *)
+
+val complete : t -> bool
+(** Does every state have at least one successor? *)
+
+val sccs : t -> int array
+(** Tarjan: maps each state to the id of its strongly connected
+    component; ids are assigned in reverse topological order (a
+    component's id is greater than the ids of components it can
+    reach). *)
+
+val bfs_path : t -> from:int -> target:bool array -> int list option
+(** Shortest path (as a state list including both endpoints) from a
+    state to any state of the target set; [Some [from]] when [from]
+    itself is in the target. *)

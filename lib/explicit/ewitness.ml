@@ -1,0 +1,143 @@
+(* Explicit-state witness construction: what EMC-style checkers do with
+   BFS and SCCs instead of onion rings.  Serves as the baseline (and a
+   cross-check) for the symbolic Section 6 algorithms. *)
+
+let ex (g : Egraph.t) ~f ~start =
+  let succ = g.succ.(start) in
+  match Array.find_opt (fun w -> f.(w)) succ with
+  | Some w -> Some [ start; w ]
+  | None -> None
+
+(* Shortest path from [start] to a [g]-state moving only through
+   [f]-states (except possibly the final one). *)
+let eu (graph : Egraph.t) ~f ~g ~start =
+  if g.(start) then Some [ start ]
+  else if not f.(start) then None
+  else begin
+    let parent = Array.make graph.nstates (-2) in
+    parent.(start) <- -1;
+    let queue = Queue.create () in
+    Queue.add start queue;
+    let found = ref None in
+    while !found = None && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun w ->
+          if parent.(w) = -2 then begin
+            parent.(w) <- v;
+            if !found = None && g.(w) then found := Some w
+            else if f.(w) then Queue.add w queue
+          end)
+        graph.succ.(v)
+    done;
+    match !found with
+    | None -> None
+    | Some final ->
+      let rec build acc v =
+        if v = start then v :: acc else build (v :: acc) parent.(v)
+      in
+      Some (build [] final)
+  end
+
+let rec last_of = function
+  | [ x ] -> x
+  | _ :: rest -> last_of rest
+  | [] -> invalid_arg "last_of"
+
+(* The fair strongly connected components of the f-subgraph: nontrivial
+   components that intersect every fairness constraint. *)
+let fair_component_mask (graph : Egraph.t) f =
+  let n = graph.nstates in
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    if f.(v) then
+      Array.iter
+        (fun w -> if f.(w) then edges := (v, w) :: !edges)
+        graph.succ.(v)
+  done;
+  let sub = Egraph.make ~nstates:n ~edges:!edges ~init:[] () in
+  let comp = Egraph.sccs sub in
+  let ncomp = 1 + Array.fold_left max (-1) comp in
+  let fair_comp = Array.make ncomp false in
+  List.iter
+    (fun (v, w) -> if comp.(v) = comp.(w) then fair_comp.(comp.(v)) <- true)
+    !edges;
+  List.iter
+    (fun h ->
+      let hits = Array.make ncomp false in
+      for v = 0 to n - 1 do
+        if f.(v) && h.(v) then hits.(comp.(v)) <- true
+      done;
+      for c = 0 to ncomp - 1 do
+        fair_comp.(c) <- fair_comp.(c) && hits.(c)
+      done)
+    graph.fairness;
+  (comp, Array.init n (fun v -> f.(v) && fair_comp.(comp.(v))))
+
+let fair_eg (graph : Egraph.t) ~f ~start =
+  let n = graph.nstates in
+  let comp, seeds = fair_component_mask graph f in
+  match eu graph ~f ~g:seeds ~start with
+  | None -> None
+  | Some path_to_scc ->
+    let entry = last_of path_to_scc in
+    let inside = Array.init n (fun v -> f.(v) && comp.(v) = comp.(entry)) in
+    (* Walk within the component from [current] to the target set,
+       extending the cycle (which starts as [entry]). *)
+    let walk (acc, current) target =
+      let masked = Array.mapi (fun i b -> b && inside.(i)) target in
+      match eu graph ~f:inside ~g:masked ~start:current with
+      | Some (_first :: rest) ->
+        (acc @ rest, (match rest with [] -> current | _ :: _ -> last_of rest))
+      | Some [] | None -> assert false
+    in
+    let acc, current =
+      List.fold_left walk ([ entry ], entry) graph.fairness
+    in
+    let has_self_loop v = Array.exists (fun w -> w = v) graph.succ.(v) in
+    let cycle =
+      if current = entry && List.length acc = 1 then
+        if has_self_loop entry then [ entry ]
+        else begin
+          (* force one step out, then come back *)
+          let w =
+            match
+              Array.find_opt (fun w -> inside.(w)) graph.succ.(entry)
+            with
+            | Some w -> w
+            | None -> assert false (* nontrivial SCC has internal edges *)
+          in
+          let back =
+            match
+              eu graph ~f:inside
+                ~g:(Array.init n (fun v -> v = entry))
+                ~start:w
+            with
+            | Some p -> p
+            | None -> assert false
+          in
+          (* back = w .. entry; drop the final entry (the cycle wraps) *)
+          entry :: List.filteri (fun i _ -> i < List.length back - 1) back
+        end
+      else if current = entry then
+        (* the constraint walk returned to the entry by itself: the
+           accumulated list ends with entry; drop it to wrap *)
+        List.filteri (fun i _ -> i < List.length acc - 1) acc
+      else begin
+        let back =
+          match
+            eu graph ~f:inside
+              ~g:(Array.init n (fun v -> v = entry))
+              ~start:current
+          with
+          | Some p -> p
+          | None -> assert false
+        in
+        (* back = current .. entry: append its middle states *)
+        acc @ List.filteri (fun i _ -> i > 0 && i < List.length back - 1) back
+      end
+    in
+    let prefix =
+      List.filteri (fun i _ -> i < List.length path_to_scc - 1) path_to_scc
+    in
+    Some (prefix, cycle)

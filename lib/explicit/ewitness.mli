@@ -1,0 +1,23 @@
+(** Explicit-state witness construction — the EMC-style baseline for
+    the paper's symbolic Section 6 algorithms: shortest paths by BFS,
+    fair cycles by SCC analysis.
+
+    All functions return [None] exactly when the start state does not
+    satisfy the corresponding formula. *)
+
+val ex : Egraph.t -> f:bool array -> start:int -> int list option
+(** Two-state witness for [EX f]. *)
+
+val eu : Egraph.t -> f:bool array -> g:bool array -> start:int -> int list option
+(** Shortest witness for [E[f U g]]: a path through [f]-states ending
+    in a [g]-state. *)
+
+val fair_eg :
+  Egraph.t -> f:bool array -> start:int -> (int list * int list) option
+(** Witness for [EG f] under the graph's fairness constraints:
+    [(prefix, cycle)] where [prefix] starts at [start] (empty when the
+    cycle starts there), all states satisfy [f], consecutive states are
+    edges (including the wrap from the last cycle state to the first),
+    and every fairness constraint holds somewhere on the cycle.
+    Construction: BFS into a fair SCC, then visit each constraint
+    inside it and close the loop. *)

@@ -1,0 +1,10 @@
+(** Explicit-state model checking: the {!Egraph} representation, the
+    EMC-style {!Ectl} checker (test oracle and benchmark baseline),
+    exact {!Minwit} minimal-witness search (Theorem 1), and the
+    symbolic/explicit {!Bridge}. *)
+
+module Egraph = Egraph
+module Ectl = Ectl
+module Minwit = Minwit
+module Ewitness = Ewitness
+module Bridge = Bridge

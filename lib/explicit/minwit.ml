@@ -1,0 +1,112 @@
+(* Exact minimal witness search.
+
+   For each candidate cycle head [c]: the shortest covering cycle from
+   [c] back to [c] is a shortest path in the product graph
+   (state, set-of-constraints-hit), which BFS solves exactly; adding
+   the shortest plain path from [start] to [c] gives the best witness
+   anchored at [c].  Minimising over anchors is exact because every
+   finite witness has *some* cycle head. *)
+
+let constraint_masks (g : Egraph.t) =
+  let k = List.length g.fairness in
+  let at = Array.make g.nstates 0 in
+  List.iteri
+    (fun bit mask ->
+      Array.iteri (fun v hit -> if hit then at.(v) <- at.(v) lor (1 lsl bit)) mask)
+    g.fairness;
+  (k, at)
+
+(* Shortest covering cycle from [c]: BFS over (state, mask).  Returns
+   (length, cycle states starting at c) or None. *)
+let covering_cycle (g : Egraph.t) ~k ~(at : int array) c =
+  let n = g.nstates in
+  let full = (1 lsl k) - 1 in
+  let nmasks = full + 1 in
+  let dist = Array.make (n * nmasks) (-1) in
+  let parent = Array.make (n * nmasks) (-1) in
+  let id v mask = (v * nmasks) + mask in
+  let queue = Queue.create () in
+  let start_mask = at.(c) in
+  dist.(id c start_mask) <- 0;
+  Queue.add (c, start_mask) queue;
+  let answer = ref None in
+  while !answer = None && not (Queue.is_empty queue) do
+    let v, mask = Queue.pop queue in
+    let d = dist.(id v mask) in
+    Array.iter
+      (fun w ->
+        if !answer = None then begin
+          let mask' = mask lor at.(w) in
+          if w = c && mask' = full then begin
+            (* Close the cycle: record the final hop's provenance. *)
+            answer := Some (d + 1, id v mask)
+          end
+          else if dist.(id w mask') = -1 then begin
+            dist.(id w mask') <- d + 1;
+            parent.(id w mask') <- id v mask;
+            Queue.add (w, mask') queue
+          end
+        end)
+      g.succ.(v)
+  done;
+  match !answer with
+  | None -> None
+  | Some (len, last_id) ->
+    (* Reconstruct c .. last (the closing edge back to c is implicit). *)
+    let rec build acc node =
+      let v = node / nmasks in
+      let p = parent.(node) in
+      if p = -1 then v :: acc else build (v :: acc) p
+    in
+    Some (len, build [] last_id)
+
+let minimal (g : Egraph.t) ~start =
+  let k, at = constraint_masks g in
+  let n = g.nstates in
+  (* Shortest plain distances from start, with parents. *)
+  let dist0 = Array.make n (-1) in
+  let parent0 = Array.make n (-1) in
+  dist0.(start) <- 0;
+  let queue = Queue.create () in
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun w ->
+        if dist0.(w) = -1 then begin
+          dist0.(w) <- dist0.(v) + 1;
+          parent0.(w) <- v;
+          Queue.add w queue
+        end)
+      g.succ.(v)
+  done;
+  let best = ref None in
+  for c = 0 to n - 1 do
+    if dist0.(c) >= 0 then
+      match covering_cycle g ~k ~at c with
+      | None -> ()
+      | Some (clen, cycle) ->
+        let total = dist0.(c) + clen in
+        (match !best with
+        | Some (t, _, _) when t <= total -> ()
+        | Some _ | None -> best := Some (total, c, cycle))
+  done;
+  match !best with
+  | None -> None
+  | Some (_, c, cycle) ->
+    let rec prefix acc v =
+      if v = start then v :: acc else prefix (v :: acc) parent0.(v)
+    in
+    let prefix_states =
+      if c = start then [] else
+        (* start .. predecessor of c *)
+        match prefix [] c with
+        | _ :: _ as p -> List.filteri (fun i _ -> i < List.length p - 1) p
+        | [] -> []
+    in
+    Some (prefix_states, cycle)
+
+let minimal_length g ~start =
+  match minimal g ~start with
+  | None -> None
+  | Some (prefix, cycle) -> Some (List.length prefix + List.length cycle)

@@ -1,0 +1,26 @@
+(** Exact minimal finite witnesses (Theorem 1).
+
+    Finding the minimal-length finite witness — a shortest prefix +
+    cycle such that the cycle visits every fairness constraint — is
+    NP-complete (reduction from Hamiltonian cycle), so this exact
+    branch-and-bound-over-masks search is exponential in the number of
+    fairness constraints.  It exists to quantify how close the paper's
+    greedy heuristic gets (experiment E2), and is only feasible on
+    small explicit graphs. *)
+
+val minimal : Egraph.t -> start:int -> (int list * int list) option
+(** [minimal g ~start] — a minimum-total-length witness for
+    [EG true] under [g]'s fairness constraints, starting at [start]:
+    [(prefix, cycle)] where [prefix] begins with [start] (and is empty
+    when the cycle starts at [start] itself), the last prefix state has
+    an edge to the cycle head, consecutive cycle states are edges, the
+    last cycle state closes back to the head, and every fairness
+    constraint holds somewhere on the cycle.  [None] when no fair
+    cycle is reachable from [start].
+
+    The search is exact: no witness of total length
+    [|prefix| + |cycle|] smaller than the returned one exists.
+    Complexity O(n^2 · 2^k) states for [k] constraints. *)
+
+val minimal_length : Egraph.t -> start:int -> int option
+(** Total length of {!minimal}, without reconstructing the paths. *)

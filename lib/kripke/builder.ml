@@ -1,0 +1,162 @@
+type b = {
+  bman : Bdd.man;
+  mutable vars : Model.var list;  (* reversed *)
+  mutable nbits : int;
+  mutable space : Bdd.t;
+  mutable init : Bdd.t;
+  mutable trans_conjs : Bdd.t list;  (* reversed *)
+  mutable trans_cases : Bdd.t list;
+  mutable fairness : Bdd.t list;
+  mutable labels : (string * Bdd.t) list;
+}
+
+let create ?man () =
+  let bman = match man with Some m -> m | None -> Bdd.create () in
+  {
+    bman;
+    vars = [];
+    nbits = 0;
+    space = Bdd.one bman;
+    init = Bdd.one bman;
+    trans_conjs = [];
+    trans_cases = [];
+    fairness = [];
+    labels = [];
+  }
+
+let man b = b.bman
+
+let declare b name vtype =
+  if List.exists (fun v -> String.equal v.Model.var_name name) b.vars then
+    invalid_arg ("Builder: duplicate variable " ^ name);
+  let v = Model.mk_var ~name ~vtype ~first_bit:b.nbits in
+  b.vars <- v :: b.vars;
+  b.nbits <- b.nbits + Array.length v.Model.bits;
+  v
+
+let bool_var b name = declare b name Model.Bool
+
+let enum_var b name consts =
+  if consts = [] then invalid_arg "Builder.enum_var: empty enumeration";
+  if List.length (List.sort_uniq String.compare consts) <> List.length consts
+  then invalid_arg "Builder.enum_var: duplicate constants";
+  declare b name (Model.Enum consts)
+
+let range_var b name lo hi =
+  if lo > hi then invalid_arg "Builder.range_var: empty range";
+  declare b name (Model.Range (lo, hi))
+
+let bit_cur b k = Bdd.var b.bman (2 * k)
+let bit_nxt b k = Bdd.var b.bman ((2 * k) + 1)
+
+let v b (x : Model.var) =
+  match x.vtype with
+  | Model.Bool -> bit_cur b x.bits.(0)
+  | Model.Enum _ | Model.Range _ ->
+    invalid_arg "Builder.v: not a boolean variable"
+
+let v' b (x : Model.var) =
+  match x.vtype with
+  | Model.Bool -> bit_nxt b x.bits.(0)
+  | Model.Enum _ | Model.Range _ ->
+    invalid_arg "Builder.v': not a boolean variable"
+
+let index_of_value (x : Model.var) (value : Model.value) =
+  match (x.vtype, value) with
+  | Model.Bool, Model.B bv -> if bv then 1 else 0
+  | Model.Enum names, Model.S s -> (
+    let rec find i = function
+      | [] -> invalid_arg ("Builder: value " ^ s ^ " not in domain of " ^ x.var_name)
+      | n :: rest -> if String.equal n s then i else find (i + 1) rest
+    in
+    find 0 names)
+  | Model.Range (lo, hi), Model.I i ->
+    if i < lo || i > hi then
+      invalid_arg ("Builder: value out of range for " ^ x.var_name)
+    else i - lo
+  | (Model.Bool | Model.Enum _ | Model.Range _), (Model.B _ | Model.S _ | Model.I _) ->
+    invalid_arg ("Builder: type mismatch for " ^ x.var_name)
+
+let encode b (x : Model.var) ~primed idx =
+  let lits =
+    Array.to_list x.bits
+    |> List.mapi (fun k bit ->
+           let lit = if primed then bit_nxt b bit else bit_cur b bit in
+           if idx land (1 lsl k) <> 0 then lit else Bdd.not_ b.bman lit)
+  in
+  Bdd.conj b.bman lits
+
+let is b x value = encode b x ~primed:false (index_of_value x value)
+let is' b x value = encode b x ~primed:true (index_of_value x value)
+
+let eq b (x : Model.var) (y : Model.var) =
+  if Array.length x.bits <> Array.length y.bits then
+    invalid_arg "Builder.eq: width mismatch";
+  let parts =
+    Array.to_list (Array.mapi (fun k bx ->
+        Bdd.iff b.bman (bit_cur b bx) (bit_cur b y.Model.bits.(k))) x.bits)
+  in
+  Bdd.conj b.bman parts
+
+let unchanged b (x : Model.var) =
+  let parts =
+    Array.to_list x.bits
+    |> List.map (fun k -> Bdd.iff b.bman (bit_cur b k) (bit_nxt b k))
+  in
+  Bdd.conj b.bman parts
+
+let keep_all_but b changing =
+  let keep v =
+    not
+      (List.exists (fun c -> String.equal c.Model.var_name v.Model.var_name)
+         changing)
+  in
+  List.filter keep b.vars |> List.map (unchanged b) |> Bdd.conj b.bman
+
+let add_space b f = b.space <- Bdd.and_ b.bman b.space f
+let add_init b f = b.init <- Bdd.and_ b.bman b.init f
+let add_trans b f = b.trans_conjs <- f :: b.trans_conjs
+let add_trans_case b f = b.trans_cases <- f :: b.trans_cases
+let add_fairness b f = b.fairness <- b.fairness @ [ f ]
+let add_label b name f = b.labels <- (name, f) :: b.labels
+
+let label_all_bools b =
+  List.iter
+    (fun x ->
+      match x.Model.vtype with
+      | Model.Bool -> add_label b x.Model.var_name (v b x)
+      | Model.Enum _ | Model.Range _ -> ())
+    b.vars
+
+(* The transition clusters: every add_trans conjunct, plus (when any
+   case was added) the disjunction of the cases as one more cluster. *)
+let clusters b =
+  let conjs = List.rev b.trans_conjs in
+  match b.trans_cases with
+  | [] -> conjs
+  | cases -> conjs @ [ Bdd.disj b.bman cases ]
+
+let build b =
+  let trans = Bdd.conj b.bman (clusters b) in
+  Model.make ~man:b.bman ~vars:(List.rev b.vars) ~nbits:b.nbits
+    ~space:b.space ~init:b.init ~trans ~fairness:b.fairness
+    ~labels:(List.rev b.labels) ()
+
+let build_partitioned b =
+  let m = build b in
+  Model.with_partition m (clusters b)
+
+let totalize (m : Model.t) =
+  let dead = Model.deadlocks m in
+  if Bdd.is_zero dead then m
+  else
+    let identity =
+      List.init m.nbits (fun k ->
+          Bdd.iff m.man (Model.cur_bit m k) (Model.nxt_bit m k))
+      |> Bdd.conj m.man
+    in
+    let loops = Bdd.and_ m.man dead identity in
+    let trans = Bdd.or_ m.man m.trans loops in
+    Model.make ~man:m.man ~vars:(Array.to_list m.vars) ~nbits:m.nbits
+      ~space:m.space ~init:m.init ~trans ~fairness:m.fairness ~labels:m.labels
+      ()

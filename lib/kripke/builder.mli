@@ -1,0 +1,101 @@
+(** Imperative construction of symbolic Kripke structures.
+
+    A builder owns a BDD manager, allocates bits for declared variables,
+    and accumulates init / transition conjuncts, fairness constraints
+    and labelled atomic propositions before sealing them into a
+    {!Model.t}.
+
+    The transition relation defaults to [true] (chaos); callers either
+    conjoin full-relation constraints with {!add_trans} or use the
+    per-variable {!assign_next} and then {!unchanged}/{!keep_all_but}
+    for frame conditions. *)
+
+type b
+
+val create : ?man:Bdd.man -> unit -> b
+
+val man : b -> Bdd.man
+
+val bool_var : b -> string -> Model.var
+(** Declare a boolean variable.  Raises [Invalid_argument] on duplicate
+    names. *)
+
+val enum_var : b -> string -> string list -> Model.var
+(** Declare an enumerated variable with the given (non-empty, distinct)
+    constants. *)
+
+val range_var : b -> string -> int -> int -> Model.var
+(** [range_var b name lo hi] declares an integer variable over
+    [lo..hi]; requires [lo <= hi]. *)
+
+(** {1 Predicates}
+
+    Functions suffixed with ['] ({!is'}, {!v'}, ...) talk about the
+    next-state copy; unsuffixed ones about the current copy. *)
+
+val v : b -> Model.var -> Bdd.t
+(** A boolean variable as a predicate (current copy).  Raises
+    [Invalid_argument] for non-boolean variables. *)
+
+val v' : b -> Model.var -> Bdd.t
+(** Next copy of {!v}. *)
+
+val is : b -> Model.var -> Model.value -> Bdd.t
+(** [is b x value] — variable [x] has this value (current copy).
+    Raises [Invalid_argument] if the value is outside the domain. *)
+
+val is' : b -> Model.var -> Model.value -> Bdd.t
+(** Next copy of {!is}. *)
+
+val eq : b -> Model.var -> Model.var -> Bdd.t
+(** Two same-type variables are equal (current copies). *)
+
+val unchanged : b -> Model.var -> Bdd.t
+(** The variable keeps its value across the transition. *)
+
+val keep_all_but : b -> Model.var list -> Bdd.t
+(** Frame condition: every declared variable not listed is unchanged. *)
+
+(** {1 Accumulating the model} *)
+
+val add_space : b -> Bdd.t -> unit
+(** Conjoin a state-space invariant (e.g. an [INVAR] constraint): the
+    model's [space] — and hence the initial states and both endpoints
+    of every transition — is restricted to it. *)
+
+val add_init : b -> Bdd.t -> unit
+(** Conjoin a constraint on initial states. *)
+
+val add_trans : b -> Bdd.t -> unit
+(** Conjoin a transition constraint (may mention both copies). *)
+
+val add_trans_case : b -> Bdd.t -> unit
+(** Disjoin a transition alternative: the final relation is
+    [conj add_trans * /\ disj add_trans_case *] (the disjunctive part
+    is ignored when no case was added).  Convenient for interleaving
+    models: one case per process/gate. *)
+
+val add_fairness : b -> Bdd.t -> unit
+(** Add a fairness constraint (a state set to be visited infinitely
+    often). *)
+
+val add_label : b -> string -> Bdd.t -> unit
+(** Name an atomic proposition for use by formula parsers and
+    printers. *)
+
+val label_all_bools : b -> unit
+(** Add a label for every declared boolean variable, named after it. *)
+
+val build : b -> Model.t
+(** Seal the model.  The builder can keep being used afterwards (e.g.
+    to build a variant), but this is rarely useful. *)
+
+val build_partitioned : b -> Model.t
+(** Like {!build}, but install the accumulated [add_trans] conjuncts
+    (plus, if any, the disjunction of the [add_trans_case]s as one
+    extra cluster) as a conjunctively partitioned transition relation
+    with early quantification — see {!Model.with_partition}. *)
+
+val totalize : Model.t -> Model.t
+(** Add a self-loop to every deadlocked state, making the transition
+    relation total (required by CTL semantics). *)

@@ -1,0 +1,7 @@
+(** Symbolic Kripke structures: the model representation ({!Model},
+    re-exported here), the imperative {!Builder}, and execution
+    {!Trace}s. *)
+
+include Model
+module Builder = Builder
+module Trace = Trace

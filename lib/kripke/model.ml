@@ -1,0 +1,285 @@
+type vtype =
+  | Bool
+  | Enum of string list
+  | Range of int * int
+
+type var = {
+  var_name : string;
+  vtype : vtype;
+  bits : int array;
+}
+
+type state = bool array
+
+type value = B of bool | S of string | I of int
+
+(* One step of an early-quantification schedule: conjoin [cluster],
+   then existentially quantify [quant] (variables that occur in no
+   later cluster). *)
+type schedule_step = {
+  cluster : Bdd.t;
+  quant : Bdd.t;
+}
+
+type t = {
+  man : Bdd.man;
+  vars : var array;
+  nbits : int;
+  space : Bdd.t;
+  init : Bdd.t;
+  trans : Bdd.t;
+  pre_schedule : schedule_step list option;
+  post_schedule : schedule_step list option;
+  fairness : Bdd.t list;
+  labels : (string * Bdd.t) list;
+}
+
+let cardinal = function
+  | Bool -> 2
+  | Enum vs -> List.length vs
+  | Range (lo, hi) -> hi - lo + 1
+
+let width ty =
+  let n = cardinal ty in
+  if n <= 0 then invalid_arg "Kripke.width: empty domain";
+  let rec bits_for k acc = if k <= 1 then max acc 1 else bits_for ((k + 1) / 2) (acc + 1) in
+  if n = 1 then 1 else bits_for n 0
+
+let mk_var ~name ~vtype ~first_bit =
+  if cardinal vtype <= 0 then invalid_arg "Kripke.mk_var: empty domain";
+  let w = width vtype in
+  { var_name = name; vtype; bits = Array.init w (fun i -> first_bit + i) }
+
+let with_fairness m fairness =
+  { m with fairness = List.map (Bdd.and_ m.man m.space) fairness }
+
+let cur_bit m b = Bdd.var m.man (2 * b)
+let nxt_bit m b = Bdd.var m.man ((2 * b) + 1)
+let prime m f = Bdd.rename m.man f (fun v -> v + 1)
+let unprime m f = Bdd.rename m.man f (fun v -> v - 1)
+
+let cur_cube_of man nbits = Bdd.cube man (List.init nbits (fun b -> 2 * b))
+let nxt_cube_of man nbits = Bdd.cube man (List.init nbits (fun b -> (2 * b) + 1))
+
+let cur_cube m = cur_cube_of m.man m.nbits
+let nxt_cube m = nxt_cube_of m.man m.nbits
+
+(* Encoding of "variable (copy) has value index i" as a cube. *)
+let bits_encode man bits ~primed i =
+  let lits =
+    Array.to_list bits
+    |> List.mapi (fun k b ->
+           let bv = (2 * b) + if primed then 1 else 0 in
+           if i land (1 lsl k) <> 0 then Bdd.var man bv else Bdd.nvar man bv)
+  in
+  Bdd.conj man lits
+
+(* Valid-encoding constraint for one variable (current copy). *)
+let var_space man v =
+  let n = cardinal v.vtype in
+  if n = 1 lsl Array.length v.bits then Bdd.one man
+  else
+    Bdd.disj man
+      (List.init n (fun i -> bits_encode man v.bits ~primed:false i))
+
+let make ~man ~vars ~nbits ?space ~init ~trans ?(fairness = []) ?(labels = [])
+    () =
+  let vars = Array.of_list vars in
+  let declared =
+    Array.to_list vars
+    |> List.concat_map (fun v -> Array.to_list v.bits)
+    |> List.sort_uniq Stdlib.compare
+  in
+  if List.exists (fun b -> b < 0 || b >= nbits) declared then
+    invalid_arg "Kripke.make: variable bit out of range";
+  let enc_space =
+    Array.fold_left (fun acc v -> Bdd.and_ man acc (var_space man v))
+      (Bdd.one man) vars
+  in
+  let space =
+    match space with None -> enc_space | Some s -> Bdd.and_ man s enc_space
+  in
+  let space' =
+    (* prime: shift every current var up by one *)
+    Bdd.rename man space (fun v -> v + 1)
+  in
+  let trans = Bdd.conj man [ trans; space; space' ] in
+  let init = Bdd.and_ man init space in
+  let fairness = List.map (Bdd.and_ man space) fairness in
+  {
+    man; vars; nbits; space; init; trans;
+    pre_schedule = None; post_schedule = None;
+    fairness; labels;
+  }
+
+(* Eliminate variables cluster by cluster: each step conjoins its
+   cluster and immediately quantifies the variables no later cluster
+   mentions — the standard early-quantification image computation for
+   conjunctively partitioned transition relations. *)
+let image_with_schedule man schedule operand =
+  List.fold_left
+    (fun work step -> Bdd.and_exists man step.quant step.cluster work)
+    operand schedule
+
+(* Build the schedule for eliminating the variables selected by
+   [relevant] (parity of the BDD variable index distinguishes the
+   copies), processing clusters in the given order. *)
+let make_schedule man ~relevant ~all_cube clusters =
+  let var_sets = List.map (fun c -> Bdd.support c) clusters in
+  (* Variables still alive after position i: union of supports of the
+     clusters after it. *)
+  let rec schedules clusters var_sets =
+    match (clusters, var_sets) with
+    | [], [] -> []
+    | c :: cs, vs :: vss ->
+      let later = List.concat vss in
+      let mine =
+        List.filter
+          (fun v -> relevant v && not (List.mem v later))
+          vs
+      in
+      { cluster = c; quant = Bdd.cube man mine } :: schedules cs vss
+    | _, _ -> assert false
+  in
+  match clusters with
+  | [] -> [ { cluster = Bdd.one man; quant = all_cube } ]
+  | _ :: _ ->
+    let steps = schedules clusters var_sets in
+    (* Relevant variables appearing in no cluster at all (e.g. a frame
+       variable of the operand) must still be eliminated: fold them
+       into a final step. *)
+    let covered = List.concat var_sets in
+    let missing =
+      Bdd.support all_cube
+      |> List.filter (fun v -> not (List.mem v covered))
+    in
+    if missing = [] then steps
+    else steps @ [ { cluster = Bdd.one man; quant = Bdd.cube man missing } ]
+
+let with_partition m clusters =
+  let check =
+    Bdd.conj m.man
+      (clusters @ [ m.space; Bdd.rename m.man m.space (fun v -> v + 1) ])
+  in
+  if not (Bdd.equal check m.trans) then
+    invalid_arg
+      "Kripke.with_partition: clusters do not conjoin to the transition        relation";
+  let space' = Bdd.rename m.man m.space (fun v -> v + 1) in
+  let parts = m.space :: space' :: clusters in
+  let pre_schedule =
+    make_schedule m.man
+      ~relevant:(fun v -> v mod 2 = 1)
+      ~all_cube:(nxt_cube_of m.man m.nbits)
+      parts
+  in
+  let post_schedule =
+    make_schedule m.man
+      ~relevant:(fun v -> v mod 2 = 0)
+      ~all_cube:(cur_cube_of m.man m.nbits)
+      parts
+  in
+  { m with pre_schedule = Some pre_schedule; post_schedule = Some post_schedule }
+
+let partitioned m = m.pre_schedule <> None
+
+let pre m s =
+  match m.pre_schedule with
+  | Some schedule -> image_with_schedule m.man schedule (prime m s)
+  | None ->
+    let s' = prime m s in
+    Bdd.and_exists m.man (nxt_cube m) m.trans s'
+
+let post m s =
+  match m.post_schedule with
+  | Some schedule -> unprime m (image_with_schedule m.man schedule s)
+  | None ->
+    let img = Bdd.and_exists m.man (cur_cube m) m.trans s in
+    unprime m img
+
+let reachable m =
+  let rec go r =
+    let r' = Bdd.or_ m.man r (post m r) in
+    if Bdd.equal r r' then r else go r'
+  in
+  go m.init
+
+let deadlocks m =
+  Bdd.diff m.man m.space (pre m m.space)
+
+let count_states m set = Bdd.sat_count set (2 * m.nbits) /. Float.pow 2.0 (float_of_int m.nbits)
+
+let var_by_name m name =
+  match Array.find_opt (fun v -> String.equal v.var_name name) m.vars with
+  | Some v -> v
+  | None -> raise Not_found
+
+let label m name = List.assoc name m.labels
+
+let value_of_state v (st : state) =
+  let idx =
+    Array.to_list v.bits
+    |> List.mapi (fun k b -> if st.(b) then 1 lsl k else 0)
+    |> List.fold_left ( + ) 0
+  in
+  match v.vtype with
+  | Bool -> B (idx <> 0)
+  | Enum names ->
+    (match List.nth_opt names idx with
+    | Some s -> S s
+    | None -> invalid_arg "Kripke.value_of_state: invalid enum encoding")
+  | Range (lo, hi) ->
+    if lo + idx > hi then invalid_arg "Kripke.value_of_state: out of range"
+    else I (lo + idx)
+
+let state_to_bdd m (st : state) =
+  let lits =
+    List.init m.nbits (fun b ->
+        if st.(b) then cur_bit m b else Bdd.not_ m.man (cur_bit m b))
+  in
+  Bdd.conj m.man lits
+
+let pick_state m set =
+  let set = Bdd.and_ m.man set m.space in
+  if Bdd.is_zero set then None
+  else
+    let partial = Bdd.any_sat set in
+    let st = Array.make m.nbits false in
+    List.iter
+      (fun (v, b) ->
+        (* Only current-copy variables are expected in state sets. *)
+        if v mod 2 = 0 then st.(v / 2) <- b)
+      partial;
+    Some st
+
+let pick_successor m st target =
+  let succ = post m (state_to_bdd m st) in
+  pick_state m (Bdd.and_ m.man succ target)
+
+let states_in m set =
+  let set = Bdd.and_ m.man set m.space in
+  let bdd_vars = List.init m.nbits (fun b -> 2 * b) in
+  Bdd.fold_sat set bdd_vars ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
+  |> List.rev
+
+let eval_in_state m set (st : state) =
+  ignore m;
+  Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))
+
+let pp_value ppf = function
+  | B b -> Format.fprintf ppf "%d" (if b then 1 else 0)
+  | S s -> Format.pp_print_string ppf s
+  | I i -> Format.pp_print_int ppf i
+
+let pp_state m ppf st =
+  Array.iter
+    (fun v ->
+      Format.fprintf ppf "%s = %a@," v.var_name pp_value (value_of_state v st))
+    m.vars
+
+let pp_state_diff m ~prev ppf st =
+  Array.iter
+    (fun v ->
+      let old_v = value_of_state v prev and new_v = value_of_state v st in
+      if old_v <> new_v then
+        Format.fprintf ppf "%s = %a@," v.var_name pp_value new_v)
+    m.vars

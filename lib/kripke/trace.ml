@@ -1,0 +1,49 @@
+type t = {
+  prefix : Model.state list;
+  cycle : Model.state list;
+}
+
+let finite states = { prefix = states; cycle = [] }
+let lasso ~prefix ~cycle = { prefix; cycle }
+let length tr = List.length tr.prefix + List.length tr.cycle
+let states tr = tr.prefix @ tr.cycle
+let is_lasso tr = tr.cycle <> []
+
+let nth tr i =
+  let np = List.length tr.prefix in
+  if i < np then List.nth tr.prefix i
+  else
+    match tr.cycle with
+    | [] ->
+      if tr.prefix = [] then invalid_arg "Trace.nth: empty trace"
+      else List.nth tr.prefix (np - 1)
+    | cycle -> List.nth cycle ((i - np) mod List.length cycle)
+
+let append a b =
+  if a.cycle <> [] then invalid_arg "Trace.append: first trace has a cycle";
+  match (List.rev a.prefix, b.prefix) with
+  | [], _ -> b
+  | _, [] -> invalid_arg "Trace.append: second trace is empty"
+  | last :: _, first :: rest ->
+    if last <> first then
+      invalid_arg "Trace.append: traces do not share the junction state";
+    { prefix = a.prefix @ rest; cycle = b.cycle }
+
+let pp m ppf tr =
+  let count = ref 0 in
+  let prev = ref None in
+  let pp_one loop_start st =
+    incr count;
+    if loop_start then Format.fprintf ppf "-- loop starts here --@,";
+    Format.fprintf ppf "state 1.%d:@," !count;
+    Format.fprintf ppf "@[<v 2>  ";
+    (match !prev with
+    | None -> Model.pp_state m ppf st
+    | Some p -> Model.pp_state_diff m ~prev:p ppf st);
+    Format.fprintf ppf "@]@,";
+    prev := Some st
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_one false) tr.prefix;
+  List.iteri (fun i st -> pp_one (i = 0) st) tr.cycle;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,120 @@
+type pos = { line : int; col : int }
+
+type expr = { desc : desc; pos : pos }
+
+and desc =
+  | Etrue
+  | Efalse
+  | Eint of int
+  | Eident of string
+  | Enext of expr
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Eimp of expr * expr
+  | Eiff of expr * expr
+  | Eeq of expr * expr
+  | Eneq of expr * expr
+  | Elt of expr * expr
+  | Ele of expr * expr
+  | Egt of expr * expr
+  | Ege of expr * expr
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Emod of expr * expr
+  | Ein of expr * expr  (** set membership: [e in {a, b}] *)
+  | Eset of expr list
+  | Ecase of (expr * expr) list
+  | Eex of expr
+  | Eef of expr
+  | Eeg of expr
+  | Eax of expr
+  | Eaf of expr
+  | Eag of expr
+  | Eeu of expr * expr
+  | Eau of expr * expr
+
+type dtype =
+  | Tbool
+  | Tenum of string list
+  | Trange of int * int
+  | Tinstance of string * expr list
+      (** a submodule instance: module name and actual parameters *)
+  | Tprocess of string * expr list
+      (** an asynchronously interleaved instance: at each step one
+          process (or the top level) runs while the variables owned by
+          the others stay frozen *)
+
+type assign_kind = Ainit | Anext | Acurrent
+
+type decl =
+  | Dvar of (string * dtype) list
+  | Dassign of (assign_kind * string * expr * pos) list
+  | Dinit of expr
+  | Dtrans of expr
+  | Dinvar of expr
+  | Dfairness of expr
+  | Ddefine of (string * expr * pos) list
+  | Dspec of expr
+
+type module_decl = {
+  mod_name : string;
+  params : string list;
+  decls : decl list;
+  mod_pos : pos;
+}
+
+type program = {
+  modules : module_decl list;  (** [main] must be among them *)
+}
+
+let pp_pos ppf { line; col } = Format.fprintf ppf "line %d, column %d" line col
+
+let rec pp_expr ppf e =
+  let bin op a b = Format.fprintf ppf "(%a %s %a)" pp_expr a op pp_expr b in
+  match e.desc with
+  | Etrue -> Format.pp_print_string ppf "TRUE"
+  | Efalse -> Format.pp_print_string ppf "FALSE"
+  | Eint n -> Format.pp_print_int ppf n
+  | Eident s -> Format.pp_print_string ppf s
+  | Enext a -> Format.fprintf ppf "next(%a)" pp_expr a
+  | Enot a -> Format.fprintf ppf "!%a" pp_expr a
+  | Eand (a, b) -> bin "&" a b
+  | Eor (a, b) -> bin "|" a b
+  | Eimp (a, b) -> bin "->" a b
+  | Eiff (a, b) -> bin "<->" a b
+  | Eeq (a, b) -> bin "=" a b
+  | Eneq (a, b) -> bin "!=" a b
+  | Elt (a, b) -> bin "<" a b
+  | Ele (a, b) -> bin "<=" a b
+  | Egt (a, b) -> bin ">" a b
+  | Ege (a, b) -> bin ">=" a b
+  | Eadd (a, b) -> bin "+" a b
+  | Esub (a, b) -> bin "-" a b
+  | Emod (a, b) -> bin "mod" a b
+  | Ein (a, b) -> bin "in" a b
+  | Eset es ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      es
+  | Ecase bs ->
+    Format.fprintf ppf "case ";
+    List.iter
+      (fun (g, v) -> Format.fprintf ppf "%a : %a; " pp_expr g pp_expr v)
+      bs;
+    Format.fprintf ppf "esac"
+  (* temporal operators are parenthesized so that the rendering
+     re-parses unambiguously next to comparisons: (AG x) = 1 vs
+     AG (x = 1) *)
+  | Eex a -> Format.fprintf ppf "(EX %a)" pp_expr a
+  | Eef a -> Format.fprintf ppf "(EF %a)" pp_expr a
+  | Eeg a -> Format.fprintf ppf "(EG %a)" pp_expr a
+  | Eax a -> Format.fprintf ppf "(AX %a)" pp_expr a
+  | Eaf a -> Format.fprintf ppf "(AF %a)" pp_expr a
+  | Eag a -> Format.fprintf ppf "(AG %a)" pp_expr a
+  | Eeu (a, b) -> Format.fprintf ppf "E [%a U %a]" pp_expr a pp_expr b
+  | Eau (a, b) -> Format.fprintf ppf "A [%a U %a]" pp_expr a pp_expr b
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e

@@ -1,0 +1,36 @@
+(** Compilation of SMV programs to symbolic Kripke structures.
+
+    Semantics:
+    - declared variables whose [next] is unassigned evolve freely;
+    - [next(x) := e] contributes the relation [\/_v (e = v /\ x' = v)];
+      nondeterministic sets make the disjuncts overlap;
+    - [x := e] is an invariant definition ([x = e] in every state);
+    - [INVAR phi] constrains every state ([phi] is conjoined into the
+      initial states and both endpoints of the transition relation);
+    - [TRANS] may mention [next(x)]; other sections may not;
+    - [SPEC] formulas become {!Ctl.t} values whose atoms are the
+      [Pred] state sets of their propositional subexpressions;
+    - every boolean variable is also exported as a label, so the CLI
+      can accept plain CTL formulas over variable names. *)
+
+exception Error of string * Ast.pos option
+(** A type or semantic error, with its source position if known. *)
+
+type compiled = {
+  model : Kripke.t;
+  specs : (string * Ctl.t) list;
+      (** each [SPEC], with its source-like rendering *)
+  defines : (string * Ast.expr) list;
+      (** the [DEFINE] macros, for {!compile_expr} *)
+}
+
+val compile : ?partitioned:bool -> Ast.program -> compiled
+(** With [~partitioned:true] the model uses a conjunctively partitioned
+    transition relation with early quantification (one cluster per
+    [next] assignment / [TRANS] constraint) — see
+    {!Kripke.with_partition}. *)
+
+val compile_expr : compiled -> string -> Ctl.t
+(** Parse and compile an additional specification against a compiled
+    model (the CLI's [--spec] flag).  Raises {!Error}, {!Parser.Error}
+    or {!Lexer.Error}. *)

@@ -1,0 +1,189 @@
+exception Error of string * Ast.pos option
+
+let err ?pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+(* The first dotted segment of a hierarchical name. *)
+let head name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Local names (variables, instances, defines) declared by a module. *)
+let locals_of decls =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Ast.Dvar entries ->
+        List.iter (fun (name, _) -> Hashtbl.replace table name ()) entries
+      | Ast.Ddefine entries ->
+        List.iter (fun (name, _, _) -> Hashtbl.replace table name ()) entries
+      | Ast.Dassign _ | Ast.Dinit _ | Ast.Dtrans _ | Ast.Dinvar _
+      | Ast.Dfairness _ | Ast.Dspec _ ->
+        ())
+    decls;
+  table
+
+(* Rename an identifier of the instantiated module: formal parameters
+   become their (already renamed) actual expressions; local names — and
+   the implicit [running] of process semantics — get the instance
+   prefix; anything else (enumeration constants) is left untouched. *)
+let rename_ident ~subst ~locals ~prefix name =
+  match Hashtbl.find_opt subst name with
+  | Some arg -> arg.Ast.desc
+  | None ->
+    if Hashtbl.mem locals (head name) || String.equal name "running" then
+      Ast.Eident (prefix ^ name)
+    else Ast.Eident name
+
+let rec rename_expr ~subst ~locals ~prefix (e : Ast.expr) =
+  let r = rename_expr ~subst ~locals ~prefix in
+  let desc =
+    match e.Ast.desc with
+    | Ast.Eident name -> rename_ident ~subst ~locals ~prefix name
+    | (Ast.Etrue | Ast.Efalse | Ast.Eint _) as d -> d
+    | Ast.Enext a -> Ast.Enext (r a)
+    | Ast.Enot a -> Ast.Enot (r a)
+    | Ast.Eand (a, b) -> Ast.Eand (r a, r b)
+    | Ast.Eor (a, b) -> Ast.Eor (r a, r b)
+    | Ast.Eimp (a, b) -> Ast.Eimp (r a, r b)
+    | Ast.Eiff (a, b) -> Ast.Eiff (r a, r b)
+    | Ast.Eeq (a, b) -> Ast.Eeq (r a, r b)
+    | Ast.Eneq (a, b) -> Ast.Eneq (r a, r b)
+    | Ast.Elt (a, b) -> Ast.Elt (r a, r b)
+    | Ast.Ele (a, b) -> Ast.Ele (r a, r b)
+    | Ast.Egt (a, b) -> Ast.Egt (r a, r b)
+    | Ast.Ege (a, b) -> Ast.Ege (r a, r b)
+    | Ast.Eadd (a, b) -> Ast.Eadd (r a, r b)
+    | Ast.Esub (a, b) -> Ast.Esub (r a, r b)
+    | Ast.Emod (a, b) -> Ast.Emod (r a, r b)
+    | Ast.Ein (a, b) -> Ast.Ein (r a, r b)
+    | Ast.Eset elems -> Ast.Eset (List.map r elems)
+    | Ast.Ecase branches ->
+      Ast.Ecase (List.map (fun (g, v) -> (r g, r v)) branches)
+    | Ast.Eex a -> Ast.Eex (r a)
+    | Ast.Eef a -> Ast.Eef (r a)
+    | Ast.Eeg a -> Ast.Eeg (r a)
+    | Ast.Eax a -> Ast.Eax (r a)
+    | Ast.Eaf a -> Ast.Eaf (r a)
+    | Ast.Eag a -> Ast.Eag (r a)
+    | Ast.Eeu (a, b) -> Ast.Eeu (r a, r b)
+    | Ast.Eau (a, b) -> Ast.Eau (r a, r b)
+  in
+  { e with Ast.desc = desc }
+
+(* Rename an assignment head: a formal parameter cannot be assigned;
+   locals (possibly dotted into a sub-instance) get the prefix. *)
+let rename_target ~subst ~locals ~prefix name pos =
+  if Hashtbl.mem subst name then
+    err ~pos "cannot assign to formal parameter %s" name;
+  if Hashtbl.mem locals (head name) then prefix ^ name else name
+
+type unit_decls = {
+  upath : string;
+  udecls : Ast.decl list;
+}
+
+(* Instantiate a module: returns the declarations owned by the
+   enclosing interleaving unit, and the separate units spawned by
+   [process] instances inside it. *)
+let rec instantiate ~modules ~stack ~prefix ~subst (md : Ast.module_decl) =
+  let locals = locals_of md.Ast.decls in
+  let r = rename_expr ~subst ~locals ~prefix in
+  let find_module mod_name =
+    match
+      List.find_opt (fun m -> String.equal m.Ast.mod_name mod_name) modules
+    with
+    | Some m -> m
+    | None -> err ~pos:md.Ast.mod_pos "unknown module %s" mod_name
+  in
+  let enter name mod_name args =
+    let sub_md = find_module mod_name in
+    if List.mem mod_name stack then
+      err ~pos:sub_md.Ast.mod_pos "recursive instantiation of module %s"
+        mod_name;
+    if List.length args <> List.length sub_md.Ast.params then
+      err ~pos:md.Ast.mod_pos "module %s expects %d parameter(s), got %d"
+        mod_name
+        (List.length sub_md.Ast.params)
+        (List.length args);
+    let sub_subst = Hashtbl.create 8 in
+    List.iter2
+      (fun formal actual -> Hashtbl.replace sub_subst formal (r actual))
+      sub_md.Ast.params args;
+    instantiate ~modules ~stack:(mod_name :: stack)
+      ~prefix:(prefix ^ name ^ ".")
+      ~subst:sub_subst sub_md
+  in
+  List.fold_left
+    (fun (own, units) decl ->
+      match decl with
+      | Ast.Dvar entries ->
+        let plain = ref [] and merged = ref [] and spawned = ref [] in
+        List.iter
+          (fun (name, dtype) ->
+            match dtype with
+            | Ast.Tinstance (mod_name, args) ->
+              let sub_own, sub_units = enter name mod_name args in
+              merged := !merged @ sub_own;
+              spawned := !spawned @ sub_units
+            | Ast.Tprocess (mod_name, args) ->
+              let sub_own, sub_units = enter name mod_name args in
+              spawned :=
+                !spawned
+                @ ({ upath = prefix ^ name; udecls = sub_own } :: sub_units)
+            | Ast.Tbool | Ast.Tenum _ | Ast.Trange _ ->
+              plain := (prefix ^ name, dtype) :: !plain)
+          entries;
+        let own_vars =
+          match List.rev !plain with [] -> [] | vs -> [ Ast.Dvar vs ]
+        in
+        (own @ own_vars @ !merged, units @ !spawned)
+      | Ast.Dassign assigns ->
+        let d =
+          Ast.Dassign
+            (List.map
+               (fun (kind, name, rhs, pos) ->
+                 (kind, rename_target ~subst ~locals ~prefix name pos, r rhs,
+                  pos))
+               assigns)
+        in
+        (own @ [ d ], units)
+      | Ast.Dinit e -> (own @ [ Ast.Dinit (r e) ], units)
+      | Ast.Dtrans e -> (own @ [ Ast.Dtrans (r e) ], units)
+      | Ast.Dinvar e -> (own @ [ Ast.Dinvar (r e) ], units)
+      | Ast.Dfairness e -> (own @ [ Ast.Dfairness (r e) ], units)
+      | Ast.Dspec e -> (own @ [ Ast.Dspec (r e) ], units)
+      | Ast.Ddefine entries ->
+        let d =
+          Ast.Ddefine
+            (List.map
+               (fun (name, body, pos) -> (prefix ^ name, r body, pos))
+               entries)
+        in
+        (own @ [ d ], units))
+    ([], []) md.Ast.decls
+
+let flatten_units (program : Ast.program) =
+  let modules = program.Ast.modules in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem seen m.Ast.mod_name then
+        err ~pos:m.Ast.mod_pos "duplicate module %s" m.Ast.mod_name;
+      Hashtbl.replace seen m.Ast.mod_name ())
+    modules;
+  match
+    List.find_opt (fun m -> String.equal m.Ast.mod_name "main") modules
+  with
+  | None -> err "program has no module main"
+  | Some main ->
+    if main.Ast.params <> [] then
+      err ~pos:main.Ast.mod_pos "module main takes no parameters";
+    let own, units =
+      instantiate ~modules ~stack:[ "main" ] ~prefix:""
+        ~subst:(Hashtbl.create 1) main
+    in
+    { upath = ""; udecls = own } :: units
+
+let flatten program =
+  List.concat_map (fun u -> u.udecls) (flatten_units program)

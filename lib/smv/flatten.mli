@@ -1,0 +1,33 @@
+(** Module instantiation by flattening.
+
+    SMV programs are hierarchies of parameterised [MODULE]s; the
+    semantics is obtained by textually inlining every instance: the
+    local names of an instance [m] declared in the parent become
+    [m.name], formal parameters are replaced by the (renamed) actual
+    argument expressions, and all sections (assignments, constraints,
+    fairness, specifications) are merged into one flat module rooted at
+    [main].  Enumeration constants live in a single global namespace
+    and are not prefixed. *)
+
+exception Error of string * Ast.pos option
+(** Unknown module, arity mismatch, recursive instantiation, missing
+    [main], or parameters on [main]. *)
+
+type unit_decls = {
+  upath : string;  (** ["" ] for the top level, the instance path
+                       (e.g. ["p0"]) for a [process] *)
+  udecls : Ast.decl list;
+}
+(** One interleaving unit: the top level, or a [process] instance.
+    Declarations of plain (synchronous) instances are merged into
+    their enclosing unit. *)
+
+val flatten_units : Ast.program -> unit_decls list
+(** Elaborate [main]: the top-level unit first, then one unit per
+    [process] instance (transitively).  Inside a process body the
+    implicit identifier [running] is renamed to [<path>.running]; the
+    compiler binds it to "this process is selected". *)
+
+val flatten : Ast.program -> Ast.decl list
+(** All units' declarations concatenated (the synchronous view; only
+    correct when there are no [process] instances). *)

@@ -1,0 +1,232 @@
+type token =
+  | MODULE
+  | VAR
+  | ASSIGN
+  | INIT
+  | TRANS
+  | INVAR
+  | FAIRNESS
+  | DEFINE
+  | SPEC
+  | KW_init
+  | KW_next
+  | CASE
+  | ESAC
+  | BOOLEAN
+  | TRUE
+  | FALSE
+  | EX
+  | EF
+  | EG
+  | AX
+  | AF
+  | AG
+  | BIG_E
+  | BIG_A
+  | BIG_U
+  | IDENT of string
+  | INT of int
+  | COLON
+  | SEMI
+  | BECOMES
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | KW_mod
+  | KW_in
+  | KW_process
+  | NOT
+  | AND
+  | OR
+  | IMP
+  | IFF
+  | EOF
+
+exception Error of string * Ast.pos
+
+let keyword = function
+  | "MODULE" -> Some MODULE
+  | "VAR" -> Some VAR
+  | "ASSIGN" -> Some ASSIGN
+  | "INIT" -> Some INIT
+  | "TRANS" -> Some TRANS
+  | "INVAR" -> Some INVAR
+  | "FAIRNESS" -> Some FAIRNESS
+  | "DEFINE" -> Some DEFINE
+  | "SPEC" -> Some SPEC
+  | "init" -> Some KW_init
+  | "next" -> Some KW_next
+  | "case" -> Some CASE
+  | "esac" -> Some ESAC
+  | "mod" -> Some KW_mod
+  | "in" -> Some KW_in
+  | "process" -> Some KW_process
+  | "boolean" -> Some BOOLEAN
+  | "TRUE" -> Some TRUE
+  | "FALSE" -> Some FALSE
+  | "EX" -> Some EX
+  | "EF" -> Some EF
+  | "EG" -> Some EG
+  | "AX" -> Some AX
+  | "AF" -> Some AF
+  | "AG" -> Some AG
+  | "E" -> Some BIG_E
+  | "A" -> Some BIG_A
+  | "U" -> Some BIG_U
+  | _ -> None
+
+let describe = function
+  | MODULE -> "'MODULE'"
+  | VAR -> "'VAR'"
+  | ASSIGN -> "'ASSIGN'"
+  | INIT -> "'INIT'"
+  | TRANS -> "'TRANS'"
+  | INVAR -> "'INVAR'"
+  | FAIRNESS -> "'FAIRNESS'"
+  | DEFINE -> "'DEFINE'"
+  | SPEC -> "'SPEC'"
+  | KW_init -> "'init'"
+  | KW_next -> "'next'"
+  | CASE -> "'case'"
+  | ESAC -> "'esac'"
+  | BOOLEAN -> "'boolean'"
+  | TRUE -> "'TRUE'"
+  | FALSE -> "'FALSE'"
+  | EX -> "'EX'"
+  | EF -> "'EF'"
+  | EG -> "'EG'"
+  | AX -> "'AX'"
+  | AF -> "'AF'"
+  | AG -> "'AG'"
+  | BIG_E -> "'E'"
+  | BIG_A -> "'A'"
+  | BIG_U -> "'U'"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | COLON -> "':'"
+  | SEMI -> "';'"
+  | BECOMES -> "':='"
+  | EQ -> "'='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACK -> "'['"
+  | RBRACK -> "']'"
+  | COMMA -> "','"
+  | DOTDOT -> "'..'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | KW_mod -> "'mod'"
+  | KW_in -> "'in'"
+  | KW_process -> "'process'"
+  | NOT -> "'!'"
+  | AND -> "'&'"
+  | OR -> "'|'"
+  | IMP -> "'->'"
+  | IFF -> "'<->'"
+  | EOF -> "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let line = ref 1 and bol = ref 0 in
+  let pos i = { Ast.line = !line; col = i - !bol + 1 } in
+  let rec go i acc =
+    if i >= n then List.rev ((EOF, pos i) :: acc)
+    else
+      let c = input.[i] in
+      if c = '\n' then begin
+        incr line;
+        bol := i + 1;
+        go (i + 1) acc
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1) acc
+      else if c = '-' && i + 1 < n && input.[i + 1] = '-' then begin
+        (* comment to end of line *)
+        let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+        go (skip (i + 2)) acc
+      end
+      else if c = '-' && i + 1 < n && input.[i + 1] = '>' then
+        go (i + 2) ((IMP, pos i) :: acc)
+      else if c = '-' then go (i + 1) ((MINUS, pos i) :: acc)
+      else if c = '+' then go (i + 1) ((PLUS, pos i) :: acc)
+      else if c = '<' && i + 2 < n && input.[i + 1] = '-' && input.[i + 2] = '>'
+      then go (i + 3) ((IFF, pos i) :: acc)
+      else if c = '<' && i + 1 < n && input.[i + 1] = '=' then
+        go (i + 2) ((LE, pos i) :: acc)
+      else if c = '<' then go (i + 1) ((LT, pos i) :: acc)
+      else if c = '>' && i + 1 < n && input.[i + 1] = '=' then
+        go (i + 2) ((GE, pos i) :: acc)
+      else if c = '>' then go (i + 1) ((GT, pos i) :: acc)
+      else if c = '!' && i + 1 < n && input.[i + 1] = '=' then
+        go (i + 2) ((NEQ, pos i) :: acc)
+      else if c = '!' then go (i + 1) ((NOT, pos i) :: acc)
+      else if c = ':' && i + 1 < n && input.[i + 1] = '=' then
+        go (i + 2) ((BECOMES, pos i) :: acc)
+      else if c = ':' then go (i + 1) ((COLON, pos i) :: acc)
+      else if c = ';' then go (i + 1) ((SEMI, pos i) :: acc)
+      else if c = '=' then go (i + 1) ((EQ, pos i) :: acc)
+      else if c = '{' then go (i + 1) ((LBRACE, pos i) :: acc)
+      else if c = '}' then go (i + 1) ((RBRACE, pos i) :: acc)
+      else if c = '(' then go (i + 1) ((LPAREN, pos i) :: acc)
+      else if c = ')' then go (i + 1) ((RPAREN, pos i) :: acc)
+      else if c = '[' then go (i + 1) ((LBRACK, pos i) :: acc)
+      else if c = ']' then go (i + 1) ((RBRACK, pos i) :: acc)
+      else if c = ',' then go (i + 1) ((COMMA, pos i) :: acc)
+      else if c = '&' then go (i + 1) ((AND, pos i) :: acc)
+      else if c = '|' then go (i + 1) ((OR, pos i) :: acc)
+      else if c = '.' && i + 1 < n && input.[i + 1] = '.' then
+        go (i + 2) ((DOTDOT, pos i) :: acc)
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit input.[!j] do incr j done;
+        let value = int_of_string (String.sub input i (!j - i)) in
+        go !j ((INT value, pos i) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        (* Identifiers may contain '.' (hierarchical names) and '-'
+           (signal names) but must not swallow "->" or "..". *)
+        while
+          !j < n
+          && is_ident_char input.[!j]
+          && not (input.[!j] = '-' && !j + 1 < n && input.[!j + 1] = '>')
+          && not (input.[!j] = '-' && !j + 1 < n && input.[!j + 1] = '-')
+          && not (input.[!j] = '.' && !j + 1 < n && input.[!j + 1] = '.')
+        do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let tok = match keyword word with Some t -> t | None -> IDENT word in
+        go !j ((tok, pos i) :: acc)
+      end
+      else
+        raise (Error (Printf.sprintf "unexpected character %C" c, pos i))
+  in
+  go 0 []

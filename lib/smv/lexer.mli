@@ -1,0 +1,69 @@
+(** Tokenizer for the SMV input language.
+
+    Comments run from [--] to end of line.  Keywords (including the
+    temporal operators [EX], [AG], ..., and the single letters [A],
+    [E], [U]) are reserved and cannot be used as identifiers. *)
+
+type token =
+  | MODULE
+  | VAR
+  | ASSIGN
+  | INIT
+  | TRANS
+  | INVAR
+  | FAIRNESS
+  | DEFINE
+  | SPEC
+  | KW_init  (** lowercase [init], the assignment head *)
+  | KW_next
+  | CASE
+  | ESAC
+  | BOOLEAN
+  | TRUE
+  | FALSE
+  | EX
+  | EF
+  | EG
+  | AX
+  | AF
+  | AG
+  | BIG_E
+  | BIG_A
+  | BIG_U
+  | IDENT of string
+  | INT of int
+  | COLON
+  | SEMI
+  | BECOMES  (** [:=] *)
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | COMMA
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | KW_mod
+  | KW_in
+  | KW_process
+  | NOT
+  | AND
+  | OR
+  | IMP
+  | IFF
+  | EOF
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> (token * Ast.pos) list
+(** Raises {!Error} on an unrecognised character. *)
+
+val describe : token -> string

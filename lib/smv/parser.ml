@@ -1,0 +1,404 @@
+exception Error of string * Ast.pos
+
+type stream = { mutable toks : (Lexer.token * Ast.pos) list }
+
+let peek s =
+  match s.toks with
+  | [] -> (Lexer.EOF, { Ast.line = 0; col = 0 })
+  | t :: _ -> t
+
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let fail_at pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+let expect s tok =
+  let got, pos = peek s in
+  if got = tok then advance s
+  else
+    fail_at pos "expected %s but found %s" (Lexer.describe tok)
+      (Lexer.describe got)
+
+let ident s =
+  match peek s with
+  | Lexer.IDENT name, _ ->
+    advance s;
+    name
+  | tok, pos -> fail_at pos "expected an identifier, found %s" (Lexer.describe tok)
+
+let mk pos desc = { Ast.desc; pos }
+
+(* ------------------------------------------------------------------ *)
+(* Expressions.                                                        *)
+
+let rec p_iff s =
+  let a = p_imp s in
+  match peek s with
+  | Lexer.IFF, pos ->
+    advance s;
+    mk pos (Ast.Eiff (a, p_iff s))
+  | _ -> a
+
+and p_imp s =
+  let a = p_or s in
+  match peek s with
+  | Lexer.IMP, pos ->
+    advance s;
+    mk pos (Ast.Eimp (a, p_imp s))
+  | _ -> a
+
+and p_or s =
+  let rec loop a =
+    match peek s with
+    | Lexer.OR, pos ->
+      advance s;
+      loop (mk pos (Ast.Eor (a, p_and s)))
+    | _ -> a
+  in
+  loop (p_and s)
+
+and p_and s =
+  let rec loop a =
+    match peek s with
+    | Lexer.AND, pos ->
+      advance s;
+      loop (mk pos (Ast.Eand (a, p_cmp s)))
+    | _ -> a
+  in
+  loop (p_cmp s)
+
+and p_cmp s =
+  let a = p_add s in
+  let binop ctor =
+    let _, pos = peek s in
+    advance s;
+    mk pos (ctor a (p_add s))
+  in
+  match peek s with
+  | Lexer.EQ, _ -> binop (fun a b -> Ast.Eeq (a, b))
+  | Lexer.NEQ, _ -> binop (fun a b -> Ast.Eneq (a, b))
+  | Lexer.LT, _ -> binop (fun a b -> Ast.Elt (a, b))
+  | Lexer.LE, _ -> binop (fun a b -> Ast.Ele (a, b))
+  | Lexer.GT, _ -> binop (fun a b -> Ast.Egt (a, b))
+  | Lexer.GE, _ -> binop (fun a b -> Ast.Ege (a, b))
+  | Lexer.KW_in, _ -> binop (fun a b -> Ast.Ein (a, b))
+  | _ -> a
+
+and p_add s =
+  let rec loop a =
+    match peek s with
+    | Lexer.PLUS, pos ->
+      advance s;
+      loop (mk pos (Ast.Eadd (a, p_unary s)))
+    | Lexer.MINUS, pos ->
+      advance s;
+      loop (mk pos (Ast.Esub (a, p_unary s)))
+    | Lexer.KW_mod, pos ->
+      advance s;
+      loop (mk pos (Ast.Emod (a, p_unary s)))
+    | _ -> a
+  in
+  loop (p_unary s)
+
+and p_unary s =
+  let tok, pos = peek s in
+  let unary ctor =
+    advance s;
+    mk pos (ctor (p_unary s))
+  in
+  (* Temporal operators take a whole comparison as operand, so that
+     "AX n = 0" reads as AX (n = 0). *)
+  let temporal ctor =
+    advance s;
+    mk pos (ctor (p_cmp s))
+  in
+  match tok with
+  | Lexer.NOT -> unary (fun e -> Ast.Enot e)
+  | Lexer.EX -> temporal (fun e -> Ast.Eex e)
+  | Lexer.EF -> temporal (fun e -> Ast.Eef e)
+  | Lexer.EG -> temporal (fun e -> Ast.Eeg e)
+  | Lexer.AX -> temporal (fun e -> Ast.Eax e)
+  | Lexer.AF -> temporal (fun e -> Ast.Eaf e)
+  | Lexer.AG -> temporal (fun e -> Ast.Eag e)
+  | Lexer.BIG_E ->
+    advance s;
+    let a, b = p_until s in
+    mk pos (Ast.Eeu (a, b))
+  | Lexer.BIG_A ->
+    advance s;
+    let a, b = p_until s in
+    mk pos (Ast.Eau (a, b))
+  | Lexer.MODULE | Lexer.VAR | Lexer.ASSIGN | Lexer.INIT | Lexer.TRANS
+  | Lexer.INVAR | Lexer.FAIRNESS | Lexer.DEFINE | Lexer.SPEC | Lexer.KW_init
+  | Lexer.KW_next | Lexer.CASE | Lexer.ESAC | Lexer.BOOLEAN | Lexer.TRUE
+  | Lexer.FALSE | Lexer.BIG_U | Lexer.IDENT _ | Lexer.INT _ | Lexer.COLON
+  | Lexer.SEMI | Lexer.BECOMES | Lexer.EQ | Lexer.NEQ | Lexer.LT | Lexer.LE
+  | Lexer.GT | Lexer.GE | Lexer.LBRACE | Lexer.RBRACE | Lexer.LPAREN
+  | Lexer.RPAREN | Lexer.LBRACK | Lexer.RBRACK | Lexer.COMMA | Lexer.DOTDOT
+  | Lexer.PLUS | Lexer.MINUS | Lexer.KW_mod | Lexer.KW_in
+  | Lexer.KW_process | Lexer.AND | Lexer.OR | Lexer.IMP | Lexer.IFF
+  | Lexer.EOF ->
+    p_primary s
+
+and p_until s =
+  expect s Lexer.LBRACK;
+  let a = p_iff s in
+  expect s Lexer.BIG_U;
+  let b = p_iff s in
+  expect s Lexer.RBRACK;
+  (a, b)
+
+and p_primary s =
+  let tok, pos = peek s in
+  match tok with
+  | Lexer.TRUE ->
+    advance s;
+    mk pos Ast.Etrue
+  | Lexer.FALSE ->
+    advance s;
+    mk pos Ast.Efalse
+  | Lexer.INT n ->
+    advance s;
+    mk pos (Ast.Eint n)
+  | Lexer.IDENT name ->
+    advance s;
+    mk pos (Ast.Eident name)
+  | Lexer.KW_next ->
+    advance s;
+    expect s Lexer.LPAREN;
+    let e = p_iff s in
+    expect s Lexer.RPAREN;
+    mk pos (Ast.Enext e)
+  | Lexer.LPAREN ->
+    advance s;
+    let e = p_iff s in
+    expect s Lexer.RPAREN;
+    e
+  | Lexer.LBRACE ->
+    advance s;
+    let rec elems acc =
+      let e = p_iff s in
+      match peek s with
+      | Lexer.COMMA, _ ->
+        advance s;
+        elems (e :: acc)
+      | _ ->
+        expect s Lexer.RBRACE;
+        List.rev (e :: acc)
+    in
+    mk pos (Ast.Eset (elems []))
+  | Lexer.CASE ->
+    advance s;
+    let rec branches acc =
+      match peek s with
+      | Lexer.ESAC, _ ->
+        advance s;
+        List.rev acc
+      | _ ->
+        let guard = p_iff s in
+        expect s Lexer.COLON;
+        let value = p_iff s in
+        expect s Lexer.SEMI;
+        branches ((guard, value) :: acc)
+    in
+    let bs = branches [] in
+    if bs = [] then fail_at pos "empty case expression";
+    mk pos (Ast.Ecase bs)
+  | Lexer.MODULE | Lexer.VAR | Lexer.ASSIGN | Lexer.INIT | Lexer.TRANS
+  | Lexer.INVAR | Lexer.FAIRNESS | Lexer.DEFINE | Lexer.SPEC | Lexer.KW_init
+  | Lexer.ESAC | Lexer.BOOLEAN | Lexer.EX | Lexer.EF | Lexer.EG | Lexer.AX
+  | Lexer.AF | Lexer.AG | Lexer.BIG_E | Lexer.BIG_A | Lexer.BIG_U
+  | Lexer.COLON | Lexer.SEMI | Lexer.BECOMES | Lexer.EQ | Lexer.NEQ
+  | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE | Lexer.RBRACE | Lexer.RPAREN
+  | Lexer.LBRACK | Lexer.RBRACK | Lexer.COMMA | Lexer.DOTDOT | Lexer.PLUS
+  | Lexer.MINUS | Lexer.KW_mod | Lexer.KW_in | Lexer.KW_process | Lexer.NOT
+  | Lexer.AND | Lexer.OR | Lexer.IMP | Lexer.IFF | Lexer.EOF ->
+    fail_at pos "unexpected %s in expression" (Lexer.describe tok)
+
+(* ------------------------------------------------------------------ *)
+(* Declarations.                                                       *)
+
+let rec p_type s =
+  let tok, pos = peek s in
+  match tok with
+  | Lexer.BOOLEAN ->
+    advance s;
+    Ast.Tbool
+  | Lexer.IDENT _ | Lexer.KW_process ->
+    let is_process =
+      match tok with
+      | Lexer.KW_process ->
+        advance s;
+        true
+      | _ -> false
+    in
+    let mod_name = ident s in
+    let args =
+      match peek s with
+      | Lexer.LPAREN, _ ->
+        advance s;
+        let rec args acc =
+          let e = p_iff s in
+          match peek s with
+          | Lexer.COMMA, _ ->
+            advance s;
+            args (e :: acc)
+          | _ ->
+            expect s Lexer.RPAREN;
+            List.rev (e :: acc)
+        in
+        args []
+      | _ -> []
+    in
+    if is_process then Ast.Tprocess (mod_name, args)
+    else Ast.Tinstance (mod_name, args)
+  | Lexer.LBRACE ->
+    advance s;
+    let rec consts acc =
+      let c = ident s in
+      match peek s with
+      | Lexer.COMMA, _ ->
+        advance s;
+        consts (c :: acc)
+      | _ ->
+        expect s Lexer.RBRACE;
+        List.rev (c :: acc)
+    in
+    Ast.Tenum (consts [])
+  | Lexer.INT lo ->
+    advance s;
+    expect s Lexer.DOTDOT;
+    (match peek s with
+    | Lexer.INT hi, _ ->
+      advance s;
+      Ast.Trange (lo, hi)
+    | t, p -> fail_at p "expected an integer, found %s" (Lexer.describe t))
+  | t -> fail_at pos "expected a type, found %s" (Lexer.describe t)
+
+and p_vardecls s =
+  let rec loop acc =
+    match peek s with
+    | Lexer.IDENT name, _ ->
+      advance s;
+      expect s Lexer.COLON;
+      let ty = p_type s in
+      expect s Lexer.SEMI;
+      loop ((name, ty) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let p_assigns s =
+  let rec loop acc =
+    let tok, pos = peek s in
+    match tok with
+    | Lexer.KW_init | Lexer.KW_next ->
+      advance s;
+      expect s Lexer.LPAREN;
+      let name = ident s in
+      expect s Lexer.RPAREN;
+      expect s Lexer.BECOMES;
+      let e = p_iff s in
+      expect s Lexer.SEMI;
+      let kind = if tok = Lexer.KW_init then Ast.Ainit else Ast.Anext in
+      loop ((kind, name, e, pos) :: acc)
+    | Lexer.IDENT name ->
+      advance s;
+      expect s Lexer.BECOMES;
+      let e = p_iff s in
+      expect s Lexer.SEMI;
+      loop ((Ast.Acurrent, name, e, pos) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let p_defines s =
+  let rec loop acc =
+    match peek s with
+    | Lexer.IDENT name, pos ->
+      advance s;
+      expect s Lexer.BECOMES;
+      let e = p_iff s in
+      expect s Lexer.SEMI;
+      loop ((name, e, pos) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let p_decl s =
+  let tok, pos = peek s in
+  match tok with
+  | Lexer.VAR ->
+    advance s;
+    Ast.Dvar (p_vardecls s)
+  | Lexer.DEFINE ->
+    advance s;
+    Ast.Ddefine (p_defines s)
+  | Lexer.ASSIGN ->
+    advance s;
+    Ast.Dassign (p_assigns s)
+  | Lexer.INIT ->
+    advance s;
+    Ast.Dinit (p_iff s)
+  | Lexer.TRANS ->
+    advance s;
+    Ast.Dtrans (p_iff s)
+  | Lexer.INVAR ->
+    advance s;
+    Ast.Dinvar (p_iff s)
+  | Lexer.FAIRNESS ->
+    advance s;
+    Ast.Dfairness (p_iff s)
+  | Lexer.SPEC ->
+    advance s;
+    Ast.Dspec (p_iff s)
+  | t -> fail_at pos "expected a section keyword, found %s" (Lexer.describe t)
+
+let p_module s =
+  let _, mod_pos = peek s in
+  expect s Lexer.MODULE;
+  let mod_name = ident s in
+  let params =
+    match peek s with
+    | Lexer.LPAREN, _ ->
+      advance s;
+      let rec loop acc =
+        let p = ident s in
+        match peek s with
+        | Lexer.COMMA, _ ->
+          advance s;
+          loop (p :: acc)
+        | _ ->
+          expect s Lexer.RPAREN;
+          List.rev (p :: acc)
+      in
+      loop []
+    | _ -> []
+  in
+  let rec decls acc =
+    match peek s with
+    | (Lexer.EOF | Lexer.MODULE), _ -> List.rev acc
+    | _ -> decls (p_decl s :: acc)
+  in
+  { Ast.mod_name; params; decls = decls []; mod_pos }
+
+let program input =
+  let s = { toks = Lexer.tokenize input } in
+  let rec modules acc =
+    match peek s with
+    | Lexer.EOF, _ -> List.rev acc
+    | _ -> modules (p_module s :: acc)
+  in
+  let modules = modules [] in
+  (match modules with
+  | [] ->
+    fail_at { Ast.line = 1; col = 1 } "expected at least one MODULE"
+  | _ :: _ -> ());
+  { Ast.modules }
+
+let expression input =
+  let s = { toks = Lexer.tokenize input } in
+  let e = p_iff s in
+  (match peek s with
+  | Lexer.EOF, _ -> ()
+  | tok, pos -> fail_at pos "trailing %s" (Lexer.describe tok));
+  e

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the SMV subset.
+
+    Expression precedence, loosest to tightest:
+    [<->], [->] (right associative), [|], [&], comparisons
+    ([=], [!=], [<], [<=], [>], [>=]), unary ([!], temporal
+    operators).  [E [f U g]] and [A [f U g]] are primary forms. *)
+
+exception Error of string * Ast.pos
+
+val program : string -> Ast.program
+(** Parse a complete [MODULE main ...] source text; raises {!Error}
+    (or {!Lexer.Error}) on malformed input. *)
+
+val expression : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the CLI's
+    [--spec] flag). *)

@@ -1,0 +1,9 @@
+let () =
+  let { Models.m; _ } = Models.mutex () in
+  match Kripke.states_in m m.Kripke.init with
+  | init :: _ ->
+    let next st = Option.get (Kripke.pick_successor m st m.Kripke.space) in
+    let s2 = next init in
+    let tr = Kripke.Trace.lasso ~prefix:[ init ] ~cycle:[ s2 ] in
+    print_string (Format.asprintf "%a" (Kripke.Trace.pp m) tr)
+  | [] -> ()

@@ -1,0 +1,468 @@
+(* Tests for Section 8: Streett automata and language containment with
+   counterexample extraction. *)
+
+let prop name ?(count = 100) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let ab = [| 'a'; 'b' |]
+
+(* Deterministic automaton over {a,b} remembering the last letter:
+   state 0 = start / after b, state 1 = after a. *)
+let last_letter_tracker ~accept =
+  Automata.Streett.make ~nstates:2 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 1); (0, 1, 0); (1, 0, 1); (1, 1, 0) ]
+    ~accept
+
+(* Accepts everything. *)
+let accept_all =
+  Automata.Streett.make ~nstates:1 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 0); (0, 1, 0) ]
+    ~accept:[]
+
+(* Büchi: infinitely many a's. *)
+let inf_a = last_letter_tracker ~accept:[ ([], [ 1 ]) ]
+
+(* Streett: eventually only a's OR infinitely many b's
+   (pair: inf ⊆ {after-a} or inf ∩ {after-b} ≠ ∅). *)
+let fair_spec = last_letter_tracker ~accept:[ ([ 1 ], [ 0 ]) ]
+
+let test_make_checks () =
+  Alcotest.check_raises "empty alphabet"
+    (Invalid_argument "Streett.make: empty alphabet") (fun () ->
+      ignore
+        (Automata.Streett.make ~nstates:1 ~init:0 ~alphabet:[||] ~delta:[]
+           ~accept:[]));
+  Alcotest.check_raises "bad state"
+    (Invalid_argument "Streett.make: state 7 out of range") (fun () ->
+      ignore
+        (Automata.Streett.make ~nstates:2 ~init:0 ~alphabet:ab
+           ~delta:[ (0, 0, 7) ] ~accept:[]))
+
+let test_determinism_completeness () =
+  Alcotest.(check bool) "tracker deterministic" true
+    (Automata.Streett.is_deterministic inf_a);
+  Alcotest.(check bool) "tracker complete" true
+    (Automata.Streett.is_complete inf_a);
+  let partial =
+    Automata.Streett.make ~nstates:2 ~init:0 ~alphabet:ab
+      ~delta:[ (0, 0, 1) ] ~accept:[]
+  in
+  Alcotest.(check bool) "partial incomplete" false
+    (Automata.Streett.is_complete partial);
+  let completed = Automata.Streett.complete partial in
+  Alcotest.(check bool) "completion complete" true
+    (Automata.Streett.is_complete completed);
+  Alcotest.(check int) "sink added" 3 completed.Automata.Streett.nstates
+
+let test_accepts_lasso_det () =
+  (* (ab)^ω has infinitely many a's. *)
+  Alcotest.(check bool) "(ab)^w in inf_a" true
+    (Automata.Streett.accepts_lasso_det inf_a ~prefix:[] ~cycle:[ 0; 1 ]);
+  (* a b^ω does not. *)
+  Alcotest.(check bool) "a b^w not in inf_a" false
+    (Automata.Streett.accepts_lasso_det inf_a ~prefix:[ 0 ] ~cycle:[ 1 ]);
+  (* b a^ω : eventually only a's satisfies the fairness pair. *)
+  Alcotest.(check bool) "b a^w in fair_spec" true
+    (Automata.Streett.accepts_lasso_det fair_spec ~prefix:[ 1 ] ~cycle:[ 0 ]);
+  (* (aab)^ω : infinitely many b's — also accepted. *)
+  Alcotest.(check bool) "(aab)^w in fair_spec" true
+    (Automata.Streett.accepts_lasso_det fair_spec ~prefix:[] ~cycle:[ 0; 0; 1 ]);
+  (* a^ω rejected by inf-b-under-a... (pair U={1}: inf ⊆ {1} holds!) *)
+  Alcotest.(check bool) "a^w in fair_spec" true
+    (Automata.Streett.accepts_lasso_det fair_spec ~prefix:[] ~cycle:[ 0 ])
+
+let test_run_inf_accepts () =
+  Alcotest.(check bool) "inf {1} in inf_a" true
+    (Automata.Streett.run_inf_accepts inf_a [ 1 ]);
+  Alcotest.(check bool) "inf {0} not in inf_a" false
+    (Automata.Streett.run_inf_accepts inf_a [ 0 ]);
+  Alcotest.(check bool) "empty acceptance accepts" true
+    (Automata.Streett.run_inf_accepts accept_all [ 0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Containment.                                                        *)
+
+let test_containment_holds () =
+  (* L(inf_a) ⊆ L(accept-all). *)
+  match Automata.Containment.contains ~sys:inf_a ~spec:accept_all with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "containment should hold"
+
+let test_containment_fails_with_word () =
+  (* L(accept-all) ⊄ L(inf_a): some word has finitely many a's. *)
+  match Automata.Containment.contains ~sys:accept_all ~spec:inf_a with
+  | Ok () -> Alcotest.fail "containment should fail"
+  | Error ce ->
+    Alcotest.(check bool) "counterexample validates" true
+      (Automata.Containment.check_counterexample ~sys:accept_all ~spec:inf_a ce);
+    (* The word eventually has no 'a': cycle letters are all 'b'. *)
+    Alcotest.(check bool) "cycle avoids a" true
+      (List.for_all (fun c -> c = 'b') ce.Automata.Containment.word_cycle)
+
+let test_containment_streett_pair () =
+  (* accept-all ⊄ fair_spec: need infinitely many a-then-b alternations
+     broken — i.e. a word with inf many b-to-a... the violating words
+     have inf({last-letter states}) ⊄ {after-a} and no after-b
+     infinitely often: impossible... actually any word either has inf
+     many b (inf ∩ {0} ≠ ∅, accepted) or eventually only a
+     (inf ⊆ {1}, accepted).  So containment HOLDS here. *)
+  match Automata.Containment.contains ~sys:accept_all ~spec:fair_spec with
+  | Ok () -> ()
+  | Error ce ->
+    Alcotest.failf "unexpected counterexample (cycle length %d)"
+      (List.length ce.Automata.Containment.word_cycle)
+
+let test_containment_requires_det_spec () =
+  let nondet =
+    Automata.Streett.make ~nstates:2 ~init:0 ~alphabet:ab
+      ~delta:[ (0, 0, 0); (0, 0, 1); (0, 1, 0); (1, 0, 1); (1, 1, 1) ]
+      ~accept:[]
+  in
+  match Automata.Containment.contains ~sys:accept_all ~spec:nondet with
+  | _ -> Alcotest.fail "expected Spec_not_deterministic"
+  | exception Automata.Containment.Spec_not_deterministic -> ()
+
+let test_containment_alphabet_mismatch () =
+  let other =
+    Automata.Streett.make ~nstates:1 ~init:0 ~alphabet:[| 'x'; 'y' |]
+      ~delta:[ (0, 0, 0); (0, 1, 0) ]
+      ~accept:[]
+  in
+  Alcotest.check_raises "alphabet mismatch"
+    (Invalid_argument "Containment.contains: different alphabets") (fun () ->
+      ignore (Automata.Containment.contains ~sys:accept_all ~spec:other))
+
+(* Nondeterministic system: guesses a point after which only b's
+   occur; its language is "finitely many a's". *)
+let finitely_many_a =
+  Automata.Streett.make ~nstates:2 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 0); (0, 1, 0); (0, 1, 1); (1, 1, 1) ]
+    ~accept:[ ([ 1 ], []) ]
+
+let test_nondeterministic_sys () =
+  (* "finitely many a" ⊆ "not infinitely many a" — the spec accepting
+     exactly the words with finitely many a's: complement of inf_a =
+     tracker with pair (inf ⊆ {after-b}). *)
+  let fin_a_spec = last_letter_tracker ~accept:[ ([ 0 ], []) ] in
+  (match Automata.Containment.contains ~sys:finitely_many_a ~spec:fin_a_spec with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "containment should hold");
+  (* But not ⊆ inf_a: witness word is eventually only b. *)
+  match Automata.Containment.contains ~sys:finitely_many_a ~spec:inf_a with
+  | Ok () -> Alcotest.fail "containment should fail"
+  | Error ce ->
+    Alcotest.(check bool) "validates" true
+      (Automata.Containment.check_counterexample ~sys:finitely_many_a
+         ~spec:inf_a ce)
+
+(* ------------------------------------------------------------------ *)
+(* Property: on random deterministic automata, containment verdicts    *)
+(* agree with random-word sampling.                                    *)
+
+let det_automaton_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 4 in
+  let state = int_bound (n - 1) in
+  let* targets = list_repeat (2 * n) state in
+  let delta =
+    List.concat
+      (List.mapi
+         (fun i t ->
+           let s = i / 2 and a = i mod 2 in
+           [ (s, a, t) ])
+         targets)
+  in
+  let subset = list_size (int_bound n) state in
+  let* npairs = int_range 0 2 in
+  let* accept = list_repeat npairs (pair subset subset) in
+  return (Automata.Streett.make ~nstates:n ~init:0 ~alphabet:ab ~delta ~accept)
+
+let word_gen =
+  let open QCheck2.Gen in
+  pair (list_size (int_bound 4) (int_bound 1)) (list_size (int_range 1 4) (int_bound 1))
+
+let prop_containment_vs_sampling =
+  prop "containment verdicts agree with word sampling" ~count:200
+    QCheck2.Gen.(triple det_automaton_gen det_automaton_gen
+                   (list_repeat 20 word_gen))
+    (fun (sys, spec, words) ->
+      match Automata.Containment.contains ~sys ~spec with
+      | Error ce ->
+        Automata.Containment.check_counterexample ~sys ~spec ce
+      | Ok () ->
+        (* No sampled word may separate the languages. *)
+        let csys = Automata.Streett.complete sys in
+        let cspec = Automata.Streett.complete spec in
+        List.for_all
+          (fun (prefix, cycle) ->
+            (not (Automata.Streett.accepts_lasso_det csys ~prefix ~cycle))
+            || Automata.Streett.accepts_lasso_det cspec ~prefix ~cycle)
+          words)
+
+let suite =
+  [
+    Alcotest.test_case "make checks" `Quick test_make_checks;
+    Alcotest.test_case "determinism / completeness" `Quick test_determinism_completeness;
+    Alcotest.test_case "accepts_lasso_det" `Quick test_accepts_lasso_det;
+    Alcotest.test_case "run_inf_accepts" `Quick test_run_inf_accepts;
+    Alcotest.test_case "containment holds" `Quick test_containment_holds;
+    Alcotest.test_case "containment fails with word" `Quick test_containment_fails_with_word;
+    Alcotest.test_case "streett fairness pair" `Quick test_containment_streett_pair;
+    Alcotest.test_case "nondeterministic spec rejected" `Quick test_containment_requires_det_spec;
+    Alcotest.test_case "alphabet mismatch" `Quick test_containment_alphabet_mismatch;
+    Alcotest.test_case "nondeterministic system" `Quick test_nondeterministic_sys;
+    prop_containment_vs_sampling;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rabin automata (Section 8's closing remark).                        *)
+
+(* Deterministic Rabin over {a,b} tracking the last letter:
+   pair ({after-b}, {after-a}): eventually no b AND infinitely many a
+   — i.e. "eventually only a's". *)
+let rabin_eventually_a =
+  Automata.Rabin.make ~nstates:2 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 1); (0, 1, 0); (1, 0, 1); (1, 1, 0) ]
+    ~accept:[ ([ 0 ], [ 1 ]) ]
+
+(* Rabin accepting everything: pair (∅, all). *)
+let rabin_all =
+  Automata.Rabin.make ~nstates:1 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 0); (0, 1, 0) ]
+    ~accept:[ ([], [ 0 ]) ]
+
+let test_rabin_acceptance () =
+  Alcotest.(check bool) "a^w accepted" true
+    (Automata.Rabin.accepts_lasso_det rabin_eventually_a ~prefix:[] ~cycle:[ 0 ]);
+  Alcotest.(check bool) "b a^w accepted" true
+    (Automata.Rabin.accepts_lasso_det rabin_eventually_a ~prefix:[ 1 ] ~cycle:[ 0 ]);
+  Alcotest.(check bool) "(ab)^w rejected" false
+    (Automata.Rabin.accepts_lasso_det rabin_eventually_a ~prefix:[]
+       ~cycle:[ 0; 1 ]);
+  Alcotest.(check bool) "b^w rejected" false
+    (Automata.Rabin.accepts_lasso_det rabin_eventually_a ~prefix:[] ~cycle:[ 1 ])
+
+let test_rabin_run_inf () =
+  Alcotest.(check bool) "inf {1}" true
+    (Automata.Rabin.run_inf_accepts rabin_eventually_a [ 1 ]);
+  Alcotest.(check bool) "inf {0,1}" false
+    (Automata.Rabin.run_inf_accepts rabin_eventually_a [ 0; 1 ]);
+  Alcotest.(check bool) "empty pairs reject" false
+    (Automata.Rabin.run_inf_accepts
+       (Automata.Rabin.make ~nstates:1 ~init:0 ~alphabet:ab
+          ~delta:[ (0, 0, 0); (0, 1, 0) ]
+          ~accept:[])
+       [ 0 ])
+
+let test_rabin_containment_holds () =
+  (* "eventually only a" ⊆ everything. *)
+  match Automata.Rabin.contains ~sys:rabin_eventually_a ~spec:rabin_all with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "containment should hold"
+
+let test_rabin_containment_fails () =
+  (* everything ⊄ "eventually only a": expect a word with b's forever.  *)
+  match Automata.Rabin.contains ~sys:rabin_all ~spec:rabin_eventually_a with
+  | Ok () -> Alcotest.fail "containment should fail"
+  | Error ce ->
+    Alcotest.(check bool) "validates" true
+      (Automata.Rabin.check_counterexample ~sys:rabin_all
+         ~spec:rabin_eventually_a ce);
+    Alcotest.(check bool) "cycle contains a b" true
+      (List.mem 'b' ce.Automata.Containment.word_cycle)
+
+let test_rabin_empty_system () =
+  (* A Rabin automaton with no pairs has the empty language, contained
+     in anything. *)
+  let empty =
+    Automata.Rabin.make ~nstates:1 ~init:0 ~alphabet:ab
+      ~delta:[ (0, 0, 0); (0, 1, 0) ]
+      ~accept:[]
+  in
+  match Automata.Rabin.contains ~sys:empty ~spec:rabin_eventually_a with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "empty language is contained in everything"
+
+(* Rabin/Streett duality on deterministic automata: a lasso word is
+   Rabin-accepted iff it is Streett-rejected for the same pairs. *)
+let prop_rabin_streett_duality =
+  prop "Rabin accepts iff Streett rejects (same pairs)" ~count:200
+    QCheck2.Gen.(pair det_automaton_gen word_gen)
+    (fun (streett, (prefix, cycle)) ->
+      let streett = Automata.Streett.complete streett in
+      let rabin =
+        Automata.Rabin.make
+          ~nstates:streett.Automata.Streett.nstates
+          ~init:streett.Automata.Streett.init
+          ~alphabet:streett.Automata.Streett.alphabet
+          ~delta:
+            (List.concat
+               (List.init streett.Automata.Streett.nstates (fun s ->
+                    List.concat
+                      (List.init 2 (fun a ->
+                           List.map
+                             (fun t -> (s, a, t))
+                             (Automata.Streett.successors streett s a))))))
+          ~accept:
+            (List.map
+               (fun (u, v) ->
+                 (* Streett pair (U,V): inf ⊆ U or inf ∩ V ≠ ∅;
+                    negation: inf ∩ (S\U) ≠ ∅ and inf ∩ V = ∅ —
+                    the Rabin pair (V, S\U). *)
+                 let all = List.init streett.Automata.Streett.nstates Fun.id in
+                 (v, List.filter (fun s -> not (List.mem s u)) all))
+               streett.Automata.Streett.accept)
+      in
+      let s_acc =
+        Automata.Streett.accepts_lasso_det streett ~prefix ~cycle
+      in
+      (* Rabin negation of a conjunction is a disjunction of negated
+         pairs: accepted by [rabin] iff some Streett pair is violated. *)
+      let r_acc = Automata.Rabin.accepts_lasso_det rabin ~prefix ~cycle in
+      (not s_acc) = r_acc)
+
+let rabin_suite =
+  [
+    Alcotest.test_case "rabin acceptance" `Quick test_rabin_acceptance;
+    Alcotest.test_case "rabin run inf" `Quick test_rabin_run_inf;
+    Alcotest.test_case "rabin containment holds" `Quick test_rabin_containment_holds;
+    Alcotest.test_case "rabin containment fails" `Quick test_rabin_containment_fails;
+    Alcotest.test_case "rabin empty system" `Quick test_rabin_empty_system;
+    prop_rabin_streett_duality;
+  ]
+
+let suite = suite @ rabin_suite
+
+(* ------------------------------------------------------------------ *)
+(* Muller automata.                                                    *)
+
+(* Last-letter tracker as a Muller automaton: family selects which
+   infinity behaviours are accepted. *)
+let muller_tracker ~family =
+  Automata.Muller.make ~nstates:2 ~init:0 ~alphabet:ab
+    ~delta:[ (0, 0, 1); (0, 1, 0); (1, 0, 1); (1, 1, 0) ]
+    ~family
+
+(* Accepts "eventually only a" (inf = {after-a}). *)
+let muller_only_a = muller_tracker ~family:[ [ 1 ] ]
+
+(* Accepts "both letters infinitely often" or "only a". *)
+let muller_fair_or_a = muller_tracker ~family:[ [ 0; 1 ]; [ 1 ] ]
+
+let muller_all = muller_tracker ~family:[ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
+
+let test_muller_acceptance () =
+  Alcotest.(check bool) "a^w in only-a" true
+    (Automata.Muller.accepts_lasso_det muller_only_a ~prefix:[] ~cycle:[ 0 ]);
+  Alcotest.(check bool) "(ab)^w not in only-a" false
+    (Automata.Muller.accepts_lasso_det muller_only_a ~prefix:[] ~cycle:[ 0; 1 ]);
+  Alcotest.(check bool) "(ab)^w in fair-or-a" true
+    (Automata.Muller.accepts_lasso_det muller_fair_or_a ~prefix:[] ~cycle:[ 0; 1 ]);
+  Alcotest.(check bool) "b^w not in fair-or-a" false
+    (Automata.Muller.accepts_lasso_det muller_fair_or_a ~prefix:[] ~cycle:[ 1 ])
+
+let test_muller_containment_holds () =
+  match Automata.Muller.contains ~sys:muller_only_a ~spec:muller_fair_or_a with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "only-a ⊆ fair-or-a should hold"
+
+let test_muller_containment_fails () =
+  match Automata.Muller.contains ~sys:muller_all ~spec:muller_fair_or_a with
+  | Ok () -> Alcotest.fail "everything ⊄ fair-or-a"
+  | Error ce ->
+    Alcotest.(check bool) "validates" true
+      (Automata.Muller.check_counterexample ~sys:muller_all
+         ~spec:muller_fair_or_a ce);
+    (* the separating word must end in b's only *)
+    Alcotest.(check bool) "cycle is only b" true
+      (List.for_all (fun c -> c = 'b') ce.Automata.Containment.word_cycle)
+
+let test_muller_spec_too_large () =
+  let big n =
+    Automata.Muller.make ~nstates:n ~init:0 ~alphabet:ab
+      ~delta:
+        (List.concat
+           (List.init n (fun s -> [ (s, 0, (s + 1) mod n); (s, 1, s) ])))
+      ~family:[ List.init n Fun.id ]
+  in
+  match Automata.Muller.contains ~sys:muller_all ~spec:(big 17) with
+  | _ -> Alcotest.fail "expected Spec_too_large"
+  | exception Automata.Muller.Spec_too_large 17 -> ()
+
+(* Muller can express Büchi: inf ∩ F ≠ ∅ = union of all subsets
+   intersecting F; verdicts must agree with the Streett/Büchi route. *)
+let test_muller_buchi_equivalence () =
+  (* Büchi "infinitely many a" over the tracker = Muller family
+     {{1},{0,1}}. *)
+  let muller_inf_a = muller_tracker ~family:[ [ 1 ]; [ 0; 1 ] ] in
+  List.iter
+    (fun (prefix, cycle) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "word agrees (%d,%d)" (List.length prefix)
+           (List.length cycle))
+        (Automata.Streett.accepts_lasso_det inf_a ~prefix ~cycle)
+        (Automata.Muller.accepts_lasso_det muller_inf_a ~prefix ~cycle))
+    [ ([], [ 0 ]); ([], [ 1 ]); ([], [ 0; 1 ]); ([ 0 ], [ 1 ]); ([ 1 ], [ 0 ]) ]
+
+let muller_suite =
+  [
+    Alcotest.test_case "muller acceptance" `Quick test_muller_acceptance;
+    Alcotest.test_case "muller containment holds" `Quick test_muller_containment_holds;
+    Alcotest.test_case "muller containment fails" `Quick test_muller_containment_fails;
+    Alcotest.test_case "muller spec too large" `Quick test_muller_spec_too_large;
+    Alcotest.test_case "muller = buchi on tracker" `Quick test_muller_buchi_equivalence;
+  ]
+
+let suite = suite @ muller_suite
+
+(* ------------------------------------------------------------------ *)
+(* Completion preserves the language (word sampling on deterministic
+   automata).                                                          *)
+
+let prop_completion_preserves_language =
+  prop "completion preserves acceptance on sampled words" ~count:200
+    QCheck2.Gen.(pair det_automaton_gen (list_repeat 10 word_gen))
+    (fun (a, words) ->
+      (* make a partial variant by dropping some transitions, then
+         complete it; on words whose original run exists, verdicts of
+         original-complete and partial-completed agree whenever the
+         partial run never needed a dropped edge.  Simpler invariant:
+         completing an already complete automaton is the identity. *)
+      let completed = Automata.Streett.complete a in
+      let a = Automata.Streett.complete a in
+      List.for_all
+        (fun (prefix, cycle) ->
+          Automata.Streett.accepts_lasso_det a ~prefix ~cycle
+          = Automata.Streett.accepts_lasso_det completed ~prefix ~cycle)
+        words)
+
+let prop_lasso_inf_invariant_under_rotation =
+  prop "lasso acceptance is invariant under cycle rotation" ~count:200
+    QCheck2.Gen.(pair det_automaton_gen word_gen)
+    (fun (a, (prefix, cycle)) ->
+      let a = Automata.Streett.complete a in
+      (* rotating the cycle once while extending the prefix denotes the
+         same word *)
+      match cycle with
+      | [] -> true
+      | c0 :: rest ->
+        let rotated = rest @ [ c0 ] in
+        Automata.Streett.accepts_lasso_det a ~prefix ~cycle
+        = Automata.Streett.accepts_lasso_det a ~prefix:(prefix @ [ c0 ])
+            ~cycle:rotated)
+
+let prop_lasso_unrolling_invariant =
+  prop "lasso acceptance is invariant under cycle unrolling" ~count:200
+    QCheck2.Gen.(pair det_automaton_gen word_gen)
+    (fun (a, (prefix, cycle)) ->
+      let a = Automata.Streett.complete a in
+      Automata.Streett.accepts_lasso_det a ~prefix ~cycle
+      = Automata.Streett.accepts_lasso_det a ~prefix ~cycle:(cycle @ cycle))
+
+let suite =
+  suite
+  @ [
+      prop_completion_preserves_language;
+      prop_lasso_inf_invariant_under_rotation;
+      prop_lasso_unrolling_invariant;
+    ]

@@ -1,0 +1,409 @@
+(* Unit and property tests for the ROBDD package.
+
+   Property tests compare every BDD operation against a brute-force
+   truth-table evaluation of randomly generated boolean expressions over
+   a small variable universe, which exercises canonicity (equivalent
+   expressions must produce physically equal diagrams). *)
+
+let man = Bdd.create ()
+
+(* -------------------------------------------------------------------- *)
+(* Random boolean expressions and their two interpretations.            *)
+
+type expr =
+  | Evar of int
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Exor of expr * expr
+  | Etrue
+  | Efalse
+
+let nvars = 5
+
+let expr_gen =
+  let open QCheck2.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun v -> Evar v) (int_bound (nvars - 1));
+            return Etrue; return Efalse ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [ map (fun v -> Evar v) (int_bound (nvars - 1));
+            map (fun e -> Enot e) (self (n - 1));
+            map2 (fun a b -> Eand (a, b)) sub sub;
+            map2 (fun a b -> Eor (a, b)) sub sub;
+            map2 (fun a b -> Exor (a, b)) sub sub ])
+
+let rec eval_expr env = function
+  | Evar v -> env v
+  | Enot e -> not (eval_expr env e)
+  | Eand (a, b) -> eval_expr env a && eval_expr env b
+  | Eor (a, b) -> eval_expr env a || eval_expr env b
+  | Exor (a, b) -> eval_expr env a <> eval_expr env b
+  | Etrue -> true
+  | Efalse -> false
+
+let rec bdd_of_expr = function
+  | Evar v -> Bdd.var man v
+  | Enot e -> Bdd.not_ man (bdd_of_expr e)
+  | Eand (a, b) -> Bdd.and_ man (bdd_of_expr a) (bdd_of_expr b)
+  | Eor (a, b) -> Bdd.or_ man (bdd_of_expr a) (bdd_of_expr b)
+  | Exor (a, b) -> Bdd.xor man (bdd_of_expr a) (bdd_of_expr b)
+  | Etrue -> Bdd.one man
+  | Efalse -> Bdd.zero man
+
+let env_of_bits bits v = bits land (1 lsl v) <> 0
+
+(* Check two boolean functions agree on the whole universe. *)
+let agree f g =
+  let ok = ref true in
+  for bits = 0 to (1 lsl nvars) - 1 do
+    if f (env_of_bits bits) <> g (env_of_bits bits) then ok := false
+  done;
+  !ok
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+(* -------------------------------------------------------------------- *)
+(* Unit tests.                                                          *)
+
+let test_constants () =
+  Alcotest.(check bool) "zero is zero" true (Bdd.is_zero (Bdd.zero man));
+  Alcotest.(check bool) "one is one" true (Bdd.is_one (Bdd.one man));
+  Alcotest.(check bool) "zero <> one" false
+    (Bdd.equal (Bdd.zero man) (Bdd.one man));
+  Alcotest.(check int) "id zero" 0 (Bdd.id (Bdd.zero man));
+  Alcotest.(check int) "id one" 1 (Bdd.id (Bdd.one man))
+
+let test_var_eval () =
+  let x = Bdd.var man 3 in
+  Alcotest.(check bool) "x under x=true" true (Bdd.eval x (fun v -> v = 3));
+  Alcotest.(check bool) "x under x=false" false (Bdd.eval x (fun _ -> false));
+  let nx = Bdd.nvar man 3 in
+  Alcotest.(check bool) "~x under x=false" true (Bdd.eval nx (fun _ -> false))
+
+let test_var_negative () =
+  Alcotest.check_raises "negative var" (Invalid_argument "Bdd.var: negative variable")
+    (fun () -> ignore (Bdd.var man (-1)))
+
+let test_hash_consing () =
+  let a = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  let b = Bdd.not_ man (Bdd.or_ man (Bdd.nvar man 0) (Bdd.nvar man 1)) in
+  Alcotest.(check bool) "de morgan gives identical node" true (Bdd.equal a b);
+  Alcotest.(check int) "same id" (Bdd.id a) (Bdd.id b)
+
+let test_topvar_structure () =
+  let f = Bdd.and_ man (Bdd.var man 2) (Bdd.var man 5) in
+  Alcotest.(check int) "root is smallest var" 2 (Bdd.topvar f);
+  Alcotest.(check bool) "low is zero" true (Bdd.is_zero (Bdd.low f));
+  Alcotest.(check int) "high root" 5 (Bdd.topvar (Bdd.high f))
+
+let test_topvar_constant () =
+  Alcotest.check_raises "topvar of constant"
+    (Invalid_argument "Bdd.topvar: constant") (fun () ->
+      ignore (Bdd.topvar (Bdd.one man)))
+
+let test_cube () =
+  let c = Bdd.cube man [ 4; 1; 1; 2 ] in
+  Alcotest.(check bool) "cube true when all set" true
+    (Bdd.eval c (fun v -> List.mem v [ 1; 2; 4 ]));
+  Alcotest.(check bool) "cube false when one unset" false
+    (Bdd.eval c (fun v -> List.mem v [ 1; 4 ]));
+  Alcotest.(check (list int)) "support" [ 1; 2; 4 ] (Bdd.support c)
+
+let test_empty_cube () =
+  Alcotest.(check bool) "empty cube is true" true (Bdd.is_one (Bdd.cube man []))
+
+let test_conj_disj () =
+  let xs = [ Bdd.var man 0; Bdd.var man 1; Bdd.var man 2 ] in
+  Alcotest.(check bool) "conj [] = true" true (Bdd.is_one (Bdd.conj man []));
+  Alcotest.(check bool) "disj [] = false" true (Bdd.is_zero (Bdd.disj man []));
+  Alcotest.(check bool) "conj = cube" true
+    (Bdd.equal (Bdd.conj man xs) (Bdd.cube man [ 0; 1; 2 ]))
+
+let test_restrict () =
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
+  let f0 = Bdd.restrict man f 0 false in
+  Alcotest.(check bool) "f|x0=0 is x1" true (Bdd.equal f0 (Bdd.var man 1));
+  let f1 = Bdd.restrict man f 0 true in
+  Alcotest.(check bool) "f|x0=1 is ~x1" true (Bdd.equal f1 (Bdd.nvar man 1))
+
+let test_exists_unit () =
+  (* exists x0. (x0 /\ x1) = x1 *)
+  let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  let e = Bdd.exists man (Bdd.cube man [ 0 ]) f in
+  Alcotest.(check bool) "exists" true (Bdd.equal e (Bdd.var man 1));
+  (* forall x0. (x0 \/ x1) = x1 *)
+  let g = Bdd.or_ man (Bdd.var man 0) (Bdd.var man 1) in
+  let a = Bdd.forall man (Bdd.cube man [ 0 ]) g in
+  Alcotest.(check bool) "forall" true (Bdd.equal a (Bdd.var man 1))
+
+let test_sat_count_unit () =
+  let f = Bdd.or_ man (Bdd.var man 0) (Bdd.var man 1) in
+  Alcotest.(check (float 1e-9)) "sat_count x0\\/x1 over 3 vars" 6.0
+    (Bdd.sat_count f 3);
+  Alcotest.(check (float 1e-9)) "sat_count true" 8.0
+    (Bdd.sat_count (Bdd.one man) 3);
+  Alcotest.(check (float 1e-9)) "sat_count false" 0.0
+    (Bdd.sat_count (Bdd.zero man) 3)
+
+let test_sat_count_bad_universe () =
+  Alcotest.check_raises "support exceeds universe"
+    (Invalid_argument "Bdd.sat_count: support exceeds variable universe")
+    (fun () -> ignore (Bdd.sat_count (Bdd.var man 5) 3))
+
+let test_any_sat () =
+  let f = Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 2) in
+  let a = Bdd.any_sat f in
+  Alcotest.(check (list (pair int bool))) "least cube" [ (0, false); (2, true) ] a;
+  Alcotest.check_raises "any_sat false" Not_found (fun () ->
+      ignore (Bdd.any_sat (Bdd.zero man)))
+
+let test_fold_sat () =
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
+  let sols =
+    Bdd.fold_sat f [ 0; 1 ] ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
+    |> List.rev
+  in
+  Alcotest.(check int) "two solutions" 2 (List.length sols);
+  Alcotest.(check (list (list bool))) "lexicographic order"
+    [ [ false; true ]; [ true; false ] ]
+    (List.map Array.to_list sols)
+
+let test_rename_swap () =
+  let f = Bdd.and_ man (Bdd.var man 0) (Bdd.nvar man 1) in
+  let g = Bdd.rename man f (fun v -> 1 - v) in
+  let expect = Bdd.and_ man (Bdd.var man 1) (Bdd.nvar man 0) in
+  Alcotest.(check bool) "swap rename" true (Bdd.equal g expect)
+
+let test_rename_shift () =
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 2) in
+  let g = Bdd.rename man f (fun v -> v + 10 ) in
+  Alcotest.(check (list int)) "shifted support" [ 10; 12 ] (Bdd.support g)
+
+let test_size () =
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
+  Alcotest.(check int) "xor has 3 nodes" 3 (Bdd.size f);
+  Alcotest.(check int) "constant has 0 nodes" 0 (Bdd.size (Bdd.one man))
+
+let test_to_dot () =
+  let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  let dot = Bdd.to_dot ~name:(Printf.sprintf "x%d") f in
+  Alcotest.(check bool) "mentions x0" true
+    (Astring.String.is_infix ~affix:"x0" dot);
+  Alcotest.(check bool) "digraph" true
+    (Astring.String.is_prefix ~affix:"digraph" dot)
+
+let test_clear_caches () =
+  let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  Bdd.clear_caches man;
+  let g = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  Alcotest.(check bool) "canonicity survives cache clear" true (Bdd.equal f g)
+
+(* -------------------------------------------------------------------- *)
+(* Property tests.                                                      *)
+
+let prop_eval_agrees =
+  prop "bdd eval agrees with expression eval" expr_gen (fun e ->
+      let b = bdd_of_expr e in
+      agree (fun env -> eval_expr env e) (fun env -> Bdd.eval b env))
+
+let prop_canonicity =
+  prop "truth-table-equivalent expressions share one node"
+    QCheck2.Gen.(pair expr_gen expr_gen)
+    (fun (e1, e2) ->
+      let b1 = bdd_of_expr e1 and b2 = bdd_of_expr e2 in
+      let equiv =
+        agree (fun env -> eval_expr env e1) (fun env -> eval_expr env e2)
+      in
+      equiv = Bdd.equal b1 b2)
+
+let prop_not_involution =
+  prop "not is an involution" expr_gen (fun e ->
+      let b = bdd_of_expr e in
+      Bdd.equal b (Bdd.not_ man (Bdd.not_ man b)))
+
+let prop_ite =
+  prop "ite agrees with semantics"
+    QCheck2.Gen.(triple expr_gen expr_gen expr_gen)
+    (fun (ef, eg, eh) ->
+      let f = bdd_of_expr ef and g = bdd_of_expr eg and h = bdd_of_expr eh in
+      let r = Bdd.ite man f g h in
+      agree
+        (fun env -> Bdd.eval r env)
+        (fun env ->
+          if eval_expr env ef then eval_expr env eg else eval_expr env eh))
+
+let prop_exists_semantics =
+  prop "exists v f = f|v=0 \\/ f|v=1"
+    QCheck2.Gen.(pair expr_gen (int_bound (nvars - 1)))
+    (fun (e, v) ->
+      let f = bdd_of_expr e in
+      let lhs = Bdd.exists man (Bdd.cube man [ v ]) f in
+      let rhs =
+        Bdd.or_ man (Bdd.restrict man f v false) (Bdd.restrict man f v true)
+      in
+      Bdd.equal lhs rhs)
+
+let prop_forall_dual =
+  prop "forall c f = ~exists c ~f"
+    QCheck2.Gen.(pair expr_gen (list_size (int_bound 3) (int_bound (nvars - 1))))
+    (fun (e, vs) ->
+      let f = bdd_of_expr e in
+      let c = Bdd.cube man vs in
+      Bdd.equal (Bdd.forall man c f)
+        (Bdd.not_ man (Bdd.exists man c (Bdd.not_ man f))))
+
+let prop_and_exists =
+  prop "and_exists = exists of and"
+    QCheck2.Gen.(triple expr_gen expr_gen
+                   (list_size (int_bound 3) (int_bound (nvars - 1))))
+    (fun (e1, e2, vs) ->
+      let f = bdd_of_expr e1 and g = bdd_of_expr e2 in
+      let c = Bdd.cube man vs in
+      Bdd.equal (Bdd.and_exists man c f g)
+        (Bdd.exists man c (Bdd.and_ man f g)))
+
+let prop_rename_eval =
+  prop "rename commutes with evaluation" expr_gen (fun e ->
+      let f = bdd_of_expr e in
+      let perm v = v + nvars in
+      let g = Bdd.rename man f perm in
+      agree
+        (fun env -> Bdd.eval f env)
+        (fun env -> Bdd.eval g (fun v -> env (v - nvars))))
+
+let prop_sat_count =
+  prop "sat_count agrees with brute force" expr_gen (fun e ->
+      let f = bdd_of_expr e in
+      let count = ref 0 in
+      for bits = 0 to (1 lsl nvars) - 1 do
+        if eval_expr (env_of_bits bits) e then incr count
+      done;
+      Float.abs (Bdd.sat_count f nvars -. float_of_int !count) < 1e-9)
+
+let prop_any_sat =
+  prop "any_sat returns a satisfying cube" expr_gen (fun e ->
+      let f = bdd_of_expr e in
+      if Bdd.is_zero f then true
+      else
+        let a = Bdd.any_sat f in
+        Bdd.eval f (fun v ->
+            match List.assoc_opt v a with Some b -> b | None -> false))
+
+let prop_fold_sat_count =
+  prop "fold_sat enumerates exactly the models" expr_gen (fun e ->
+      let f = bdd_of_expr e in
+      let vars = List.init nvars Fun.id in
+      let n =
+        Bdd.fold_sat f vars ~init:0 ~f:(fun acc a ->
+            if eval_expr (fun v -> a.(v)) e then acc + 1 else acc - 1000)
+      in
+      Float.abs (float_of_int n -. Bdd.sat_count f nvars) < 1e-9)
+
+let prop_subset =
+  prop "subset is implication"
+    QCheck2.Gen.(pair expr_gen expr_gen)
+    (fun (e1, e2) ->
+      let f = bdd_of_expr e1 and g = bdd_of_expr e2 in
+      Bdd.subset man f g
+      = agree
+          (fun env -> not (eval_expr env e1) || eval_expr env e2)
+          (fun _ -> true))
+
+let prop_support_sound =
+  prop "restricting a non-support variable is the identity"
+    QCheck2.Gen.(pair expr_gen (int_bound (nvars - 1)))
+    (fun (e, v) ->
+      let f = bdd_of_expr e in
+      List.mem v (Bdd.support f)
+      || Bdd.equal f (Bdd.restrict man f v true)
+         && Bdd.equal f (Bdd.restrict man f v false))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "var eval" `Quick test_var_eval;
+    Alcotest.test_case "negative var rejected" `Quick test_var_negative;
+    Alcotest.test_case "hash consing" `Quick test_hash_consing;
+    Alcotest.test_case "structure accessors" `Quick test_topvar_structure;
+    Alcotest.test_case "topvar on constant" `Quick test_topvar_constant;
+    Alcotest.test_case "cube" `Quick test_cube;
+    Alcotest.test_case "empty cube" `Quick test_empty_cube;
+    Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "exists/forall" `Quick test_exists_unit;
+    Alcotest.test_case "sat_count" `Quick test_sat_count_unit;
+    Alcotest.test_case "sat_count bad universe" `Quick test_sat_count_bad_universe;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "fold_sat" `Quick test_fold_sat;
+    Alcotest.test_case "rename swap" `Quick test_rename_swap;
+    Alcotest.test_case "rename shift" `Quick test_rename_shift;
+    Alcotest.test_case "size" `Quick test_size;
+    Alcotest.test_case "to_dot" `Quick test_to_dot;
+    Alcotest.test_case "clear caches" `Quick test_clear_caches;
+    prop_eval_agrees;
+    prop_canonicity;
+    prop_not_involution;
+    prop_ite;
+    prop_exists_semantics;
+    prop_forall_dual;
+    prop_and_exists;
+    prop_rename_eval;
+    prop_sat_count;
+    prop_any_sat;
+    prop_fold_sat_count;
+    prop_subset;
+    prop_support_sound;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Generalized cofactor (constrain).                                   *)
+
+let prop_constrain_agrees_on_care_set =
+  prop "c /\\ constrain f c = c /\\ f"
+    QCheck2.Gen.(pair expr_gen expr_gen)
+    (fun (ef, ec) ->
+      let f = bdd_of_expr ef and c = bdd_of_expr ec in
+      QCheck2.assume (not (Bdd.is_zero c));
+      Bdd.equal
+        (Bdd.and_ man c (Bdd.constrain man f c))
+        (Bdd.and_ man c f))
+
+let prop_constrain_self =
+  prop "constrain f f = true (f satisfiable)" expr_gen (fun ef ->
+      let f = bdd_of_expr ef in
+      QCheck2.assume (not (Bdd.is_zero f));
+      Bdd.is_one (Bdd.constrain man f f))
+
+let prop_constrain_true =
+  prop "constrain f true = f" expr_gen (fun ef ->
+      let f = bdd_of_expr ef in
+      Bdd.equal (Bdd.constrain man f (Bdd.one man)) f)
+
+let test_constrain_empty_care () =
+  Alcotest.check_raises "empty care set"
+    (Invalid_argument "Bdd.constrain: care set is empty") (fun () ->
+      ignore (Bdd.constrain man (Bdd.var man 0) (Bdd.zero man)))
+
+let test_constrain_shrinks () =
+  (* Constraining an xor chain to a cube collapses it to a literal. *)
+  let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
+  let c = Bdd.cube man [ 0 ] in
+  let r = Bdd.constrain man f c in
+  Alcotest.(check bool) "collapsed to !x1" true
+    (Bdd.equal r (Bdd.nvar man 1))
+
+let constrain_suite =
+  [
+    prop_constrain_agrees_on_care_set;
+    prop_constrain_self;
+    prop_constrain_true;
+    Alcotest.test_case "constrain empty care" `Quick test_constrain_empty_care;
+    Alcotest.test_case "constrain shrinks" `Quick test_constrain_shrinks;
+  ]
+
+let suite = suite @ constrain_suite

@@ -1,0 +1,167 @@
+(* Tests for the circuit substrate and the arbiter case study. *)
+
+(* A toggle oscillator: one inverter feeding itself. *)
+let oscillator =
+  { Circuit.Netlist.rules = [ Circuit.Netlist.gate ~name:"INV" ~output:"x"
+                                (Circuit.Netlist.Not (Circuit.Netlist.Sig "x")) ];
+    init_high = [] }
+
+let test_oscillator () =
+  let m = Circuit.Netlist.compile oscillator in
+  Alcotest.(check bool) "total" true (Bdd.is_zero (Kripke.deadlocks m));
+  Alcotest.(check bool) "always eventually x" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "AG AF x"));
+  Alcotest.(check bool) "always eventually !x" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "AG AF !x"));
+  (* A single always-enabled gate cannot stall even without fairness. *)
+  Alcotest.(check bool) "lone gate forced" true
+    (Ctl.Check.holds m (Ctl.Parse.formula "AF x"))
+
+let test_two_oscillators_need_fairness () =
+  (* With two independent inverters an unfair scheduler can starve one;
+     gate fairness restores liveness. *)
+  let open Circuit.Netlist in
+  let nl =
+    { rules =
+        [ gate ~name:"INVX" ~output:"x" (Not (Sig "x"));
+          gate ~name:"INVY" ~output:"y" (Not (Sig "y")) ];
+      init_high = [] }
+  in
+  let m = compile nl in
+  Alcotest.(check bool) "unfair may starve y" false
+    (Ctl.Check.holds m (Ctl.Parse.formula "AF y"));
+  Alcotest.(check bool) "fair forces y" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "AF y"))
+
+let test_quiescent_stutter () =
+  (* A buffer driven by a constant-low input: stable from the start;
+     the stutter loop keeps the relation total. *)
+  let nl =
+    { Circuit.Netlist.rules =
+        [ Circuit.Netlist.gate ~name:"BUF" ~output:"y" (Circuit.Netlist.Sig "x") ];
+      init_high = [] }
+  in
+  let m = Circuit.Netlist.compile nl in
+  Alcotest.(check bool) "total" true (Bdd.is_zero (Kripke.deadlocks m));
+  Alcotest.(check bool) "y stays low" true
+    (Ctl.Check.holds m (Ctl.Parse.formula "AG !y"))
+
+let test_c_element () =
+  let open Circuit.Netlist in
+  let nl =
+    { rules =
+        [ env ~name:"ea" ~output:"a" ~rise:(Const true) ~fall:(Const false);
+          env ~name:"eb" ~output:"b" ~rise:(Const true) ~fall:(Const false);
+          c_element ~name:"C" ~output:"c" (Sig "a") (Sig "b") ];
+      init_high = [] }
+  in
+  let m = compile nl in
+  (* c rises only after both inputs are high. *)
+  Alcotest.(check bool) "c needs both" true
+    (Ctl.Check.holds m (Ctl.Parse.formula "!E [!(a & b) U (c & !(a & b))]"));
+  Alcotest.(check bool) "c reachable" true
+    (Ctl.Check.holds m (Ctl.Parse.formula "EF c"))
+
+let test_me_exclusion_rules () =
+  let open Circuit.Netlist in
+  match me_element ~name:"ME" ~requests:[ "r1"; "r2" ] ~grants:[ "g1"; "g2" ] with
+  | [ a; b ] ->
+    Alcotest.(check string) "g1 rule" "ME.g1" a.rule_name;
+    Alcotest.(check bool) "fair" true (a.fair && b.fair)
+  | _ -> Alcotest.fail "two rules expected"
+
+let test_me_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Netlist.me_element: requests/grants mismatch") (fun () ->
+      ignore
+        (Circuit.Netlist.me_element ~name:"ME" ~requests:[ "a" ] ~grants:[]))
+
+let test_double_drive () =
+  let open Circuit.Netlist in
+  let nl =
+    { rules = [ gate ~name:"G1" ~output:"x" (Const true);
+                gate ~name:"G2" ~output:"x" (Const false) ];
+      init_high = [] }
+  in
+  (match compile nl with
+  | _ -> Alcotest.fail "expected Bad_netlist"
+  | exception Bad_netlist msg ->
+    Alcotest.(check bool) "names both rules" true
+      (Astring.String.is_infix ~affix:"G1" msg
+      && Astring.String.is_infix ~affix:"G2" msg))
+
+(* ------------------------------------------------------------------ *)
+(* The arbiter case study (experiment E1's correctness side).          *)
+
+let arb = lazy (Circuit.Arbiter.model 2)
+
+let test_arbiter_reachable () =
+  let m = Lazy.force arb in
+  let count = Kripke.count_states m (Kripke.reachable m) in
+  Alcotest.(check bool) "nontrivial reachable set" true (count > 50.0);
+  Alcotest.(check bool) "total" true (Bdd.is_zero (Kripke.deadlocks m))
+
+let test_arbiter_grant_exclusion () =
+  let m = Lazy.force arb in
+  Alcotest.(check bool) "AG !(g1 & g2)" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "AG !(g1 & g2)"))
+
+let test_arbiter_liveness_fails () =
+  let m = Lazy.force arb in
+  let spec = Circuit.Arbiter.liveness_spec 2 in
+  Alcotest.(check bool) "liveness fails" false (Ctl.Fair.holds m spec);
+  match Counterex.Explain.counterexample m spec with
+  | None -> Alcotest.fail "expected the case-study counterexample"
+  | Some tr ->
+    Alcotest.(check bool) "valid path" true
+      (Counterex.Validate.path_ok m tr = Ok ());
+    Alcotest.(check bool) "from an initial state" true
+      (Counterex.Validate.starts_at m m.Kripke.init tr = Ok ());
+    Alcotest.(check bool) "is a lasso" true (Kripke.Trace.is_lasso tr);
+    (* The cycle demonstrates EG !ta1: ta1 never rises on it. *)
+    let ta1 = Kripke.label m "ta1" in
+    List.iter
+      (fun st ->
+        Alcotest.(check bool) "ta1 low on cycle" false
+          (Kripke.eval_in_state m ta1 st))
+      tr.Kripke.Trace.cycle;
+    (* All gate-fairness constraints hit on the cycle. *)
+    List.iteri
+      (fun k h ->
+        Alcotest.(check bool) (Printf.sprintf "fairness %d" k) true
+          (List.exists (Kripke.eval_in_state m h) tr.Kripke.Trace.cycle))
+      m.Kripke.fairness
+
+let test_arbiter_request_possible () =
+  let m = Lazy.force arb in
+  Alcotest.(check bool) "a grant is reachable" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "EF g1"));
+  Alcotest.(check bool) "an ack is reachable" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "EF ua1"))
+
+let test_arbiter_specs_list () =
+  let specs = Circuit.Arbiter.specs 2 in
+  (* 1 g-pair + 1 ua-pair + 2 liveness = 4 specs for two users. *)
+  Alcotest.(check int) "spec count" 4 (List.length specs)
+
+let test_arbiter_three_users () =
+  let m = Circuit.Arbiter.model 3 in
+  Alcotest.(check bool) "grant exclusion scales" true
+    (Ctl.Fair.holds m (Ctl.Parse.formula "AG !(g1 & g3)"))
+
+let suite =
+  [
+    Alcotest.test_case "oscillator" `Quick test_oscillator;
+    Alcotest.test_case "two oscillators need fairness" `Quick test_two_oscillators_need_fairness;
+    Alcotest.test_case "quiescent stutter" `Quick test_quiescent_stutter;
+    Alcotest.test_case "c-element" `Quick test_c_element;
+    Alcotest.test_case "ME rules" `Quick test_me_exclusion_rules;
+    Alcotest.test_case "ME mismatch" `Quick test_me_mismatch;
+    Alcotest.test_case "double drive rejected" `Quick test_double_drive;
+    Alcotest.test_case "arbiter reachable" `Quick test_arbiter_reachable;
+    Alcotest.test_case "arbiter grant exclusion" `Quick test_arbiter_grant_exclusion;
+    Alcotest.test_case "arbiter liveness counterexample" `Quick test_arbiter_liveness_fails;
+    Alcotest.test_case "arbiter progress possible" `Quick test_arbiter_request_possible;
+    Alcotest.test_case "arbiter specs list" `Quick test_arbiter_specs_list;
+    Alcotest.test_case "arbiter with three users" `Quick test_arbiter_three_users;
+  ]

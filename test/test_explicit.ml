@@ -1,0 +1,343 @@
+(* Tests for the explicit-state substrate: graph structure, SCCs,
+   explicit CTL, minimal witnesses, and the symbolic/explicit bridge. *)
+
+let mask = Explicit.Egraph.mask_of_list
+
+(* A two-component graph: {0,1} cycle -> {2} sink self-loop. *)
+let chain () =
+  Explicit.Egraph.make ~nstates:3
+    ~edges:[ (0, 1); (1, 0); (1, 2); (2, 2) ]
+    ~init:[ 0 ] ()
+
+let test_make_validates () =
+  Alcotest.check_raises "state out of range"
+    (Invalid_argument "Egraph.make: state 5 out of range") (fun () ->
+      ignore (Explicit.Egraph.make ~nstates:2 ~edges:[ (0, 5) ] ~init:[] ()));
+  Alcotest.check_raises "bad mask"
+    (Invalid_argument "Egraph.make: fairness mask of wrong length") (fun () ->
+      ignore
+        (Explicit.Egraph.make ~nstates:2 ~edges:[] ~init:[]
+           ~fairness:[ [| true |] ] ()))
+
+let test_complete () =
+  Alcotest.(check bool) "chain complete" true (Explicit.Egraph.complete (chain ()));
+  let g = Explicit.Egraph.make ~nstates:2 ~edges:[ (0, 1) ] ~init:[] () in
+  Alcotest.(check bool) "sink graph incomplete" false (Explicit.Egraph.complete g)
+
+let test_sccs () =
+  let comp = Explicit.Egraph.sccs (chain ()) in
+  Alcotest.(check bool) "0 and 1 together" true (comp.(0) = comp.(1));
+  Alcotest.(check bool) "2 separate" true (comp.(2) <> comp.(0));
+  (* Reverse topological: the sink component has the smaller id. *)
+  Alcotest.(check bool) "sink emitted first" true (comp.(2) < comp.(0))
+
+let test_sccs_line () =
+  let g = Explicit.Egraph.make ~nstates:3 ~edges:[ (0, 1); (1, 2) ] ~init:[] () in
+  let comp = Explicit.Egraph.sccs g in
+  Alcotest.(check bool) "all distinct" true
+    (comp.(0) <> comp.(1) && comp.(1) <> comp.(2) && comp.(0) <> comp.(2))
+
+let test_bfs_path () =
+  let g = chain () in
+  (match Explicit.Egraph.bfs_path g ~from:0 ~target:(mask ~nstates:3 [ 2 ]) with
+  | Some [ 0; 1; 2 ] -> ()
+  | Some p ->
+    Alcotest.failf "unexpected path [%s]"
+      (String.concat ";" (List.map string_of_int p))
+  | None -> Alcotest.fail "no path");
+  Alcotest.(check bool) "self target" true
+    (Explicit.Egraph.bfs_path g ~from:2 ~target:(mask ~nstates:3 [ 2 ]) = Some [ 2 ]);
+  Alcotest.(check bool) "unreachable" true
+    (Explicit.Egraph.bfs_path g ~from:2 ~target:(mask ~nstates:3 [ 0 ]) = None)
+
+(* Explicit CTL on the chain. *)
+let test_ectl_basics () =
+  let g = chain () in
+  let p = mask ~nstates:3 [ 2 ] in
+  let ex = Explicit.Ectl.ex g p in
+  Alcotest.(check (list bool)) "EX {2}" [ false; true; true ] (Array.to_list ex);
+  let eu = Explicit.Ectl.eu g (mask ~nstates:3 [ 0; 1 ]) p in
+  Alcotest.(check (list bool)) "E[{0,1} U {2}]" [ true; true; true ]
+    (Array.to_list eu);
+  let eg = Explicit.Ectl.eg g (mask ~nstates:3 [ 0; 1 ]) in
+  Alcotest.(check (list bool)) "EG {0,1}" [ true; true; false ]
+    (Array.to_list eg)
+
+let test_ectl_fair_eg () =
+  (* Fairness {2}: only runs ending in the sink are fair. *)
+  let g =
+    Explicit.Egraph.make ~nstates:3
+      ~edges:[ (0, 1); (1, 0); (1, 2); (2, 2) ]
+      ~init:[ 0 ]
+      ~fairness:[ mask ~nstates:3 [ 2 ] ]
+      ()
+  in
+  let fair = Explicit.Ectl.fair_states g in
+  Alcotest.(check (list bool)) "all fair (can reach sink)" [ true; true; true ]
+    (Array.to_list fair);
+  (* EG of {0,1} under the constraint is empty: staying in {0,1} never
+     visits 2. *)
+  let feg = Explicit.Ectl.fair_eg g (mask ~nstates:3 [ 0; 1 ]) in
+  Alcotest.(check (list bool)) "fair EG {0,1} empty" [ false; false; false ]
+    (Array.to_list feg)
+
+let test_ectl_trivial_scc_not_eg () =
+  (* A state with no self loop on a path is not in EG true of itself
+     only graphs: line graph has no infinite path. *)
+  let g = Explicit.Egraph.make ~nstates:2 ~edges:[ (0, 1) ] ~init:[ 0 ] () in
+  let eg = Explicit.Ectl.eg g [| true; true |] in
+  Alcotest.(check (list bool)) "no infinite path" [ false; false ]
+    (Array.to_list eg)
+
+(* Minimal witness: Hamiltonian-style instance (Theorem 1).  A directed
+   4-cycle with a distinct constraint per state: the minimal witness is
+   the Hamiltonian cycle, total length 4 (empty prefix). *)
+let test_minwit_hamiltonian () =
+  let n = 4 in
+  let g =
+    Explicit.Egraph.make ~nstates:n
+      ~edges:(List.init n (fun i -> (i, (i + 1) mod n)))
+      ~init:[ 0 ]
+      ~fairness:(List.init n (fun i -> mask ~nstates:n [ i ]))
+      ()
+  in
+  match Explicit.Minwit.minimal g ~start:0 with
+  | None -> Alcotest.fail "expected witness"
+  | Some (prefix, cycle) ->
+    Alcotest.(check int) "empty prefix" 0 (List.length prefix);
+    Alcotest.(check int) "Hamiltonian cycle" n (List.length cycle)
+
+let test_minwit_with_prefix () =
+  (* 0 -> 1 <-> 2, constraint {2}: prefix [0], cycle [1;2] (or [2;1]
+     anchored at 2 with prefix [0;1]) — total 3 either way. *)
+  let g =
+    Explicit.Egraph.make ~nstates:3
+      ~edges:[ (0, 1); (1, 2); (2, 1) ]
+      ~init:[ 0 ]
+      ~fairness:[ mask ~nstates:3 [ 2 ] ]
+      ()
+  in
+  match Explicit.Minwit.minimal_length g ~start:0 with
+  | Some 3 -> ()
+  | Some k -> Alcotest.failf "expected 3, got %d" k
+  | None -> Alcotest.fail "expected witness"
+
+let test_minwit_unreachable () =
+  let g =
+    Explicit.Egraph.make ~nstates:2 ~edges:[ (0, 0); (1, 1) ] ~init:[ 0 ]
+      ~fairness:[ mask ~nstates:2 [ 1 ] ]
+      ()
+  in
+  Alcotest.(check bool) "no fair cycle from 0" true
+    (Explicit.Minwit.minimal g ~start:0 = None)
+
+let test_minwit_choice_of_anchor () =
+  (* Two cycles: a long near one (through 1..4) and a short far one
+     (5,6); constraints force the far one: minimal = prefix to 5 +
+     2-cycle. *)
+  let edges =
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 1); (0, 5); (5, 6); (6, 5) ]
+  in
+  let g =
+    Explicit.Egraph.make ~nstates:7 ~edges ~init:[ 0 ]
+      ~fairness:[ mask ~nstates:7 [ 5; 6 ] ]
+      ()
+  in
+  match Explicit.Minwit.minimal_length g ~start:0 with
+  | Some 3 -> () (* prefix [0], cycle [5;6] *)
+  | Some k -> Alcotest.failf "expected 3, got %d" k
+  | None -> Alcotest.fail "expected witness"
+
+(* Bridge roundtrip: explicit -> symbolic -> explicit preserves the
+   graph. *)
+let prop_bridge_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"bridge roundtrip preserves the graph" ~count:100
+       (Models.random_model_gen ~nfair:2 ())
+       (fun rm ->
+         let g = rm.Models.graph in
+         let g', states, _mask_of = Explicit.Bridge.of_kripke rm.Models.sym in
+         (* Node i of g encodes to some state; find its index in g'. *)
+         let n = g.Explicit.Egraph.nstates in
+         if g'.Explicit.Egraph.nstates <> n then false
+         else begin
+           let to_g' = Array.make n (-1) in
+           Array.iteri
+             (fun j st ->
+               (* which original node does state st encode? *)
+               let rec find i =
+                 if i >= n then -1
+                 else if rm.Models.encode i = st then i
+                 else find (i + 1)
+               in
+               let i = find 0 in
+               if i >= 0 then to_g'.(i) <- j)
+             states;
+           Array.for_all (fun j -> j >= 0) to_g'
+           && List.for_all
+                (fun i ->
+                  let expected =
+                    Array.to_list g.Explicit.Egraph.succ.(i)
+                    |> List.map (fun w -> to_g'.(w))
+                    |> List.sort compare
+                  in
+                  let actual =
+                    Array.to_list g'.Explicit.Egraph.succ.(to_g'.(i))
+                    |> List.sort compare
+                  in
+                  expected = actual)
+                (List.init n Fun.id)
+         end))
+
+let test_of_kripke_too_large () =
+  let m = Models.counter 10 in
+  match Explicit.Bridge.of_kripke ~max_states:100 m with
+  | _ -> Alcotest.fail "expected Too_large"
+  | exception Explicit.Bridge.Too_large _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "make validates" `Quick test_make_validates;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "sccs chain" `Quick test_sccs;
+    Alcotest.test_case "sccs line" `Quick test_sccs_line;
+    Alcotest.test_case "bfs path" `Quick test_bfs_path;
+    Alcotest.test_case "explicit CTL basics" `Quick test_ectl_basics;
+    Alcotest.test_case "explicit fair EG" `Quick test_ectl_fair_eg;
+    Alcotest.test_case "no infinite path on a line" `Quick test_ectl_trivial_scc_not_eg;
+    Alcotest.test_case "minimal witness: Hamiltonian" `Quick test_minwit_hamiltonian;
+    Alcotest.test_case "minimal witness: with prefix" `Quick test_minwit_with_prefix;
+    Alcotest.test_case "minimal witness: unreachable" `Quick test_minwit_unreachable;
+    Alcotest.test_case "minimal witness: anchor choice" `Quick test_minwit_choice_of_anchor;
+    prop_bridge_roundtrip;
+    Alcotest.test_case "of_kripke size bound" `Quick test_of_kripke_too_large;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Explicit witness construction (the EMC baseline of Section 6).      *)
+
+(* Validate an explicit lasso against the graph. *)
+let explicit_lasso_ok (g : Explicit.Egraph.t) ~f (prefix, cycle) =
+  let has_edge a b = Array.exists (fun w -> w = b) g.Explicit.Egraph.succ.(a) in
+  let rec path_ok = function
+    | a :: (b :: _ as rest) -> has_edge a b && path_ok rest
+    | [ _ ] | [] -> true
+  in
+  let states = prefix @ cycle in
+  cycle <> []
+  && path_ok states
+  && has_edge (List.nth cycle (List.length cycle - 1)) (List.hd cycle)
+  && List.for_all (fun v -> f.(v)) states
+  && List.for_all
+       (fun h -> List.exists (fun v -> h.(v)) cycle)
+       g.Explicit.Egraph.fairness
+
+let prop_explicit_fair_eg_witness =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"explicit fair EG witnesses validate" ~count:200
+       (Models.random_model_gen ~nfair:2 ())
+       (fun rm ->
+         let g = rm.Models.graph in
+         let n = g.Explicit.Egraph.nstates in
+         let f = rm.Models.atom_mask "p" in
+         let feg = Explicit.Ectl.fair_eg g f in
+         List.for_all
+           (fun v ->
+             match Explicit.Ewitness.fair_eg g ~f ~start:v with
+             | Some w ->
+               feg.(v)
+               && explicit_lasso_ok g ~f w
+               && (match w with
+                  | [], c :: _ -> c = v
+                  | p :: _, _ -> p = v
+                  | [], [] -> false)
+             | None -> not feg.(v))
+           (List.init n Fun.id)))
+
+let prop_explicit_eu_witness =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"explicit EU witnesses validate and are shortest"
+       ~count:200
+       (Models.random_model_gen ())
+       (fun rm ->
+         let g = rm.Models.graph in
+         let n = g.Explicit.Egraph.nstates in
+         let f = rm.Models.atom_mask "p" and tgt = rm.Models.atom_mask "q" in
+         let eu_set = Explicit.Ectl.eu g f tgt in
+         List.for_all
+           (fun v ->
+             match Explicit.Ewitness.eu g ~f ~g:tgt ~start:v with
+             | Some path ->
+               eu_set.(v)
+               && List.hd path = v
+               && tgt.(List.nth path (List.length path - 1))
+               && List.for_all
+                    (fun s -> f.(s))
+                    (List.filteri
+                       (fun i _ -> i < List.length path - 1)
+                       path)
+             | None -> not eu_set.(v))
+           (List.init n Fun.id)))
+
+(* The explicit and symbolic witness engines agree on existence for
+   every state. *)
+let prop_witness_existence_agrees =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make
+       ~name:"explicit and symbolic fair-EG witnesses agree on existence"
+       ~count:100
+       (Models.random_model_gen ~max_states:6 ~nfair:2 ())
+       (fun rm ->
+         let g = rm.Models.graph in
+         let m = rm.Models.sym in
+         let n = g.Explicit.Egraph.nstates in
+         let top = Array.make n true in
+         List.for_all
+           (fun v ->
+             let explicit =
+               Explicit.Ewitness.fair_eg g ~f:top ~start:v <> None
+             in
+             let symbolic =
+               match
+                 Counterex.Witness.eg m ~f:m.Kripke.space
+                   ~start:(rm.Models.encode v)
+               with
+               | _ -> true
+               | exception Counterex.Witness.No_witness _ -> false
+             in
+             explicit = symbolic)
+           (List.init n Fun.id)))
+
+let test_ewitness_ex () =
+  let g = chain () in
+  (match Explicit.Ewitness.ex g ~f:(mask ~nstates:3 [ 2 ]) ~start:1 with
+  | Some [ 1; 2 ] -> ()
+  | Some _ | None -> Alcotest.fail "expected [1;2]");
+  Alcotest.(check bool) "no EX witness" true
+    (Explicit.Ewitness.ex g ~f:(mask ~nstates:3 [ 0 ]) ~start:2 = None)
+
+let test_ewitness_self_loop_cycle () =
+  (* Fair SCC that is a single self-looping state. *)
+  let g =
+    Explicit.Egraph.make ~nstates:2 ~edges:[ (0, 1); (1, 1) ] ~init:[ 0 ]
+      ~fairness:[ mask ~nstates:2 [ 1 ] ]
+      ()
+  in
+  match Explicit.Ewitness.fair_eg g ~f:[| true; true |] ~start:0 with
+  | Some ([ 0 ], [ 1 ]) -> ()
+  | Some (p, c) ->
+    Alcotest.failf "unexpected witness ([%s],[%s])"
+      (String.concat ";" (List.map string_of_int p))
+      (String.concat ";" (List.map string_of_int c))
+  | None -> Alcotest.fail "expected witness"
+
+let ewitness_suite =
+  [
+    Alcotest.test_case "ewitness EX" `Quick test_ewitness_ex;
+    Alcotest.test_case "ewitness self-loop cycle" `Quick test_ewitness_self_loop_cycle;
+    prop_explicit_fair_eg_witness;
+    prop_explicit_eu_witness;
+    prop_witness_existence_agrees;
+  ]
+
+let suite = suite @ ewitness_suite

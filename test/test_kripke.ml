@@ -1,0 +1,225 @@
+(* Tests for the symbolic Kripke structure layer: variable encoding,
+   images, reachability, state decoding, builder and traces. *)
+
+let counter3 = lazy (Models.counter 3)
+
+let test_counter_reachable () =
+  let m = Lazy.force counter3 in
+  Alcotest.(check (float 1e-9)) "all 8 states reachable" 8.0
+    (Kripke.count_states m (Kripke.reachable m))
+
+let test_counter_deterministic () =
+  let m = Lazy.force counter3 in
+  match Kripke.pick_state m m.Kripke.init with
+  | None -> Alcotest.fail "no initial state"
+  | Some st ->
+    let succ = Kripke.post m (Kripke.state_to_bdd m st) in
+    Alcotest.(check (float 1e-9)) "one successor" 1.0
+      (Kripke.count_states m succ);
+    (* 000 -> 100 (b0 flips) *)
+    (match Kripke.pick_state m succ with
+    | None -> Alcotest.fail "no successor"
+    | Some st' ->
+      Alcotest.(check bool) "b0 set" true st'.(0);
+      Alcotest.(check bool) "b1 clear" false st'.(1))
+
+let test_counter_no_deadlock () =
+  let m = Lazy.force counter3 in
+  Alcotest.(check bool) "total" true (Bdd.is_zero (Kripke.deadlocks m))
+
+let test_pre_post_duality () =
+  let m = Lazy.force counter3 in
+  (* For a deterministic total relation, pre(post(S)) >= S. *)
+  let s = Kripke.label m "b1" in
+  let s = Bdd.and_ m.Kripke.man s m.Kripke.space in
+  Alcotest.(check bool) "S <= pre(post S)" true
+    (Bdd.subset m.Kripke.man s (Kripke.pre m (Kripke.post m s)))
+
+let test_value_decoding () =
+  let { Models.m; _ } = Models.mutex () in
+  match Kripke.pick_state m m.Kripke.init with
+  | None -> Alcotest.fail "no initial state"
+  | Some st ->
+    let p1 = Kripke.var_by_name m "p1" in
+    Alcotest.(check string) "p1 starts idle" "idle"
+      (match Kripke.value_of_state p1 st with
+      | Kripke.S s -> s
+      | Kripke.B _ | Kripke.I _ -> "?");
+    let turn = Kripke.var_by_name m "turn" in
+    Alcotest.(check bool) "turn starts false" false
+      (match Kripke.value_of_state turn st with
+      | Kripke.B b -> b
+      | Kripke.S _ | Kripke.I _ -> true)
+
+let test_var_by_name_missing () =
+  let m = Lazy.force counter3 in
+  Alcotest.check_raises "unknown var" Not_found (fun () ->
+      ignore (Kripke.var_by_name m "nope"))
+
+let test_states_in_roundtrip () =
+  let m = Lazy.force counter3 in
+  let all = Kripke.states_in m m.Kripke.space in
+  Alcotest.(check int) "8 states listed" 8 (List.length all);
+  List.iter
+    (fun st ->
+      let back = Kripke.state_to_bdd m st in
+      Alcotest.(check bool) "member of own singleton" true
+        (Kripke.eval_in_state m back st))
+    all
+
+let test_pick_state_respects_space () =
+  (* An enum of 3 values has an invalid 4th encoding; pick_state must
+     never produce it. *)
+  let b = Kripke.Builder.create () in
+  let x = Kripke.Builder.enum_var b "x" [ "a"; "b"; "c" ] in
+  Kripke.Builder.add_trans b (Kripke.Builder.unchanged b x);
+  let m = Kripke.Builder.build b in
+  match Kripke.pick_state m m.Kripke.space with
+  | None -> Alcotest.fail "space empty"
+  | Some st -> ignore (Kripke.value_of_state x st) (* must not raise *)
+
+let test_enum_space_count () =
+  let b = Kripke.Builder.create () in
+  let x = Kripke.Builder.enum_var b "x" [ "a"; "b"; "c" ] in
+  Kripke.Builder.add_trans b (Kripke.Builder.unchanged b x);
+  let m = Kripke.Builder.build b in
+  Alcotest.(check (float 1e-9)) "3 valid states" 3.0
+    (Kripke.count_states m m.Kripke.space)
+
+let test_totalize () =
+  let b = Kripke.Builder.create () in
+  let x = Kripke.Builder.bool_var b "x" in
+  (* Only transition: x=false -> x=true; the x=true state deadlocks. *)
+  let bman = Kripke.Builder.man b in
+  Kripke.Builder.add_trans b
+    (Bdd.and_ bman (Bdd.not_ bman (Kripke.Builder.v b x)) (Kripke.Builder.v' b x));
+  Kripke.Builder.add_init b (Bdd.not_ bman (Kripke.Builder.v b x));
+  let m = Kripke.Builder.build b in
+  Alcotest.(check bool) "has deadlock" false (Bdd.is_zero (Kripke.deadlocks m));
+  let m' = Kripke.Builder.totalize m in
+  Alcotest.(check bool) "totalized" true (Bdd.is_zero (Kripke.deadlocks m'))
+
+let test_builder_duplicate_var () =
+  let b = Kripke.Builder.create () in
+  let _ = Kripke.Builder.bool_var b "x" in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Builder: duplicate variable x")
+    (fun () -> ignore (Kripke.Builder.bool_var b "x"))
+
+let test_builder_bad_enum () =
+  let b = Kripke.Builder.create () in
+  Alcotest.check_raises "empty enum"
+    (Invalid_argument "Builder.enum_var: empty enumeration") (fun () ->
+      ignore (Kripke.Builder.enum_var b "x" []));
+  Alcotest.check_raises "dup consts"
+    (Invalid_argument "Builder.enum_var: duplicate constants") (fun () ->
+      ignore (Kripke.Builder.enum_var b "y" [ "a"; "a" ]))
+
+let test_builder_value_errors () =
+  let b = Kripke.Builder.create () in
+  let x = Kripke.Builder.enum_var b "x" [ "a"; "b" ] in
+  Alcotest.check_raises "wrong type"
+    (Invalid_argument "Builder: type mismatch for x") (fun () ->
+      ignore (Kripke.Builder.is b x (Kripke.I 0)));
+  Alcotest.check_raises "unknown constant"
+    (Invalid_argument "Builder: value z not in domain of x") (fun () ->
+      ignore (Kripke.Builder.is b x (Kripke.S "z")))
+
+(* ------------------------------------------------------------------ *)
+(* Trace structure.                                                    *)
+
+let st bits = Array.of_list bits
+
+let test_trace_basics () =
+  let a = st [ false ] and b = st [ true ] in
+  let tr = Kripke.Trace.lasso ~prefix:[ a ] ~cycle:[ b ] in
+  Alcotest.(check int) "length" 2 (Kripke.Trace.length tr);
+  Alcotest.(check bool) "lasso" true (Kripke.Trace.is_lasso tr);
+  Alcotest.(check bool) "nth 0" true (Kripke.Trace.nth tr 0 == a || Kripke.Trace.nth tr 0 = a);
+  Alcotest.(check bool) "nth unrolls" true (Kripke.Trace.nth tr 5 = b)
+
+let test_trace_nth_finite () =
+  let a = st [ false ] and b = st [ true ] in
+  let tr = Kripke.Trace.finite [ a; b ] in
+  Alcotest.(check bool) "last repeats" true (Kripke.Trace.nth tr 10 = b)
+
+let test_trace_append () =
+  let a = st [ false ] and b = st [ true ] in
+  let t1 = Kripke.Trace.finite [ a; b ] in
+  let t2 = Kripke.Trace.lasso ~prefix:[ b ] ~cycle:[ a ] in
+  let tr = Kripke.Trace.append t1 t2 in
+  Alcotest.(check int) "junction not duplicated" 3 (Kripke.Trace.length tr);
+  Alcotest.(check bool) "cycle kept" true (Kripke.Trace.is_lasso tr)
+
+let test_trace_append_mismatch () =
+  let a = st [ false ] and b = st [ true ] in
+  let t1 = Kripke.Trace.finite [ a ] in
+  let t2 = Kripke.Trace.finite [ b ] in
+  Alcotest.check_raises "junction mismatch"
+    (Invalid_argument "Trace.append: traces do not share the junction state")
+    (fun () -> ignore (Kripke.Trace.append t1 t2))
+
+let test_trace_pp () =
+  let m = Lazy.force counter3 in
+  let states = Kripke.states_in m m.Kripke.space in
+  match states with
+  | s0 :: s1 :: _ ->
+    let tr = Kripke.Trace.lasso ~prefix:[ s0 ] ~cycle:[ s1 ] in
+    let out = Format.asprintf "%a" (Kripke.Trace.pp m) tr in
+    Alcotest.(check bool) "mentions loop" true
+      (Astring.String.is_infix ~affix:"loop starts here" out);
+    Alcotest.(check bool) "mentions state 1.1" true
+      (Astring.String.is_infix ~affix:"state 1.1" out)
+  | _ -> Alcotest.fail "counter has states"
+
+let suite =
+  [
+    Alcotest.test_case "counter reachable" `Quick test_counter_reachable;
+    Alcotest.test_case "counter deterministic" `Quick test_counter_deterministic;
+    Alcotest.test_case "counter total" `Quick test_counter_no_deadlock;
+    Alcotest.test_case "pre/post duality" `Quick test_pre_post_duality;
+    Alcotest.test_case "value decoding" `Quick test_value_decoding;
+    Alcotest.test_case "var_by_name missing" `Quick test_var_by_name_missing;
+    Alcotest.test_case "states_in roundtrip" `Quick test_states_in_roundtrip;
+    Alcotest.test_case "pick_state respects space" `Quick test_pick_state_respects_space;
+    Alcotest.test_case "enum space count" `Quick test_enum_space_count;
+    Alcotest.test_case "totalize" `Quick test_totalize;
+    Alcotest.test_case "builder duplicate var" `Quick test_builder_duplicate_var;
+    Alcotest.test_case "builder bad enum" `Quick test_builder_bad_enum;
+    Alcotest.test_case "builder value errors" `Quick test_builder_value_errors;
+    Alcotest.test_case "trace basics" `Quick test_trace_basics;
+    Alcotest.test_case "trace nth finite" `Quick test_trace_nth_finite;
+    Alcotest.test_case "trace append" `Quick test_trace_append;
+    Alcotest.test_case "trace append mismatch" `Quick test_trace_append_mismatch;
+    Alcotest.test_case "trace pretty printing" `Quick test_trace_pp;
+  ]
+
+(* Golden test: exact SMV-style trace rendering. *)
+let test_trace_golden () =
+  let { Models.m; _ } = Models.mutex () in
+  let states = Kripke.states_in m m.Kripke.init in
+  match states with
+  | init :: _ ->
+    (* take two steps deterministically *)
+    let next st =
+      match Kripke.pick_successor m st m.Kripke.space with
+      | Some s -> s
+      | None -> Alcotest.fail "deadlock"
+    in
+    let s2 = next init in
+    let tr = Kripke.Trace.lasso ~prefix:[ init ] ~cycle:[ s2 ] in
+    let out = Format.asprintf "%a" (Kripke.Trace.pp m) tr in
+    let lines =
+      String.split_on_char '\n' out
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "")
+    in
+    (* first state lists every variable; the second is the (identical)
+       idle self-loop, so its diff is empty; the loop marker precedes
+       it *)
+    Alcotest.(check (list string)) "golden rendering"
+      [ "state 1.1:"; "p1 = idle"; "p2 = idle"; "turn = 0"; "mover = 0";
+        "-- loop starts here --"; "state 1.2:" ]
+      lines
+  | [] -> Alcotest.fail "no initial state"
+
+let suite = suite @ [ Alcotest.test_case "trace golden rendering" `Quick test_trace_golden ]

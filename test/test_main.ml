@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "counterexamples"
+    [
+      ("bdd", Test_bdd.suite);
+      ("kripke", Test_kripke.suite);
+      ("ctl", Test_ctl.suite);
+      ("explicit", Test_explicit.suite);
+      ("witness", Test_witness.suite);
+      ("ctlstar", Test_ctlstar.suite);
+      ("automata", Test_automata.suite);
+      ("smv", Test_smv.suite);
+      ("circuit", Test_circuit.suite);
+      ("partition", Test_partition.suite);
+      ("examples", Test_examples.suite);
+    ]

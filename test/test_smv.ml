@@ -1,0 +1,775 @@
+(* Tests for the SMV frontend: lexer, parser, compiler, end-to-end
+   model checking of SMV sources. *)
+
+let compile src = Smv.load_string src
+
+let toggle_src =
+  "MODULE main\n\
+   VAR x : boolean;\n\
+   ASSIGN\n\
+   init(x) := FALSE;\n\
+   next(x) := !x;\n\
+   SPEC AG (x -> AX !x)\n\
+   SPEC AF x\n"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer.                                                              *)
+
+let test_lexer_comments () =
+  let toks = Smv.Lexer.tokenize "x -- a comment\n& y" in
+  match List.map fst toks with
+  | [ Smv.Lexer.IDENT "x"; Smv.Lexer.AND; Smv.Lexer.IDENT "y"; Smv.Lexer.EOF ]
+    ->
+    ()
+  | _ -> Alcotest.fail "comment not skipped"
+
+let test_lexer_positions () =
+  let toks = Smv.Lexer.tokenize "x\n  := 3" in
+  match toks with
+  | [ (Smv.Lexer.IDENT "x", p1); (Smv.Lexer.BECOMES, p2); (Smv.Lexer.INT 3, p3);
+      (Smv.Lexer.EOF, _) ] ->
+    Alcotest.(check int) "x line" 1 p1.Smv.Ast.line;
+    Alcotest.(check int) ":= line" 2 p2.Smv.Ast.line;
+    Alcotest.(check int) ":= col" 3 p2.Smv.Ast.col;
+    Alcotest.(check int) "3 col" 6 p3.Smv.Ast.col
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_operators () =
+  let toks = Smv.Lexer.tokenize "<-> -> <= >= != .. := mod + -" in
+  let expected =
+    [ Smv.Lexer.IFF; Smv.Lexer.IMP; Smv.Lexer.LE; Smv.Lexer.GE; Smv.Lexer.NEQ;
+      Smv.Lexer.DOTDOT; Smv.Lexer.BECOMES; Smv.Lexer.KW_mod; Smv.Lexer.PLUS;
+      Smv.Lexer.MINUS; Smv.Lexer.EOF ]
+  in
+  Alcotest.(check bool) "operator tokens" true
+    (List.map fst toks = expected)
+
+let test_lexer_error () =
+  match Smv.Lexer.tokenize "a $ b" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Smv.Lexer.Error (_, pos) ->
+    Alcotest.(check int) "error column" 3 pos.Smv.Ast.col
+
+(* ------------------------------------------------------------------ *)
+(* Parser.                                                             *)
+
+let test_parse_program () =
+  match (Smv.Parser.program toggle_src).Smv.Ast.modules with
+  | [ m ] ->
+    Alcotest.(check string) "module name" "main" m.Smv.Ast.mod_name;
+    Alcotest.(check (list string)) "no params" [] m.Smv.Ast.params;
+    Alcotest.(check int) "decl count" 4 (List.length m.Smv.Ast.decls)
+  | _ -> Alcotest.fail "expected a single module" 
+
+let test_parse_case_and_set () =
+  let e =
+    Smv.Parser.expression
+      "case s = idle : {idle, busy}; TRUE : s; esac"
+  in
+  match e.Smv.Ast.desc with
+  | Smv.Ast.Ecase [ (_, { Smv.Ast.desc = Smv.Ast.Eset [ _; _ ]; _ }); (_, _) ]
+    ->
+    ()
+  | _ -> Alcotest.fail "unexpected case parse"
+
+let test_parse_arith_precedence () =
+  (* n + 1 = 2 parses as (n + 1) = 2. *)
+  match (Smv.Parser.expression "n + 1 = 2").Smv.Ast.desc with
+  | Smv.Ast.Eeq ({ desc = Smv.Ast.Eadd _; _ }, { desc = Smv.Ast.Eint 2; _ }) ->
+    ()
+  | _ -> Alcotest.fail "unexpected arithmetic parse"
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Smv.Parser.program src with
+      | _ -> Alcotest.failf "%S should not parse" src
+      | exception (Smv.Parser.Error _ | Smv.Lexer.Error _) -> ())
+    [
+      "VAR x : boolean;";              (* missing MODULE *)
+      "MODULE main VAR x boolean;";    (* missing colon *)
+      "MODULE main ASSIGN init(x) := ;"; (* missing expr *)
+      "MODULE main SPEC case esac";    (* empty case *)
+      "MODULE main VAR x : 5..;";      (* missing range end *)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Compiler semantics.                                                 *)
+
+let test_toggle_specs () =
+  let c = compile toggle_src in
+  Alcotest.(check int) "two specs" 2 (List.length c.Smv.Compile.specs);
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Fair.holds c.Smv.Compile.model spec))
+    c.Smv.Compile.specs
+
+let test_counter_mod () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR n : 0..5;\n\
+       ASSIGN init(n) := 0; next(n) := (n + 1) mod 6;\n\
+       SPEC AG (n = 5 -> AX n = 0)\n\
+       SPEC AG AF n = 3\n\
+       SPEC EF n = 5\n"
+  in
+  let m = c.Smv.Compile.model in
+  Alcotest.(check (float 1e-9)) "six reachable states" 6.0
+    (Kripke.count_states m (Kripke.reachable m));
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs
+
+let test_nondeterministic_set () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR x : boolean;\n\
+       ASSIGN init(x) := FALSE; next(x) := {TRUE, FALSE};\n\
+       SPEC EX x\nSPEC EX !x\nSPEC AF x\n"
+  in
+  let m = c.Smv.Compile.model in
+  let holds name = Ctl.Check.holds m (List.assoc name c.Smv.Compile.specs) in
+  Alcotest.(check bool) "EX x" true (holds "(EX x)");
+  Alcotest.(check bool) "EX !x" true (holds "(EX !x)");
+  Alcotest.(check bool) "AF x can fail" false (holds "(AF x)")
+
+let test_enum_case () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR s : {idle, busy, done};\n\
+       ASSIGN\n\
+       init(s) := idle;\n\
+       next(s) := case\n\
+           s = idle : {idle, busy};\n\
+           s = busy : done;\n\
+           TRUE : idle;\n\
+         esac;\n\
+       SPEC AG (s = busy -> AX s = done)\n\
+       SPEC EF s = done\n\
+       SPEC AG (s = done -> AX s = idle)\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs
+
+let test_trans_with_next () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR x : boolean;\n\
+       INIT !x\n\
+       TRANS next(x) <-> !x\n\
+       SPEC AG (x -> AX !x)\n"
+  in
+  let m = c.Smv.Compile.model in
+  Alcotest.(check bool) "toggle via TRANS" true
+    (Ctl.Check.holds m (snd (List.hd c.Smv.Compile.specs)))
+
+let test_invar () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR a : boolean; b : boolean;\n\
+       INVAR a <-> !b\n\
+       SPEC AG (a | b)\nSPEC AG !(a & b)\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs;
+  Alcotest.(check (float 1e-9)) "two valid states" 2.0
+    (Kripke.count_states m m.Kripke.space)
+
+let test_current_assignment () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR x : boolean; y : boolean;\n\
+       ASSIGN\n\
+       y := !x;\n\
+       init(x) := FALSE;\n\
+       next(x) := !x;\n\
+       SPEC AG (y <-> !x)\n"
+  in
+  Alcotest.(check bool) "defined variable tracks" true
+    (Ctl.Check.holds c.Smv.Compile.model (snd (List.hd c.Smv.Compile.specs)))
+
+let test_fairness_section () =
+  (* x drifts nondeterministically; fairness forces x infinitely often,
+     so AG AF x holds under fair semantics but not plain. *)
+  let c =
+    compile
+      "MODULE main\n\
+       VAR x : boolean;\n\
+       ASSIGN next(x) := {TRUE, FALSE};\n\
+       FAIRNESS x\n\
+       SPEC AG AF x\n"
+  in
+  let m = c.Smv.Compile.model in
+  let spec = snd (List.hd c.Smv.Compile.specs) in
+  Alcotest.(check bool) "fails without fairness" false (Ctl.Check.holds m spec);
+  Alcotest.(check bool) "holds with fairness" true (Ctl.Fair.holds m spec)
+
+let test_mutex_smv_counterexample () =
+  (* The full pipeline: a starvation bug found from SMV source, with a
+     validated lasso counterexample. *)
+  let c =
+    compile
+      "MODULE main\n\
+       VAR p1 : {idle, try, crit}; p2 : {idle, try, crit}; turn : boolean;\n\
+       ASSIGN\n\
+       init(p1) := idle; init(p2) := idle; init(turn) := FALSE;\n\
+       next(turn) := case\n\
+           p1 = crit & next(p1) = idle : TRUE;\n\
+           p2 = crit & next(p2) = idle : FALSE;\n\
+           TRUE : turn;\n\
+         esac;\n\
+       SPEC AG !(p1 = crit & p2 = crit)\n"
+  in
+  (* next(p1)/next(p2) unassigned: they evolve freely; but next(turn)
+     uses next(p1), which is only legal in TRANS — so this source must
+     be rejected. *)
+  ignore c;
+  Alcotest.fail "expected a compile error"
+
+let test_mutex_smv_counterexample_fixed () =
+  let src =
+    "MODULE main\n\
+     VAR p : {idle, try, crit}; q : {idle, try, crit}; turn : boolean;\n\
+     ASSIGN\n\
+     init(p) := idle; init(q) := idle; init(turn) := FALSE;\n\
+     next(p) := case\n\
+         p = idle : {idle, try};\n\
+         p = try & !turn : crit;\n\
+         p = try : try;\n\
+         TRUE : idle;\n\
+       esac;\n\
+     next(q) := case\n\
+         q = idle : {idle, try};\n\
+         q = try & turn : crit;\n\
+         q = try : try;\n\
+         TRUE : idle;\n\
+       esac;\n\
+     next(turn) := case\n\
+         p = crit : TRUE;\n\
+         q = crit : FALSE;\n\
+         TRUE : turn;\n\
+       esac;\n\
+     SPEC AG !(p = crit & q = crit)\n\
+     SPEC AG (p = try -> AF p = crit)\n"
+  in
+  let c = compile src in
+  let m = c.Smv.Compile.model in
+  (match c.Smv.Compile.specs with
+  | [ (_, safety); (_, liveness) ] ->
+    Alcotest.(check bool) "safety holds" true (Ctl.Check.holds m safety);
+    Alcotest.(check bool) "liveness fails" false (Ctl.Check.holds m liveness);
+    (match Counterex.Explain.counterexample m liveness with
+    | None -> Alcotest.fail "expected counterexample"
+    | Some tr ->
+      Alcotest.(check bool) "counterexample validates" true
+        (Counterex.Validate.path_ok m tr = Ok ()
+        && Counterex.Validate.starts_at m m.Kripke.init tr = Ok ()))
+  | _ -> Alcotest.fail "two specs expected")
+
+let expect_compile_error src fragment =
+  match compile src with
+  | _ -> Alcotest.failf "expected error mentioning %S" fragment
+  | exception Smv.Compile.Error (msg, _) ->
+    if not (Astring.String.is_infix ~affix:fragment msg) then
+      Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_compile_errors () =
+  expect_compile_error "MODULE main\nASSIGN init(x) := TRUE;\n"
+    "undeclared variable";
+  expect_compile_error
+    "MODULE main\nVAR x : boolean;\nASSIGN init(x) := TRUE; init(x) := FALSE;\n"
+    "conflicting assignments";
+  expect_compile_error
+    "MODULE main\nVAR x : boolean;\nASSIGN next(x) := x; x := TRUE;\n"
+    "conflicting assignments";
+  expect_compile_error "MODULE main\nVAR x : boolean;\nINIT next(x)\n"
+    "only allowed in TRANS";
+  expect_compile_error "MODULE main\nVAR x : boolean;\nINIT x = 3\n"
+    "cannot compare";
+  expect_compile_error "MODULE main\nVAR n : 0..3;\nINIT n\n"
+    "expected a boolean";
+  expect_compile_error
+    "MODULE main\nVAR n : 0..3;\nASSIGN next(n) := n + 7;\n"
+    "outside the domain";
+  expect_compile_error "MODULE main\nVAR x : boolean;\nINIT {TRUE, FALSE}\n"
+    "set";
+  expect_compile_error "MODULE main\nVAR x : boolean;\nINIT AG x\n"
+    "temporal";
+  expect_compile_error
+    "MODULE main\nVAR s : {a, b}; t : {b, c};\nVAR b : boolean;\nINIT s = a\n"
+    "collides";
+  expect_compile_error "MODULE main\nVAR n : 0..3;\nINIT n mod 0 = 1\n"
+    "modulo by zero"
+
+let test_compile_expr_extra_spec () =
+  let c = compile toggle_src in
+  let f = Smv.Compile.compile_expr c "EF x" in
+  Alcotest.(check bool) "extra spec checks" true
+    (Ctl.Check.holds c.Smv.Compile.model f)
+
+let test_load_file () =
+  let path = Filename.temp_file "model" ".smv" in
+  let oc = open_out path in
+  output_string oc toggle_src;
+  close_out oc;
+  let c = Smv.load_file path in
+  Sys.remove path;
+  Alcotest.(check int) "specs from file" 2 (List.length c.Smv.Compile.specs)
+
+let suite =
+  [
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer error" `Quick test_lexer_error;
+    Alcotest.test_case "parse program" `Quick test_parse_program;
+    Alcotest.test_case "parse case and set" `Quick test_parse_case_and_set;
+    Alcotest.test_case "parse arithmetic" `Quick test_parse_arith_precedence;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "toggle specs" `Quick test_toggle_specs;
+    Alcotest.test_case "counter with mod" `Quick test_counter_mod;
+    Alcotest.test_case "nondeterministic set" `Quick test_nondeterministic_set;
+    Alcotest.test_case "enum case" `Quick test_enum_case;
+    Alcotest.test_case "TRANS with next" `Quick test_trans_with_next;
+    Alcotest.test_case "INVAR" `Quick test_invar;
+    Alcotest.test_case "invariant assignment" `Quick test_current_assignment;
+    Alcotest.test_case "FAIRNESS section" `Quick test_fairness_section;
+    Alcotest.test_case "next() outside TRANS rejected" `Quick
+      (fun () ->
+        match test_mutex_smv_counterexample () with
+        | () -> ()
+        | exception Smv.Compile.Error (msg, _) ->
+          Alcotest.(check bool) "mentions TRANS" true
+            (Astring.String.is_infix ~affix:"TRANS" msg));
+    Alcotest.test_case "mutex end to end" `Quick test_mutex_smv_counterexample_fixed;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors;
+    Alcotest.test_case "compile_expr" `Quick test_compile_expr_extra_spec;
+    Alcotest.test_case "load_file" `Quick test_load_file;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* DEFINE and set membership.                                          *)
+
+let test_define () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR s : {idle, busy, done_};\n\
+       DEFINE active := s = busy | s = done_;\n\
+       ASSIGN init(s) := idle;\n\
+       next(s) := case s = idle : busy; s = busy : done_; TRUE : idle; esac;\n\
+       SPEC AG (s = busy -> active)\n\
+       SPEC EF active\n\
+       SPEC AG (active -> AF !active)\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs
+
+let test_define_nested_and_next () =
+  (* Defines may use other defines, and next(define) primes the body. *)
+  let c =
+    compile
+      "MODULE main\n\
+       VAR x : boolean;\n\
+       DEFINE nx := !x; nnx := !nx;\n\
+       INIT !x\n\
+       TRANS next(nnx) <-> nx\n\
+       SPEC AG (x -> AX !x)\nSPEC AG (!x -> AX x)\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs
+
+let test_define_errors () =
+  expect_compile_error
+    "MODULE main\nVAR x : boolean;\nDEFINE x := TRUE;\n"
+    "collides";
+  expect_compile_error
+    "MODULE main\nVAR y : boolean;\nDEFINE a := b; b := a;\nINIT a\n"
+    "cyclic DEFINE";
+  expect_compile_error
+    "MODULE main\nVAR x : boolean;\nDEFINE d := x;\nASSIGN next(d) := x;\n"
+    "cannot assign to DEFINE"
+
+let test_in_operator () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR s : {a, b, c, d};\n\
+       ASSIGN init(s) := a;\n\
+       next(s) := case s = a : b; s = b : c; s = c : d; TRUE : a; esac;\n\
+       SPEC AG (s in {a, b} -> AX s in {b, c})\n\
+       SPEC EF s in {d}\n\
+       SPEC AG (s in {a, b, c, d})\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Check.holds m spec))
+    c.Smv.Compile.specs
+
+let test_in_int_ranges () =
+  let c =
+    compile
+      "MODULE main\n\
+       VAR n : 0..4;\n\
+       ASSIGN init(n) := 0; next(n) := (n + 1) mod 5;\n\
+       SPEC AG (n in {0, 2, 4} | n in {1, 3})\n"
+  in
+  Alcotest.(check bool) "in over ints" true
+    (Ctl.Check.holds c.Smv.Compile.model (snd (List.hd c.Smv.Compile.specs)))
+
+let test_define_in_compile_expr () =
+  let c =
+    compile
+      "MODULE main\nVAR x : boolean;\nDEFINE d := !x;\nASSIGN next(x) := !x; init(x) := FALSE;\n"
+  in
+  let f = Smv.Compile.compile_expr c "AG (d <-> !x)" in
+  Alcotest.(check bool) "define usable in extra specs" true
+    (Ctl.Check.holds c.Smv.Compile.model f)
+
+let extra_suite =
+  [
+    Alcotest.test_case "DEFINE" `Quick test_define;
+    Alcotest.test_case "DEFINE nested + next" `Quick test_define_nested_and_next;
+    Alcotest.test_case "DEFINE errors" `Quick test_define_errors;
+    Alcotest.test_case "in operator" `Quick test_in_operator;
+    Alcotest.test_case "in over integers" `Quick test_in_int_ranges;
+    Alcotest.test_case "DEFINE in compile_expr" `Quick test_define_in_compile_expr;
+  ]
+
+let suite = suite @ extra_suite
+
+(* ------------------------------------------------------------------ *)
+(* Module instantiation (flattening).                                   *)
+
+let test_module_counter_instances () =
+  let c =
+    compile
+      "MODULE counter(tick)\n\
+       VAR n : 0..3;\n\
+       ASSIGN init(n) := 0;\n\
+       next(n) := case tick : (n + 1) mod 4; TRUE : n; esac;\n\
+       DEFINE full := n = 3;\n\
+       SPEC AG (full -> n = 3)\n\
+       \n\
+       MODULE main\n\
+       VAR go : boolean;\n\
+       c1 : counter(go);\n\
+       c2 : counter(!go);\n\
+       ASSIGN next(go) := {TRUE, FALSE};\n\
+       SPEC AG (c1.n = 3 -> c1.full)\n\
+       SPEC EF (c1.full & c2.full)\n"
+  in
+  let m = c.Smv.Compile.model in
+  (* both instances contribute their variables *)
+  ignore (Kripke.var_by_name m "c1.n");
+  ignore (Kripke.var_by_name m "c2.n");
+  (* the submodule SPEC is instantiated twice, plus two in main *)
+  Alcotest.(check int) "spec count" 4 (List.length c.Smv.Compile.specs);
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Fair.holds m spec))
+    c.Smv.Compile.specs
+
+let test_module_parameter_is_expression () =
+  (* Parameters are expressions evaluated in the parent namespace. *)
+  let c =
+    compile
+      "MODULE latch(set)\n\
+       VAR q : boolean;\n\
+       ASSIGN init(q) := FALSE;\n\
+       next(q) := case set : TRUE; TRUE : q; esac;\n\
+       \n\
+       MODULE main\n\
+       VAR a : boolean; b : boolean;\n\
+       l : latch(a & b);\n\
+       ASSIGN next(a) := {TRUE, FALSE}; next(b) := {TRUE, FALSE};\n\
+       SPEC AG ((a & b) -> AX l.q)\n\
+       SPEC AG (l.q -> AG l.q)\n"
+  in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true
+        (Ctl.Check.holds c.Smv.Compile.model spec))
+    c.Smv.Compile.specs
+
+let test_module_nested () =
+  let c =
+    compile
+      "MODULE bit\nVAR b : boolean;\nASSIGN next(b) := !b; init(b) := FALSE;\n\
+       MODULE pair\nVAR x : bit; y : bit;\n\
+       MODULE main\nVAR p : pair;\n\
+       SPEC AG (p.x.b <-> p.y.b)\n"
+  in
+  Alcotest.(check bool) "nested instance spec" true
+    (Ctl.Check.holds c.Smv.Compile.model (snd (List.hd c.Smv.Compile.specs)))
+
+let test_module_parent_assigns_child () =
+  (* The parent may constrain a child's variable. *)
+  let c =
+    compile
+      "MODULE cell\nVAR v : boolean;\n\
+       MODULE main\nVAR c : cell;\n\
+       ASSIGN init(c.v) := TRUE; next(c.v) := c.v;\n\
+       SPEC AG c.v\n"
+  in
+  Alcotest.(check bool) "parent assignment" true
+    (Ctl.Check.holds c.Smv.Compile.model (snd (List.hd c.Smv.Compile.specs)))
+
+let expect_flatten_error src fragment =
+  match compile src with
+  | _ -> Alcotest.failf "expected flatten error mentioning %S" fragment
+  | exception Smv.Flatten.Error (msg, _) ->
+    if not (Astring.String.is_infix ~affix:fragment msg) then
+      Alcotest.failf "error %S does not mention %S" msg fragment
+
+let test_module_errors () =
+  expect_flatten_error "MODULE main\nVAR x : nosuch;\n" "unknown module";
+  expect_flatten_error
+    "MODULE a\nVAR x : a;\nMODULE main\nVAR y : a;\n"
+    "recursive instantiation";
+  expect_flatten_error
+    "MODULE a(p)\nVAR x : boolean;\nMODULE main\nVAR y : a;\n"
+    "expects 1 parameter";
+  expect_flatten_error "MODULE other\nVAR x : boolean;\n" "no module main";
+  expect_flatten_error
+    "MODULE main\nVAR x : boolean;\nMODULE main\nVAR y : boolean;\n"
+    "duplicate module";
+  expect_flatten_error "MODULE main(p)\nVAR x : boolean;\n"
+    "main takes no parameters";
+  expect_flatten_error
+    "MODULE a(p)\nASSIGN next(p) := TRUE;\nVAR z : boolean;\n\
+     MODULE main\nVAR q : boolean; i : a(q);\n"
+    "cannot assign to formal parameter"
+
+let module_suite =
+  [
+    Alcotest.test_case "module instances" `Quick test_module_counter_instances;
+    Alcotest.test_case "module parameter expressions" `Quick test_module_parameter_is_expression;
+    Alcotest.test_case "nested modules" `Quick test_module_nested;
+    Alcotest.test_case "parent assigns child" `Quick test_module_parent_assigns_child;
+    Alcotest.test_case "module errors" `Quick test_module_errors;
+  ]
+
+let suite = suite @ module_suite
+
+(* ------------------------------------------------------------------ *)
+(* Asynchronous processes.                                             *)
+
+let inverter_ring =
+  "MODULE inverter(input)\n\
+   VAR out : boolean;\n\
+   ASSIGN init(out) := FALSE; next(out) := !input;\n\
+   FAIRNESS running\n\
+   \n\
+   MODULE main\n\
+   VAR g1 : process inverter(g3.out);\n\
+   g2 : process inverter(g1.out);\n\
+   g3 : process inverter(g2.out);\n\
+   SPEC AG (AF g1.out & AF !g1.out)\n"
+
+let test_process_ring_oscillates () =
+  (* The NuSMV ring-oscillator demo: an odd inverter ring oscillates
+     forever when every gate eventually responds. *)
+  let c = compile inverter_ring in
+  let m = c.Smv.Compile.model in
+  Alcotest.(check bool) "oscillates under gate fairness" true
+    (Ctl.Fair.holds m (snd (List.hd c.Smv.Compile.specs)));
+  (* Without the FAIRNESS running constraints one gate can hog the
+     scheduler: recompile without fairness. *)
+  let unfair =
+    compile
+      (Str.global_replace (Str.regexp_string "FAIRNESS running") ""
+         inverter_ring)
+  in
+  Alcotest.(check bool) "may stall without fairness" false
+    (Ctl.Check.holds unfair.Smv.Compile.model
+       (snd (List.hd unfair.Smv.Compile.specs)))
+
+let test_process_interleaving_freezes_others () =
+  (* Two counters as processes: in any single step at most one of them
+     moves. *)
+  let c =
+    compile
+      "MODULE cnt\n\
+       VAR n : 0..3;\n\
+       ASSIGN init(n) := 0; next(n) := (n + 1) mod 4;\n\
+       \n\
+       MODULE main\n\
+       VAR a : process cnt; b : process cnt;\n\
+       SPEC AG ((a.n = 0 & b.n = 0) -> AX !(a.n = 1 & b.n = 1))\n\
+       SPEC EF (a.n = 2 & b.n = 3)\n"
+  in
+  let m = c.Smv.Compile.model in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true (Ctl.Fair.holds m spec))
+    c.Smv.Compile.specs
+
+let test_process_selector_visible () =
+  let c =
+    compile
+      "MODULE t\nVAR x : boolean;\nASSIGN next(x) := !x;\n\
+       MODULE main\nVAR p : process t;\nSPEC EF p.x\n"
+  in
+  let m = c.Smv.Compile.model in
+  (* the scheduler variable exists and ranges over the units *)
+  let v = Kripke.var_by_name m "_process" in
+  (match v.Kripke.vtype with
+  | Kripke.Enum [ "main"; "p" ] -> ()
+  | _ -> Alcotest.fail "unexpected selector domain");
+  Alcotest.(check bool) "progress possible" true
+    (Ctl.Check.holds m (snd (List.hd c.Smv.Compile.specs)))
+
+let test_process_running_in_spec () =
+  let c =
+    compile
+      "MODULE t\nVAR x : boolean;\nASSIGN next(x) := !x;\n\
+       MODULE main\nVAR p : process t;\n\
+       SPEC AG (p.running -> p.running)\nSPEC EF p.running\nSPEC EF running\n"
+  in
+  List.iter
+    (fun (name, spec) ->
+      Alcotest.(check bool) name true
+        (Ctl.Check.holds c.Smv.Compile.model spec))
+    c.Smv.Compile.specs
+
+let test_process_owned_variable_frozen () =
+  (* While process q runs, p's counter cannot change. *)
+  let c =
+    compile
+      "MODULE cnt\nVAR n : 0..1;\nASSIGN next(n) := (n + 1) mod 2;\n\
+       MODULE main\nVAR p : process cnt; q : process cnt;\n\
+       SPEC AG ((p.n = 0 & q.running) -> AX (q.running -> p.n = 0))\n"
+  in
+  ignore c;
+  (* The frozen-variable property is directly expressed on steps: when
+     q is selected, after the step p.n is unchanged. *)
+  let c2 =
+    compile
+      "MODULE cnt\nVAR n : 0..1;\nASSIGN next(n) := (n + 1) mod 2;\n\
+       MODULE main\nVAR p : process cnt; q : process cnt;\n\
+       TRANS running | p.running | q.running\n"
+  in
+  let m = c2.Smv.Compile.model in
+  let p_zero = Smv.Compile.compile_expr c2 "p.n = 0" in
+  let q_runs = Smv.Compile.compile_expr c2 "q.running" in
+  let set f = Ctl.Check.sat m f in
+  (* from any state where q runs and p.n = 0, every successor has
+     p.n = 0 *)
+  let bad =
+    Bdd.and_ m.Kripke.man
+      (Bdd.and_ m.Kripke.man (set p_zero) (set q_runs))
+      (Kripke.pre m (Bdd.diff m.Kripke.man m.Kripke.space (set p_zero)))
+  in
+  Alcotest.(check bool) "p.n frozen while q runs" true (Bdd.is_zero bad)
+
+let process_suite =
+  [
+    Alcotest.test_case "process ring oscillates" `Quick test_process_ring_oscillates;
+    Alcotest.test_case "process interleaving" `Quick test_process_interleaving_freezes_others;
+    Alcotest.test_case "process selector variable" `Quick test_process_selector_visible;
+    Alcotest.test_case "running in specs" `Quick test_process_running_in_spec;
+    Alcotest.test_case "owned variables frozen" `Quick test_process_owned_variable_frozen;
+  ]
+
+let suite = suite @ process_suite
+
+(* ------------------------------------------------------------------ *)
+(* Printer / parser roundtrip on random expressions.                   *)
+
+let rec strip (e : Smv.Ast.expr) : Smv.Ast.desc =
+  match e.Smv.Ast.desc with
+  | (Smv.Ast.Etrue | Smv.Ast.Efalse | Smv.Ast.Eint _ | Smv.Ast.Eident _) as d
+    ->
+    d
+  | Smv.Ast.Enext a -> Smv.Ast.Enext (restamp a)
+  | Smv.Ast.Enot a -> Smv.Ast.Enot (restamp a)
+  | Smv.Ast.Eand (a, b) -> Smv.Ast.Eand (restamp a, restamp b)
+  | Smv.Ast.Eor (a, b) -> Smv.Ast.Eor (restamp a, restamp b)
+  | Smv.Ast.Eimp (a, b) -> Smv.Ast.Eimp (restamp a, restamp b)
+  | Smv.Ast.Eiff (a, b) -> Smv.Ast.Eiff (restamp a, restamp b)
+  | Smv.Ast.Eeq (a, b) -> Smv.Ast.Eeq (restamp a, restamp b)
+  | Smv.Ast.Eneq (a, b) -> Smv.Ast.Eneq (restamp a, restamp b)
+  | Smv.Ast.Elt (a, b) -> Smv.Ast.Elt (restamp a, restamp b)
+  | Smv.Ast.Ele (a, b) -> Smv.Ast.Ele (restamp a, restamp b)
+  | Smv.Ast.Egt (a, b) -> Smv.Ast.Egt (restamp a, restamp b)
+  | Smv.Ast.Ege (a, b) -> Smv.Ast.Ege (restamp a, restamp b)
+  | Smv.Ast.Eadd (a, b) -> Smv.Ast.Eadd (restamp a, restamp b)
+  | Smv.Ast.Esub (a, b) -> Smv.Ast.Esub (restamp a, restamp b)
+  | Smv.Ast.Emod (a, b) -> Smv.Ast.Emod (restamp a, restamp b)
+  | Smv.Ast.Ein (a, b) -> Smv.Ast.Ein (restamp a, restamp b)
+  | Smv.Ast.Eset es -> Smv.Ast.Eset (List.map restamp es)
+  | Smv.Ast.Ecase bs ->
+    Smv.Ast.Ecase (List.map (fun (g, v) -> (restamp g, restamp v)) bs)
+  | Smv.Ast.Eex a -> Smv.Ast.Eex (restamp a)
+  | Smv.Ast.Eef a -> Smv.Ast.Eef (restamp a)
+  | Smv.Ast.Eeg a -> Smv.Ast.Eeg (restamp a)
+  | Smv.Ast.Eax a -> Smv.Ast.Eax (restamp a)
+  | Smv.Ast.Eaf a -> Smv.Ast.Eaf (restamp a)
+  | Smv.Ast.Eag a -> Smv.Ast.Eag (restamp a)
+  | Smv.Ast.Eeu (a, b) -> Smv.Ast.Eeu (restamp a, restamp b)
+  | Smv.Ast.Eau (a, b) -> Smv.Ast.Eau (restamp a, restamp b)
+
+and restamp e = { Smv.Ast.desc = strip e; pos = { line = 0; col = 0 } }
+
+(* Random SMV expressions (no next/temporal nesting subtleties: keep
+   them to positions where the printer emits valid syntax). *)
+let smv_expr_gen =
+  let open QCheck2.Gen in
+  let ident = oneofl [ "x"; "y"; "n" ] in
+  sized @@ fix (fun self depth ->
+      if depth <= 0 then
+        oneof
+          [ map (fun s -> Smv.Ast.Eident s) ident;
+            map (fun n -> Smv.Ast.Eint n) (int_bound 9);
+            return Smv.Ast.Etrue; return Smv.Ast.Efalse ]
+        |> map (fun desc -> { Smv.Ast.desc; pos = { line = 0; col = 0 } })
+      else
+        let sub = self (depth / 2) in
+        let mk2 ctor = map2 (fun a b ->
+            { Smv.Ast.desc = ctor a b; pos = { Smv.Ast.line = 0; col = 0 } }) sub sub in
+        oneof
+          [ mk2 (fun a b -> Smv.Ast.Eand (a, b));
+            mk2 (fun a b -> Smv.Ast.Eor (a, b));
+            mk2 (fun a b -> Smv.Ast.Eimp (a, b));
+            mk2 (fun a b -> Smv.Ast.Eiff (a, b));
+            mk2 (fun a b -> Smv.Ast.Eeq (a, b));
+            mk2 (fun a b -> Smv.Ast.Elt (a, b));
+            mk2 (fun a b -> Smv.Ast.Eadd (a, b));
+            mk2 (fun a b -> Smv.Ast.Emod (a, b));
+            map (fun a -> { Smv.Ast.desc = Smv.Ast.Enot a; pos = { Smv.Ast.line = 0; col = 0 } }) sub;
+            map (fun a -> { Smv.Ast.desc = Smv.Ast.Eag a; pos = { Smv.Ast.line = 0; col = 0 } }) sub;
+            mk2 (fun a b -> Smv.Ast.Eeu (a, b)) ])
+
+let prop_smv_pp_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"SMV expression pp/parse roundtrip" ~count:300
+       smv_expr_gen
+       (fun e ->
+         let printed = Smv.Ast.expr_to_string e in
+         match Smv.Parser.expression printed with
+         | parsed -> strip (restamp parsed) = strip (restamp e)
+         | exception (Smv.Parser.Error _ | Smv.Lexer.Error _) ->
+           QCheck2.Test.fail_reportf "did not re-parse: %s" printed))
+
+let suite = suite @ [ prop_smv_pp_roundtrip ]

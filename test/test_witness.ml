@@ -1,0 +1,368 @@
+(* Tests for Section 6: witness generation, validation, explanation.
+
+   The central properties: every witness the generator produces for a
+   state the checker says satisfies the formula must pass the
+   independent trace validator; and a witness is produced for *every*
+   such state (completeness).  Lengths are compared against the exact
+   NP-hard minimum from Explicit.Minwit on small instances. *)
+
+let prop name ?(count = 150) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let check_valid what = function
+  | Ok () -> true
+  | Error e ->
+    QCheck2.Test.fail_reportf "%s: %a" what Counterex.Validate.pp_error e
+
+(* ------------------------------------------------------------------ *)
+(* Property tests on random models.                                    *)
+
+let with_formula ?(nfair = 2) () =
+  QCheck2.Gen.pair (Models.random_model_gen ~nfair ()) Models.formula_gen
+
+(* Every state satisfying fair EG f yields a validating lasso. *)
+let prop_eg_witness strategy name =
+  prop name ~count:150 (with_formula ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let f = Ctl.Fair.sat m (Ctl.EG af) in
+      let fset = Ctl.Fair.sat m af in
+      List.for_all
+        (fun st ->
+          let tr = Counterex.Witness.eg ~strategy m ~f:fset ~start:st in
+          check_valid "eg witness" (Counterex.Validate.eg_witness m ~f:fset tr)
+          && Kripke.Trace.nth tr 0 = st)
+        (Kripke.states_in m f))
+
+let prop_eg_restart = prop_eg_witness Counterex.Witness.Restart
+    "fair EG witnesses validate (Restart strategy)"
+
+let prop_eg_precompute = prop_eg_witness Counterex.Witness.Precompute
+    "fair EG witnesses validate (Precompute strategy)"
+
+let prop_eg_no_fairness =
+  prop "plain EG witnesses validate (no constraints)" ~count:150
+    (with_formula ~nfair:0 ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let fset = Ctl.Check.sat m af in
+      let eg = Ctl.Check.eg m fset in
+      List.for_all
+        (fun st ->
+          let tr = Counterex.Witness.eg m ~f:fset ~start:st in
+          check_valid "eg witness" (Counterex.Validate.eg_witness m ~f:fset tr))
+        (Kripke.states_in m eg))
+
+let prop_eg_rejects_nonmembers =
+  prop "witness refused outside fair EG f" ~count:100 (with_formula ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let fset = Ctl.Fair.sat m af in
+      let eg = Ctl.Fair.eg m fset in
+      let outside = Bdd.diff m.Kripke.man m.Kripke.space eg in
+      List.for_all
+        (fun st ->
+          match Counterex.Witness.eg m ~f:fset ~start:st with
+          | _ -> false
+          | exception Counterex.Witness.No_witness _ -> true)
+        (Kripke.states_in m outside))
+
+let prop_eu_witness =
+  prop "EU witnesses validate and are ring-minimal" ~count:150
+    (QCheck2.Gen.pair (Models.random_model_gen ())
+       (QCheck2.Gen.pair Models.formula_gen Models.formula_gen))
+    (fun (rm, (af, ag)) ->
+      let m = rm.Models.sym in
+      let f = Ctl.Check.sat m af and g = Ctl.Check.sat m ag in
+      let rings = Ctl.Check.eu_rings m f g in
+      let eu = Ctl.Check.eu m f g in
+      List.for_all
+        (fun st ->
+          let tr = Counterex.Witness.eu m ~f ~g ~start:st in
+          check_valid "eu witness" (Counterex.Validate.eu_witness m ~f ~g tr)
+          (* Ring-minimality: the trace length equals 1 + the smallest
+             ring index containing the start state. *)
+          &&
+          let rec level i =
+            if Kripke.eval_in_state m rings.(i) st then i else level (i + 1)
+          in
+          Kripke.Trace.length tr = 1 + level 0)
+        (Kripke.states_in m eu))
+
+let prop_ex_witness =
+  prop "EX witnesses validate" ~count:150 (with_formula ~nfair:0 ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let f = Ctl.Check.sat m af in
+      let ex = Ctl.Check.ex m f in
+      List.for_all
+        (fun st ->
+          let tr = Counterex.Witness.ex m ~f ~start:st in
+          check_valid "ex witness" (Counterex.Validate.ex_witness m ~f tr)
+          && Kripke.Trace.length tr = 2)
+        (Kripke.states_in m ex))
+
+let prop_eu_fair_witness =
+  prop "fair EU witnesses are fair lassos" ~count:100
+    (QCheck2.Gen.pair (Models.random_model_gen ~nfair:2 ())
+       (QCheck2.Gen.pair Models.formula_gen Models.formula_gen))
+    (fun (rm, (af, ag)) ->
+      let m = rm.Models.sym in
+      let f = Ctl.Fair.sat m af and g = Ctl.Fair.sat m ag in
+      let eu_fair = Ctl.Fair.eu m f g in
+      List.for_all
+        (fun st ->
+          let tr = Counterex.Witness.eu_fair m ~f ~g ~start:st in
+          check_valid "path" (Counterex.Validate.path_ok m tr)
+          && Kripke.Trace.is_lasso tr
+          (* the fair extension must hit every constraint on the cycle *)
+          && check_valid "fair cycle"
+               (Counterex.Validate.eg_witness m ~f:m.Kripke.space tr)
+          (* some state along the trace satisfies g *)
+          && List.exists (Kripke.eval_in_state m g) (Kripke.Trace.states tr))
+        (Kripke.states_in m eu_fair))
+
+(* The heuristic witness is never shorter than the exact NP-hard
+   minimum (it cannot be — minimality check of Minwit), and both agree
+   on existence. *)
+let prop_heuristic_vs_minimal =
+  prop "greedy witness >= exact minimum; existence agrees" ~count:100
+    (Models.random_model_gen ~max_states:6 ~nfair:2 ())
+    (fun rm ->
+      let m = rm.Models.sym in
+      let fair = Ctl.Fair.fair_states m in
+      let g = rm.Models.graph in
+      List.for_all
+        (fun i ->
+          let st = rm.Models.encode i in
+          let symbolic_fair = Kripke.eval_in_state m fair st in
+          match Explicit.Minwit.minimal g ~start:i with
+          | None -> not symbolic_fair
+          | Some (prefix, cycle) ->
+            symbolic_fair
+            &&
+            let tr =
+              Counterex.Witness.eg m ~f:m.Kripke.space ~start:st
+            in
+            Kripke.Trace.length tr >= List.length prefix + List.length cycle)
+        (List.init g.Explicit.Egraph.nstates Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* Explanation: counterexamples for full CTL.                          *)
+
+let prop_counterexample_exists_iff_fails =
+  prop "counterexample exists iff the formula fails" ~count:200
+    (with_formula ())
+    (fun (rm, f) ->
+      let m = rm.Models.sym in
+      let holds = Ctl.Fair.holds m f in
+      match Counterex.Explain.counterexample m f with
+      | None -> holds
+      | Some tr ->
+        (not holds)
+        && check_valid "path" (Counterex.Validate.path_ok m tr)
+        && check_valid "starts at init"
+             (Counterex.Validate.starts_at m m.Kripke.init tr))
+
+let prop_witness_exists_iff_holds_somewhere =
+  prop "witness exists iff some initial state satisfies" ~count:200
+    (with_formula ())
+    (fun (rm, f) ->
+      let m = rm.Models.sym in
+      let sat = Ctl.Fair.sat m f in
+      let any = not (Bdd.is_zero (Bdd.and_ m.Kripke.man m.Kripke.init sat)) in
+      match Counterex.Explain.witness m f with
+      | None -> not any
+      | Some tr ->
+        any
+        && check_valid "path" (Counterex.Validate.path_ok m tr)
+        && check_valid "starts at init"
+             (Counterex.Validate.starts_at m m.Kripke.init tr))
+
+let prop_ag_counterexample_reaches_violation =
+  prop "AG p counterexample ends in !p" ~count:200
+    (Models.random_model_gen ~nfair:1 ())
+    (fun rm ->
+      let m = rm.Models.sym in
+      let f = Ctl.AG (Ctl.atom "p") in
+      match Counterex.Explain.counterexample m f with
+      | None -> Ctl.Fair.holds m f
+      | Some tr ->
+        let p = Ctl.Fair.sat m (Ctl.atom "p") in
+        List.exists
+          (fun st -> not (Kripke.eval_in_state m p st))
+          (Kripke.Trace.states tr))
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests: the mutex starvation counterexample, end to end.        *)
+
+let test_mutex_starvation_trace () =
+  let { Models.m; t1; c1; _ } = Models.mutex () in
+  let spec = Ctl.(AG (t1 ==> AF c1)) in
+  match Counterex.Explain.counterexample m spec with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some tr ->
+    Alcotest.(check bool) "valid path" true
+      (Counterex.Validate.path_ok m tr = Ok ());
+    Alcotest.(check bool) "is a lasso" true (Kripke.Trace.is_lasso tr);
+    (* On the cycle: t1 holds and c1 never holds (starvation). *)
+    let sat_t1 = Ctl.Fair.sat m t1 and sat_c1 = Ctl.Fair.sat m c1 in
+    List.iter
+      (fun st ->
+        Alcotest.(check bool) "never critical on cycle" false
+          (Kripke.eval_in_state m sat_c1 st))
+      tr.Kripke.Trace.cycle;
+    Alcotest.(check bool) "trying somewhere on trace" true
+      (List.exists (Kripke.eval_in_state m sat_t1) (Kripke.Trace.states tr));
+    (* Fairness constraints all hit on the cycle. *)
+    List.iteri
+      (fun k h ->
+        Alcotest.(check bool)
+          (Printf.sprintf "fairness %d hit" k)
+          true
+          (List.exists (Kripke.eval_in_state m h) tr.Kripke.Trace.cycle))
+      m.Kripke.fairness
+
+let test_mutex_safety_no_counterexample () =
+  let { Models.m; c1; c2; _ } = Models.mutex () in
+  let spec = Ctl.AG (Ctl.neg Ctl.(c1 &&& c2)) in
+  Alcotest.(check bool) "no counterexample" true
+    (Counterex.Explain.counterexample m spec = None)
+
+let test_explain_rejects_false_formula () =
+  let { Models.m; c1; _ } = Models.mutex () in
+  match Kripke.pick_state m m.Kripke.init with
+  | None -> Alcotest.fail "no init"
+  | Some st ->
+    (match Counterex.Explain.explain m c1 ~start:st with
+    | _ -> Alcotest.fail "expected Cannot_explain"
+    | exception Counterex.Explain.Cannot_explain _ -> ())
+
+let test_ef_witness_on_counter () =
+  let m = Models.counter 3 in
+  let target = Ctl.(atom "b0" &&& atom "b1" &&& atom "b2") in
+  match Counterex.Explain.witness m (Ctl.EF target) with
+  | None -> Alcotest.fail "expected witness"
+  | Some tr ->
+    (* 000 -> 100 -> 010 -> ... -> 111 is 8 states. *)
+    Alcotest.(check int) "shortest path to 111" 8 (Kripke.Trace.length tr);
+    Alcotest.(check bool) "valid" true
+      (Counterex.Validate.path_ok m tr = Ok ())
+
+let test_eg_stats_strategies () =
+  (* A chain of two SCCs: states 0-1 form a cycle that cannot satisfy
+     the fairness constraint {3}; 2-3 form a fair cycle reachable from
+     0.  The first round anchors t in the first SCC and must restart. *)
+  let g =
+    Explicit.Egraph.make ~nstates:4
+      ~edges:[ (0, 1); (1, 0); (0, 2); (2, 3); (3, 2) ]
+      ~init:[ 0 ]
+      ~fairness:[ Explicit.Egraph.mask_of_list ~nstates:4 [ 3 ] ]
+      ()
+  in
+  let m, encode = Explicit.Bridge.to_kripke g in
+  let start = encode 0 in
+  let tr, stats =
+    Counterex.Witness.eg_stats m ~f:m.Kripke.space ~start
+  in
+  Alcotest.(check bool) "valid witness" true
+    (Counterex.Validate.eg_witness m ~f:m.Kripke.space tr = Ok ());
+  Alcotest.(check bool) "at least one round" true (stats.Counterex.Witness.rounds >= 1)
+
+let suite =
+  [
+    prop_eg_restart;
+    prop_eg_precompute;
+    prop_eg_no_fairness;
+    prop_eg_rejects_nonmembers;
+    prop_eu_witness;
+    prop_ex_witness;
+    prop_eu_fair_witness;
+    prop_heuristic_vs_minimal;
+    prop_counterexample_exists_iff_fails;
+    prop_witness_exists_iff_holds_somewhere;
+    prop_ag_counterexample_reaches_violation;
+    Alcotest.test_case "mutex starvation counterexample" `Quick test_mutex_starvation_trace;
+    Alcotest.test_case "mutex safety has no counterexample" `Quick test_mutex_safety_no_counterexample;
+    Alcotest.test_case "explain rejects false formulas" `Quick test_explain_rejects_false_formula;
+    Alcotest.test_case "EF witness on counter" `Quick test_ef_witness_on_counter;
+    Alcotest.test_case "eg_stats two-SCC chain" `Quick test_eg_stats_strategies;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The validators reject corrupted traces (they are not vacuous).      *)
+
+let prop_validator_rejects_corruption =
+  prop "validators reject corrupted witnesses" ~count:100 (with_formula ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let fset = Ctl.Fair.sat m af in
+      let eg = Ctl.Fair.eg m fset in
+      match Kripke.pick_state m eg with
+      | None -> true (* nothing to corrupt *)
+      | Some st ->
+        let tr = Counterex.Witness.eg m ~f:fset ~start:st in
+        (* corruption 1: drop the cycle — no longer a lasso *)
+        let no_cycle = Kripke.Trace.finite (Kripke.Trace.states tr) in
+        let r1 = Counterex.Validate.eg_witness m ~f:fset no_cycle <> Ok () in
+        (* corruption 2: demand an impossible invariant *)
+        let r2 =
+          Counterex.Validate.eg_witness m ~f:(Bdd.zero m.Kripke.man) tr
+          <> Ok ()
+        in
+        (* corruption 3: duplicate the first state at the front; the
+           self-edge need not exist *)
+        let first = Kripke.Trace.nth tr 0 in
+        let doubled =
+          Kripke.Trace.lasso
+            ~prefix:(first :: tr.Kripke.Trace.prefix)
+            ~cycle:tr.Kripke.Trace.cycle
+        in
+        let r3 =
+          (* valid only if the first state really has a self loop *)
+          Counterex.Validate.path_ok m doubled <> Ok ()
+          || Kripke.eval_in_state m
+               (Kripke.pre m (Kripke.state_to_bdd m first))
+               first
+        in
+        r1 && r2 && r3)
+
+let prop_witness_deterministic =
+  prop "witness construction is deterministic" ~count:60 (with_formula ())
+    (fun (rm, af) ->
+      let m = rm.Models.sym in
+      let fset = Ctl.Fair.sat m af in
+      let eg = Ctl.Fair.eg m fset in
+      match Kripke.pick_state m eg with
+      | None -> true
+      | Some st ->
+        let t1 = Counterex.Witness.eg m ~f:fset ~start:st in
+        let t2 = Counterex.Witness.eg m ~f:fset ~start:st in
+        Kripke.Trace.states t1 = Kripke.Trace.states t2)
+
+let test_au_counterexample () =
+  (* A[p U q] fails on the counter: p never true, q never true ⇒ the
+     counterexample demonstrates the negation. *)
+  let m = Models.counter 2 in
+  let spec = Ctl.AU (Ctl.atom "b0", Ctl.atom "b1") in
+  (match Counterex.Explain.counterexample m spec with
+  | Some tr ->
+    Alcotest.(check bool) "path valid" true
+      (Counterex.Validate.path_ok m tr = Ok ());
+    Alcotest.(check bool) "starts at init" true
+      (Counterex.Validate.starts_at m m.Kripke.init tr = Ok ())
+  | None -> Alcotest.fail "expected AU counterexample");
+  (* and a true AU has none: counter from 00 satisfies A[!b1 U b0]
+     (b0 flips on the very first step). *)
+  let holds_spec = Ctl.AU (Ctl.neg (Ctl.atom "b1"), Ctl.atom "b0") in
+  Alcotest.(check bool) "true AU" true (Ctl.Check.holds m holds_spec);
+  Alcotest.(check bool) "no counterexample for a true spec" true
+    (Counterex.Explain.counterexample m holds_spec = None)
+
+let suite =
+  suite
+  @ [
+      prop_validator_rejects_corruption;
+      prop_witness_deterministic;
+      Alcotest.test_case "AU counterexample" `Quick test_au_counterexample;
+    ]
