@@ -45,7 +45,87 @@ let ns_string ns = Format.asprintf "%a" pp_ns ns
 
 let seconds_string s = ns_string (s *. 1e9)
 
-(* Aligned plain-text tables. *)
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output: one JSON object per line, enabled by
+   bench/main.exe --json.  Rows can be collected from a run with
+   `grep '^{'` and fed to jq; values are flat scalars only.           *)
+
+type json = Int of int | Float of float | Bool of bool | String of string
+
+let json_enabled = ref false
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_value = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.6g" f
+  | Bool b -> string_of_bool b
+  | String s -> json_string s
+
+let emit_json ~experiment fields =
+  if !json_enabled then begin
+    let fields = ("experiment", String experiment) :: fields in
+    let cells =
+      List.map
+        (fun (k, v) -> Printf.sprintf "%s: %s" (json_string k) (json_value v))
+        fields
+    in
+    Format.printf "{%s}@." (String.concat ", " cells)
+  end
+
+(* The same counters `smv_check --stats` prints, as JSON fields, so
+   bench rows and CLI runs report comparable columns. *)
+let bdd_stat_fields man =
+  let s = Bdd.stats man in
+  [
+    ("live_nodes", Int s.Bdd.live_nodes);
+    ("peak_nodes", Int s.Bdd.peak_nodes);
+    ("total_nodes", Int s.Bdd.total_nodes);
+    ("cache_hits", Int (Bdd.cache_hits s));
+    ("cache_misses", Int (Bdd.cache_misses s));
+    ("cache_evictions", Int s.Bdd.cache_evictions);
+    ("gc_runs", Int s.Bdd.gc_runs);
+    ("gc_collected", Int s.Bdd.gc_collected);
+  ]
+
+let fixpoint_fields () =
+  let c = Ctl.Check.fixpoint_stats () in
+  let f = Ctl.Fair.fixpoint_stats () in
+  [
+    ("eu_iterations", Int c.Ctl.Check.eu_iterations);
+    ("eg_iterations", Int c.Ctl.Check.eg_iterations);
+    ("ring_layers", Int c.Ctl.Check.ring_layers);
+    ("fair_outer_iterations", Int f.Ctl.Fair.outer_iterations);
+    ("fair_ring_layers", Int f.Ctl.Fair.ring_layers);
+  ]
+
+let reset_fixpoint_counters () =
+  Ctl.Check.reset_fixpoint_stats ();
+  Ctl.Fair.reset_fixpoint_stats ()
+
+let slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '_')
+    s
+
+(* Aligned plain-text tables; under --json every row is also emitted as
+   an object keyed by the (slugified) header. *)
 let print_table ~title ~header rows =
   let all = header :: rows in
   let ncols = List.length header in
@@ -63,7 +143,14 @@ let print_table ~title ~header rows =
   Format.printf "%s@." (line header);
   Format.printf "%s@."
     (String.concat "  " (List.map (fun w -> String.make w '-') widths));
-  List.iter (fun row -> Format.printf "%s@." (line row)) rows
+  List.iter (fun row -> Format.printf "%s@." (line row)) rows;
+  if !json_enabled then
+    let keys = List.map slug header in
+    List.iter
+      (fun row ->
+        emit_json ~experiment:title
+          (List.map2 (fun k cell -> (k, String cell)) keys row))
+      rows
 
 let note fmt = Format.printf ("   " ^^ fmt ^^ "@.")
 

@@ -6,7 +6,9 @@
      dune exec bench/main.exe                 # all experiments, quick
      dune exec bench/main.exe -- --full       # larger sweeps
      dune exec bench/main.exe -- --only E2 E3 # a subset
-     dune exec bench/main.exe -- --raw        # Bechamel OLS estimates *)
+     dune exec bench/main.exe -- --raw        # Bechamel OLS estimates
+     dune exec bench/main.exe -- --json       # also emit JSON rows
+     dune exec bench/main.exe -- --smoke      # tiny eviction smoke run *)
 
 let experiments =
   [
@@ -52,13 +54,19 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let raw = List.mem "--raw" args in
+  Harness.json_enabled := List.mem "--json" args;
   let selected_ids =
     List.filter
       (fun a -> String.length a > 0 && a.[0] = 'E')
       args
   in
   let selected id = selected_ids = [] || List.mem id selected_ids in
-  if raw then run_raw ()
+  if List.mem "--smoke" args then
+    (* A seconds-scale workload with bounded op-caches and stats output,
+       wired to the @bench-smoke alias; non-zero exit on any verdict
+       divergence between bounded and unbounded caches. *)
+    exit (if Exp_fair.smoke () then 0 else 1)
+  else if raw then run_raw ()
   else begin
     Format.printf "Benchmarks reproducing the evaluation artifacts of@.";
     Format.printf

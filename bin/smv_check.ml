@@ -12,6 +12,7 @@ type options = {
   traces : bool;
   stats : bool;
   partitioned : bool;
+  cache_limit : int option;
   simulate : int option;
   seed : int;
 }
@@ -53,6 +54,20 @@ let print_model_stats m =
     Format.printf
       "warning: %.0f deadlocked states (CTL semantics assumes a total relation)@."
       (Kripke.count_states m dead)
+
+(* The post-run half of --stats: BDD manager counters and fixpoint
+   iteration counts accumulated while checking. *)
+let print_run_stats m =
+  Format.printf "%a@." Bdd.pp_stats (Bdd.stats m.Kripke.man);
+  let c = Ctl.Check.fixpoint_stats () in
+  let f = Ctl.Fair.fixpoint_stats () in
+  Format.printf
+    "fixpoints: %d EU iterations, %d EG iterations, %d ring layers@."
+    c.Ctl.Check.eu_iterations c.Ctl.Check.eg_iterations
+    c.Ctl.Check.ring_layers;
+  Format.printf
+    "fair fixpoints: %d outer iterations, %d ring layers saved@."
+    f.Ctl.Fair.outer_iterations f.Ctl.Fair.ring_layers
 
 (* The paper: a true existential specification gets a witness, a false
    universal one gets a counterexample. *)
@@ -122,8 +137,16 @@ let simulate m ~steps ~seed =
     Format.printf "%a@." (Kripke.Trace.pp m) tr
 
 let run opts =
+  let* () =
+    match opts.cache_limit with
+    | Some n when n <= 0 -> Error "--cache-limit: N must be positive"
+    | Some _ | None -> Ok ()
+  in
   let* compiled = load opts in
   let m = compiled.Smv.Compile.model in
+  (match opts.cache_limit with
+  | Some _ as limit -> Bdd.set_cache_limit m.Kripke.man limit
+  | None -> ());
   if opts.stats then print_model_stats m;
   (match opts.simulate with
   | Some steps -> simulate m ~steps ~seed:opts.seed
@@ -137,18 +160,22 @@ let run opts =
       (Ok []) opts.extra_specs
   in
   let specs = compiled.Smv.Compile.specs @ List.rev extra in
-  if specs = [] then begin
-    Format.printf "no specifications to check@.";
-    Ok true
-  end
-  else
-    let ok =
-      List.fold_left
-        (fun ok spec ->
-          check_one m ~fair:opts.fair ~traces:opts.traces spec && ok)
-        true specs
-    in
-    Ok ok
+  let result =
+    if specs = [] then begin
+      Format.printf "no specifications to check@.";
+      Ok true
+    end
+    else
+      let ok =
+        List.fold_left
+          (fun ok spec ->
+            check_one m ~fair:opts.fair ~traces:opts.traces spec && ok)
+          true specs
+      in
+      Ok ok
+  in
+  if opts.stats then print_run_stats m;
+  result
 
 open Cmdliner
 
@@ -187,7 +214,21 @@ let partitioned_arg =
 let stats_arg =
   Arg.(
     value & flag
-    & info [ "stats" ] ~doc:"Print model statistics (state counts, deadlocks).")
+    & info [ "stats" ]
+        ~doc:
+          "Print model statistics (state counts, deadlocks) before \
+           checking, and BDD-manager counters (cache hits/misses, peak \
+           node count) plus fixpoint iteration counts afterwards.")
+
+let cache_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cache-limit" ] ~docv:"N"
+        ~doc:
+          "Bound every BDD operation cache to N entries; a cache that \
+           grows past the bound is dropped and rebuilt (results are \
+           unchanged, memory is bounded).")
 
 let simulate_arg =
   Arg.(
@@ -201,11 +242,12 @@ let seed_arg =
     value & opt int 0
     & info [ "seed" ] ~docv:"N" ~doc:"Random seed for --simulate.")
 
-let main file extra_specs no_fair no_trace stats partitioned simulate seed =
+let main file extra_specs no_fair no_trace stats partitioned cache_limit
+    simulate seed =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
-      partitioned; simulate; seed;
+      partitioned; cache_limit; simulate; seed;
     }
   in
   match run opts with
@@ -235,6 +277,7 @@ let cmd =
     (Cmd.info "smv_check" ~version:"1.0.0" ~doc ~man)
     Term.(
       const main $ file_arg $ spec_arg $ no_fair_arg $ no_trace_arg
-      $ stats_arg $ partitioned_arg $ simulate_arg $ seed_arg)
+      $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
+      $ seed_arg)
 
 let () = exit (Cmd.eval' cmd)

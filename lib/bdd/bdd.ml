@@ -17,6 +17,15 @@ type t =
 
 and node = { nid : int; var : int; low : t; high : t }
 
+(* Per-operation counters, updated in place on the hot path. *)
+type opstat = {
+  mutable calls : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let fresh_opstat () = { calls = 0; hits = 0; misses = 0 }
+
 type man = {
   unique : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
@@ -25,9 +34,22 @@ type man = {
   forall_cache : (int * int, t) Hashtbl.t;
   relprod_cache : (int * int * int, t) Hashtbl.t;
   constrain_cache : (int * int, t) Hashtbl.t;
+  mutable cache_limit : int;
+      (* per-cache high-water mark; [max_int] means unbounded *)
+  mutable evictions : int;
+  mutable peak_nodes : int;
+  mutable gc_runs : int;
+  mutable gc_collected : int;
+  ite_stat : opstat;
+  exists_stat : opstat;
+  forall_stat : opstat;
+  relprod_stat : opstat;
+  constrain_stat : opstat;
+  roots : (int, unit -> t list) Hashtbl.t;
+  mutable next_root : int;
 }
 
-let create ?(unique_size = 20_011) ?(cache_size = 20_011) () =
+let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
   {
     unique = Hashtbl.create unique_size;
     next_id = 2;
@@ -36,7 +58,48 @@ let create ?(unique_size = 20_011) ?(cache_size = 20_011) () =
     forall_cache = Hashtbl.create cache_size;
     relprod_cache = Hashtbl.create cache_size;
     constrain_cache = Hashtbl.create cache_size;
+    cache_limit = (match cache_limit with Some n -> n | None -> max_int);
+    evictions = 0;
+    peak_nodes = 0;
+    gc_runs = 0;
+    gc_collected = 0;
+    ite_stat = fresh_opstat ();
+    exists_stat = fresh_opstat ();
+    forall_stat = fresh_opstat ();
+    relprod_stat = fresh_opstat ();
+    constrain_stat = fresh_opstat ();
+    roots = Hashtbl.create 16;
+    next_root = 0;
   }
+
+let set_cache_limit m limit =
+  (match limit with
+  | Some n when n <= 0 -> invalid_arg "Bdd.set_cache_limit: non-positive limit"
+  | Some _ | None -> ());
+  m.cache_limit <- (match limit with Some n -> n | None -> max_int)
+
+let cache_limit m = if m.cache_limit = max_int then None else Some m.cache_limit
+
+(* Cache lookups and insertions funnel through these two helpers so hit
+   and miss counts stay accurate and every cache obeys the high-water
+   mark.  Eviction drops the whole table ([Hashtbl.reset]): correctness
+   never depends on the caches, only sharing does, so a full reset
+   mid-recursion merely forces recomputation. *)
+let cache_find stat cache key =
+  match Hashtbl.find_opt cache key with
+  | Some _ as r ->
+    stat.hits <- stat.hits + 1;
+    r
+  | None ->
+    stat.misses <- stat.misses + 1;
+    None
+
+let cache_store m cache key r =
+  Hashtbl.add cache key r;
+  if Hashtbl.length cache > m.cache_limit then begin
+    Hashtbl.reset cache;
+    m.evictions <- m.evictions + 1
+  end
 
 let zero _ = False
 let one _ = True
@@ -75,6 +138,8 @@ let mk m v lo hi =
       let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
       m.next_id <- m.next_id + 1;
       Hashtbl.add m.unique key n;
+      let live = Hashtbl.length m.unique in
+      if live > m.peak_nodes then m.peak_nodes <- live;
       n
 
 let var m v =
@@ -97,6 +162,7 @@ let cofactors f v =
   | False | True | Node _ -> (f, f)
 
 let rec ite m f g h =
+  m.ite_stat.calls <- m.ite_stat.calls + 1;
   match f with
   | True -> g
   | False -> h
@@ -105,7 +171,7 @@ let rec ite m f g h =
     else if is_one g && is_zero h then f
     else
       let key = (id f, id g, id h) in
-      match Hashtbl.find_opt m.ite_cache key with
+      match cache_find m.ite_stat m.ite_cache key with
       | Some r -> r
       | None ->
         let v = min (level f) (min (level g) (level h)) in
@@ -114,7 +180,7 @@ let rec ite m f g h =
         and h0, h1 = cofactors h v in
         let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
         let r = mk m v lo hi in
-        Hashtbl.add m.ite_cache key r;
+        cache_store m m.ite_cache key r;
         r
 
 let not_ m f = ite m f False True
@@ -148,6 +214,7 @@ let rec cube_from c v =
   | False | True | Node _ -> c
 
 let rec exists m c f =
+  m.exists_stat.calls <- m.exists_stat.calls + 1;
   match (f, c) with
   | (False | True), _ -> f
   | _, (True | False) -> f
@@ -157,7 +224,7 @@ let rec exists m c f =
     | True | False -> f
     | Node nc ->
       let key = (id f, id c) in
-      (match Hashtbl.find_opt m.exists_cache key with
+      (match cache_find m.exists_stat m.exists_cache key with
       | Some r -> r
       | None ->
         let r =
@@ -165,10 +232,11 @@ let rec exists m c f =
             or_ m (exists m nc.high nf.low) (exists m nc.high nf.high)
           else mk m nf.var (exists m c nf.low) (exists m c nf.high)
         in
-        Hashtbl.add m.exists_cache key r;
+        cache_store m m.exists_cache key r;
         r))
 
 let rec forall m c f =
+  m.forall_stat.calls <- m.forall_stat.calls + 1;
   match (f, c) with
   | (False | True), _ -> f
   | _, (True | False) -> f
@@ -178,7 +246,7 @@ let rec forall m c f =
     | True | False -> f
     | Node nc ->
       let key = (id f, id c) in
-      (match Hashtbl.find_opt m.forall_cache key with
+      (match cache_find m.forall_stat m.forall_cache key with
       | Some r -> r
       | None ->
         let r =
@@ -186,12 +254,13 @@ let rec forall m c f =
             and_ m (forall m nc.high nf.low) (forall m nc.high nf.high)
           else mk m nf.var (forall m c nf.low) (forall m c nf.high)
         in
-        Hashtbl.add m.forall_cache key r;
+        cache_store m m.forall_cache key r;
         r))
 
 (* Relational product: exists c (f /\ g) in a single recursion, the
    workhorse of image computation. *)
 let rec and_exists m c f g =
+  m.relprod_stat.calls <- m.relprod_stat.calls + 1;
   match (f, g) with
   | False, _ | _, False -> False
   | True, True -> True
@@ -207,7 +276,7 @@ let rec and_exists m c f g =
         (* Normalise the cache key: /\ is commutative. *)
         let i, j = if id f <= id g then (id f, id g) else (id g, id f) in
         let key = (i, j, id c) in
-        (match Hashtbl.find_opt m.relprod_cache key with
+        (match cache_find m.relprod_stat m.relprod_cache key with
         | Some r -> r
         | None ->
           let f0, f1 = cofactors f v and g0, g1 = cofactors g v in
@@ -216,7 +285,7 @@ let rec and_exists m c f g =
               or_ m (and_exists m nc.high f0 g0) (and_exists m nc.high f1 g1)
             else mk m v (and_exists m c f0 g0) (and_exists m c f1 g1)
           in
-          Hashtbl.add m.relprod_cache key r;
+          cache_store m m.relprod_cache key r;
           r)))
 
 (* Generalized cofactor (Coudert-Madre "constrain"): a function that
@@ -224,6 +293,7 @@ let rec and_exists m c f g =
    the result is often much smaller than [f].  Key property:
    [c /\ constrain f c = c /\ f]. *)
 let rec constrain m f c =
+  m.constrain_stat.calls <- m.constrain_stat.calls + 1;
   match c with
   | False -> invalid_arg "Bdd.constrain: care set is empty"
   | True -> f
@@ -234,7 +304,7 @@ let rec constrain m f c =
       if equal f c then True
       else
         let key = (id f, id c) in
-        (match Hashtbl.find_opt m.constrain_cache key with
+        (match cache_find m.constrain_stat m.constrain_cache key with
         | Some r -> r
         | None ->
           let v = min (level f) (level c) in
@@ -244,10 +314,33 @@ let rec constrain m f c =
             else if is_zero c0 then constrain m f1 c1
             else mk m v (constrain m f0 c0) (constrain m f1 c1)
           in
-          Hashtbl.add m.constrain_cache key r;
+          cache_store m m.constrain_cache key r;
           r))
 
 let rename m f perm =
+  (* [perm] must be injective on the support: two source variables
+     mapped to one target would silently conflate their cofactors and
+     produce a wrong diagram, so detect it up front (one O(size f)
+     sweep, dominated by the rebuild below). *)
+  let seen = Hashtbl.create 64 in
+  let targets = Hashtbl.create 16 in
+  let rec check = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.nid) then begin
+        Hashtbl.add seen n.nid ();
+        let v' = perm n.var in
+        if v' < 0 then invalid_arg "Bdd.rename: negative target variable";
+        (match Hashtbl.find_opt targets v' with
+        | Some src when src <> n.var ->
+          invalid_arg "Bdd.rename: permutation not injective on support"
+        | Some _ -> ()
+        | None -> Hashtbl.add targets v' n.var);
+        check n.low;
+        check n.high
+      end
+  in
+  check f;
   (* Rebuild bottom-up through ITE so that non-monotone permutations are
      handled correctly; memoised per call. *)
   let memo = Hashtbl.create 1024 in
@@ -258,9 +351,7 @@ let rename m f perm =
       match Hashtbl.find_opt memo n.nid with
       | Some r -> r
       | None ->
-        let v' = perm n.var in
-        if v' < 0 then invalid_arg "Bdd.rename: negative target variable";
-        let r = ite m (var m v') (go n.high) (go n.low) in
+        let r = ite m (var m (perm n.var)) (go n.high) (go n.low) in
         Hashtbl.add memo n.nid r;
         r)
   in
@@ -341,6 +432,25 @@ let any_sat f =
   in
   go [] f
 
+let any_sat_total f ~vars =
+  let partial = any_sat f in
+  let tbl = Hashtbl.create (2 * List.length partial) in
+  List.iter (fun (v, b) -> Hashtbl.replace tbl v b) partial;
+  let mentioned = Hashtbl.create 16 in
+  let assignment =
+    List.map
+      (fun v ->
+        Hashtbl.replace mentioned v ();
+        (v, match Hashtbl.find_opt tbl v with Some b -> b | None -> false))
+      (List.sort_uniq Stdlib.compare vars)
+  in
+  List.iter
+    (fun (v, _) ->
+      if not (Hashtbl.mem mentioned v) then
+        invalid_arg "Bdd.any_sat_total: support not contained in vars")
+    partial;
+  assignment
+
 let fold_sat f vars ~init ~f:k =
   let vars = Array.of_list vars in
   let nv = Array.length vars in
@@ -376,6 +486,7 @@ let fold_sat f vars ~init ~f:k =
   go init 0 f
 
 let count_nodes m = m.next_id - 2
+let live_nodes m = Hashtbl.length m.unique
 
 let clear_caches m =
   Hashtbl.reset m.ite_cache;
@@ -383,6 +494,128 @@ let clear_caches m =
   Hashtbl.reset m.exists_cache;
   Hashtbl.reset m.forall_cache;
   Hashtbl.reset m.relprod_cache
+
+(* ------------------------------------------------------------------ *)
+(* Statistics.                                                         *)
+
+type op_stats = { calls : int; hits : int; misses : int }
+
+type stats = {
+  ite : op_stats;
+  exists : op_stats;
+  forall : op_stats;
+  relprod : op_stats;
+  constrain : op_stats;
+  live_nodes : int;
+  peak_nodes : int;
+  total_nodes : int;
+  cache_evictions : int;
+  gc_runs : int;
+  gc_collected : int;
+}
+
+let snapshot_op (s : opstat) =
+  { calls = s.calls; hits = s.hits; misses = s.misses }
+
+let stats m =
+  {
+    ite = snapshot_op m.ite_stat;
+    exists = snapshot_op m.exists_stat;
+    forall = snapshot_op m.forall_stat;
+    relprod = snapshot_op m.relprod_stat;
+    constrain = snapshot_op m.constrain_stat;
+    live_nodes = live_nodes m;
+    peak_nodes = m.peak_nodes;
+    total_nodes = count_nodes m;
+    cache_evictions = m.evictions;
+    gc_runs = m.gc_runs;
+    gc_collected = m.gc_collected;
+  }
+
+let cache_hits s =
+  s.ite.hits + s.exists.hits + s.forall.hits + s.relprod.hits
+  + s.constrain.hits
+
+let cache_misses s =
+  s.ite.misses + s.exists.misses + s.forall.misses + s.relprod.misses
+  + s.constrain.misses
+
+let reset_stats m =
+  let reset (s : opstat) =
+    s.calls <- 0;
+    s.hits <- 0;
+    s.misses <- 0
+  in
+  reset m.ite_stat;
+  reset m.exists_stat;
+  reset m.forall_stat;
+  reset m.relprod_stat;
+  reset m.constrain_stat;
+  m.evictions <- 0;
+  m.gc_runs <- 0;
+  m.gc_collected <- 0;
+  m.peak_nodes <- live_nodes m
+
+let pp_stats ppf s =
+  let op name (o : op_stats) =
+    Format.fprintf ppf "  %-10s %10d calls %10d hits %10d misses@," name
+      o.calls o.hits o.misses
+  in
+  Format.fprintf ppf "@[<v>BDD manager: %d live nodes (peak %d, %d allocated)@,"
+    s.live_nodes s.peak_nodes s.total_nodes;
+  op "ite" s.ite;
+  op "exists" s.exists;
+  op "forall" s.forall;
+  op "relprod" s.relprod;
+  op "constrain" s.constrain;
+  Format.fprintf ppf
+    "  cache hits %d  misses %d  evictions %d@,  gc runs %d (collected %d nodes)@]"
+    (cache_hits s) (cache_misses s) s.cache_evictions s.gc_runs s.gc_collected
+
+(* ------------------------------------------------------------------ *)
+(* Explicit roots and mark-and-sweep garbage collection.               *)
+
+type root = int
+
+let add_root m f =
+  let r = m.next_root in
+  m.next_root <- r + 1;
+  Hashtbl.replace m.roots r f;
+  r
+
+let remove_root m r = Hashtbl.remove m.roots r
+
+let with_root m f k =
+  let r = add_root m f in
+  Fun.protect ~finally:(fun () -> remove_root m r) k
+
+let gc m =
+  let marked = Hashtbl.create (max 64 (Hashtbl.length m.unique)) in
+  let rec mark = function
+    | False | True -> ()
+    | Node n ->
+      if not (Hashtbl.mem marked n.nid) then begin
+        Hashtbl.add marked n.nid ();
+        mark n.low;
+        mark n.high
+      end
+  in
+  Hashtbl.iter (fun _ provider -> List.iter mark (provider ())) m.roots;
+  let before = Hashtbl.length m.unique in
+  Hashtbl.filter_map_inplace
+    (fun _ n ->
+      match n with
+      | Node nd -> if Hashtbl.mem marked nd.nid then Some n else None
+      | False | True -> Some n)
+    m.unique;
+  (* The operation caches may hold (and keep alive) nodes just swept
+     from the unique table; returning one later would break canonicity,
+     so they must go too. *)
+  clear_caches m;
+  let collected = before - Hashtbl.length m.unique in
+  m.gc_runs <- m.gc_runs + 1;
+  m.gc_collected <- m.gc_collected + collected;
+  collected
 
 let pp ppf f =
   match f with

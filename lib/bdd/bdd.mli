@@ -23,9 +23,23 @@ type man
 type t
 (** A BDD over the manager it was created from. *)
 
-val create : ?unique_size:int -> ?cache_size:int -> unit -> man
+val create :
+  ?unique_size:int -> ?cache_size:int -> ?cache_limit:int -> unit -> man
 (** [create ()] makes a fresh manager.  [unique_size] and [cache_size]
-    are initial sizes of the unique table and the operation caches. *)
+    are initial sizes of the unique table and the operation caches.
+    [cache_limit], when given, bounds every operation cache: an insert
+    that pushes a cache past [cache_limit] entries drops that whole
+    cache (size-triggered eviction).  Results never change — caches
+    only affect sharing of work — so a limit trades recomputation for
+    bounded memory.  Default: unbounded. *)
+
+val set_cache_limit : man -> int option -> unit
+(** Install ([Some n]) or remove ([None]) the operation-cache
+    high-water mark; takes effect on the next cache insertion.  Raises
+    [Invalid_argument] when [n <= 0]. *)
+
+val cache_limit : man -> int option
+(** The current operation-cache high-water mark, if bounded. *)
 
 (** {1 Constants and variables} *)
 
@@ -125,8 +139,10 @@ val constrain : man -> t -> t -> t
 
 val rename : man -> t -> (int -> int) -> t
 (** [rename m f perm] substitutes variable [perm v] for each variable
-    [v] in the support of [f].  [perm] must be injective on the support;
-    it need not be monotone. *)
+    [v] in the support of [f].  [perm] must be injective on the support
+    (two source variables mapped to one target would conflate their
+    cofactors); violations raise [Invalid_argument] instead of silently
+    producing a wrong diagram.  [perm] need not be monotone. *)
 
 (** {1 Inspection} *)
 
@@ -146,9 +162,21 @@ val sat_count : t -> int -> float
     of [f] must be < [n]. *)
 
 val any_sat : t -> (int * bool) list
-(** One satisfying partial assignment (the lexicographically least cube,
-    preferring [false] branches), as (variable, value) pairs sorted by
-    variable.  Raises [Not_found] on the constant false. *)
+(** One satisfying {e partial} assignment (the lexicographically least
+    cube, preferring [false] branches), as (variable, value) pairs
+    sorted by variable.  Variables on which the cube does not depend
+    (don't-cares) are {e omitted}: any completion of the returned pairs
+    satisfies the diagram.  Callers that need one concrete point must
+    pin the don't-cares themselves or use {!any_sat_total}.  Raises
+    [Not_found] on the constant false. *)
+
+val any_sat_total : t -> vars:int list -> (int * bool) list
+(** [any_sat_total f ~vars] — one satisfying {e total} assignment over
+    [vars]: the {!any_sat} cube with every unmentioned variable of
+    [vars] pinned to [false] (the lexicographically least satisfying
+    point).  The support of [f] must be contained in [vars]; raises
+    [Invalid_argument] otherwise and [Not_found] on the constant
+    false. *)
 
 val fold_sat : t -> int list -> init:'a -> f:('a -> bool array -> 'a) -> 'a
 (** [fold_sat f vars ~init ~f:k] folds [k] over every total assignment
@@ -158,11 +186,89 @@ val fold_sat : t -> int list -> init:'a -> f:('a -> bool array -> 'a) -> 'a
     lexicographic order with [false] < [true]. *)
 
 val count_nodes : man -> int
-(** Number of live nodes ever created in the manager. *)
+(** Number of nodes ever created in the manager (allocation counter;
+    not decreased by {!gc}). *)
+
+val live_nodes : man -> int
+(** Number of nodes currently in the unique table. *)
 
 val clear_caches : man -> unit
 (** Drop the operation caches (the unique table is kept, so canonicity
     is unaffected).  Useful between phases of a long run. *)
+
+(** {1 Statistics} *)
+
+type op_stats = {
+  calls : int;   (** recursive invocations, terminal cases included *)
+  hits : int;    (** operation-cache hits *)
+  misses : int;  (** operation-cache misses *)
+}
+
+type stats = {
+  ite : op_stats;
+  exists : op_stats;
+  forall : op_stats;
+  relprod : op_stats;  (** {!and_exists}, the relational product *)
+  constrain : op_stats;
+  live_nodes : int;       (** current unique-table size *)
+  peak_nodes : int;       (** largest unique-table size so far *)
+  total_nodes : int;      (** nodes ever allocated *)
+  cache_evictions : int;  (** size-triggered whole-cache drops *)
+  gc_runs : int;
+  gc_collected : int;     (** nodes swept across all {!gc} runs *)
+}
+(** A snapshot of the manager's counters. *)
+
+val stats : man -> stats
+(** Snapshot the counters (cheap; safe to call on the hot path). *)
+
+val cache_hits : stats -> int
+(** Total cache hits across the five operation caches. *)
+
+val cache_misses : stats -> int
+(** Total cache misses across the five operation caches. *)
+
+val reset_stats : man -> unit
+(** Zero every counter; [peak_nodes] restarts from the current
+    unique-table size.  Root registrations and caches are untouched. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** Multi-line human-readable rendering (the [--stats] output). *)
+
+(** {1 Garbage collection}
+
+    The manager never frees nodes on its own: the unique table grows
+    monotonically.  {!gc} sweeps it down to the nodes reachable from
+    {e registered roots}.  Any diagram a client intends to keep using
+    across a [gc] MUST be reachable from some root when [gc] runs —
+    using an unrooted survivor afterwards is unsound, because a later
+    recomputation would build a fresh node for the same function and
+    structural equality would no longer coincide with semantic
+    equivalence.  [Kripke.make] registers the model's BDDs
+    automatically, and the fixpoint engines root their in-flight
+    frontiers, so with those layers only {e extra} long-lived sets
+    (saved satisfaction sets, witnesses under construction) need
+    explicit roots. *)
+
+type root
+(** Handle for a registered root provider. *)
+
+val add_root : man -> (unit -> t list) -> root
+(** [add_root m provider] registers a callback yielding diagrams that
+    must survive collection; it is invoked at every {!gc}, so it may
+    return different (e.g. freshly updated) diagrams each time. *)
+
+val remove_root : man -> root -> unit
+(** Unregister a root; unknown handles are ignored. *)
+
+val with_root : man -> (unit -> t list) -> (unit -> 'a) -> 'a
+(** [with_root m provider k] runs [k] with [provider] registered,
+    unregistering on exit (normal or exceptional). *)
+
+val gc : man -> int
+(** Mark from every registered root and sweep unreachable nodes out of
+    the unique table; the operation caches are dropped (they may hold
+    swept nodes).  Returns the number of nodes collected. *)
 
 val pp : Format.formatter -> t -> unit
 (** Structural summary printer (id, root variable, node count). *)

@@ -7,6 +7,13 @@ type stats = {
   rounds : int;
 }
 
+exception
+  Restart_bound_exceeded of {
+    restarts : int;
+    rounds : int;
+    prefix : Kripke.state list;
+  }
+
 let in_set m set st = Kripke.eval_in_state m set st
 
 let succ_set m st = Kripke.post m (Kripke.state_to_bdd m st)
@@ -16,13 +23,16 @@ let pick m set =
   | Some st -> st
   | None -> raise (No_witness "internal: empty pick")
 
-(* Smallest ring index whose intersection with [set] is non-empty,
-   together with a representative state; scanning from 0 yields the
-   shortest continuation. *)
-let min_layer m (layers : Bdd.t array) set =
+(* Smallest ring index below [limit] whose intersection with [set] is
+   non-empty, together with a representative state; scanning from 0
+   yields the shortest continuation. *)
+let min_layer m ?limit (layers : Bdd.t array) set =
   let bman = m.Kripke.man in
+  let bound =
+    match limit with Some j -> j | None -> Array.length layers
+  in
   let rec scan i =
-    if i >= Array.length layers then None
+    if i >= bound then None
     else
       let inter = Bdd.and_ bman layers.(i) set in
       if Bdd.is_zero inter then scan (i + 1) else Some (i, pick m inter)
@@ -30,12 +40,15 @@ let min_layer m (layers : Bdd.t array) set =
   scan 0
 
 (* Walk from [start] (a member of [layers.(j0)]) down to a layer-0
-   state; returns the states strictly after [start], in order. *)
+   state; returns the states strictly after [start], in order.  The
+   strictly-descending scan is expressed as an index bound on
+   [min_layer] — copying a ring-array prefix per step ([Array.sub])
+   would make each descent quadratic in the ring count. *)
 let descend m layers ~start ~level:j0 =
   let rec go acc st j =
     if j = 0 then List.rev acc
     else
-      match min_layer m (Array.sub layers 0 j) (succ_set m st) with
+      match min_layer m ~limit:j layers (succ_set m st) with
       | Some (j', next) -> go (next :: acc) next j'
       | None -> raise (No_witness "internal: ring descent stuck")
   in
@@ -151,18 +164,21 @@ let run_round m ~strategy ~f ~egf ~(rings : Ctl.Fair.rings list) s =
       Closed (round_states, closing)
     | None -> Failed round_states)
 
-let eg_stats ?(strategy = Restart) m ~f ~start =
+let eg_stats ?(strategy = Restart) ?(max_restarts = 1_000_000) m ~f ~start =
   let f = Bdd.and_ m.Kripke.man f m.Kripke.space in
   let egf, rings = Ctl.Fair.eg_with_rings m f in
   if not (in_set m egf start) then
     raise (No_witness "EG: start state does not satisfy fair EG f");
   (* Each failed round strictly descends the DAG of strongly connected
      components, so the number of restarts is bounded by the number of
-     states; the fuel is a hard backstop against implementation bugs. *)
-  let fuel = ref 1_000_000 in
+     states; [max_restarts] is a hard backstop against implementation
+     bugs.  On exhaustion the collected prefix and round counts are
+     preserved in the exception so the failure is diagnosable. *)
   let rec loop prefix_rev s restarts =
-    decr fuel;
-    if !fuel <= 0 then raise (No_witness "EG: restart bound exceeded");
+    if restarts > max_restarts then
+      raise
+        (Restart_bound_exceeded
+           { restarts; rounds = restarts; prefix = List.rev prefix_rev });
     match run_round m ~strategy ~f ~egf ~rings s with
     | Closed (round_states, closing) ->
       let prefix = List.rev prefix_rev in

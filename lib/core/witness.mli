@@ -32,6 +32,16 @@ type stats = {
   rounds : int;    (** total constraint-visiting rounds (restarts + 1) *)
 }
 
+exception
+  Restart_bound_exceeded of {
+    restarts : int;             (** failed rounds completed *)
+    rounds : int;               (** rounds attempted *)
+    prefix : Kripke.state list; (** path collected before giving up *)
+  }
+(** Raised by {!eg_stats} / {!eg} when the construction exceeds its
+    restart bound, preserving the work done so far for diagnosis
+    (unlike {!No_witness}, which reports contract violations). *)
+
 val ex : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Two-state witness for [EX f] (no fairness): [start] followed by a
     successor in [f]. *)
@@ -47,13 +57,17 @@ val eg : ?strategy:strategy -> Kripke.t -> f:Bdd.t -> start:Kripke.state -> Krip
 
 val eg_stats :
   ?strategy:strategy ->
+  ?max_restarts:int ->
   Kripke.t ->
   f:Bdd.t ->
   start:Kripke.state ->
   Kripke.Trace.t * stats
 (** Like {!eg} but also reports how many rounds the construction
     needed — the quantity the strategy ablation (experiment E3)
-    measures. *)
+    measures.  [max_restarts] (default one million, a backstop far
+    above the state-count bound on legitimate restarts) caps the failed
+    rounds; exceeding it raises {!Restart_bound_exceeded} with the
+    collected prefix and counts. *)
 
 val ex_fair : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Witness for [EX f] under fairness: a step into [f /\ fair],

@@ -1,30 +1,83 @@
 exception Unknown_atom of string
 
+(* Observability counters: global (per-process, not per-model), updated
+   by every fixpoint below and snapshotted by [fixpoint_stats]. *)
+type fixpoint_stats = {
+  eu_iterations : int;
+  eg_iterations : int;
+  ring_layers : int;
+}
+
+let eu_iters = ref 0
+let eg_iters = ref 0
+let rings_built = ref 0
+
+let fixpoint_stats () =
+  {
+    eu_iterations = !eu_iters;
+    eg_iterations = !eg_iters;
+    ring_layers = !rings_built;
+  }
+
+let reset_fixpoint_stats () =
+  eu_iters := 0;
+  eg_iters := 0;
+  rings_built := 0
+
 let ex (m : Kripke.t) s = Kripke.pre m s
 
 let eu (m : Kripke.t) f g =
   let bman = m.Kripke.man in
-  let rec go q =
-    let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
-    if Bdd.equal q q' then q else go q'
-  in
-  go g
+  let frontier = ref g in
+  Bdd.with_root bman
+    (fun () -> [ f; g; !frontier ])
+    (fun () ->
+      let rec go q =
+        incr eu_iters;
+        let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
+        if Bdd.equal q q' then q
+        else begin
+          frontier := q';
+          go q'
+        end
+      in
+      go g)
 
 let eu_rings (m : Kripke.t) f g =
   let bman = m.Kripke.man in
-  let rec go acc q =
-    let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
-    if Bdd.equal q q' then List.rev acc else go (q' :: acc) q'
-  in
-  Array.of_list (go [ g ] g)
+  let layers = ref [ g ] in
+  Bdd.with_root bman
+    (fun () -> f :: !layers)
+    (fun () ->
+      let rec go acc q =
+        incr eu_iters;
+        let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
+        if Bdd.equal q q' then List.rev acc
+        else begin
+          layers := q' :: !layers;
+          go (q' :: acc) q'
+        end
+      in
+      let rings = Array.of_list (go [ g ] g) in
+      rings_built := !rings_built + Array.length rings;
+      rings)
 
 let eg (m : Kripke.t) f =
   let bman = m.Kripke.man in
-  let rec go z =
-    let z' = Bdd.and_ bman z (Bdd.and_ bman f (ex m z)) in
-    if Bdd.equal z z' then z else go z'
-  in
-  go (Bdd.and_ bman f m.Kripke.space)
+  let frontier = ref f in
+  Bdd.with_root bman
+    (fun () -> [ f; !frontier ])
+    (fun () ->
+      let rec go z =
+        incr eg_iters;
+        let z' = Bdd.and_ bman z (Bdd.and_ bman f (ex m z)) in
+        if Bdd.equal z z' then z
+        else begin
+          frontier := z';
+          go z'
+        end
+      in
+      go (Bdd.and_ bman f m.Kripke.space))
 
 (* Interpret a formula with the three basic operators supplied, so that
    the plain and fair checkers share one traversal. *)

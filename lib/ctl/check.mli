@@ -7,6 +7,21 @@
 exception Unknown_atom of string
 (** Raised when a formula mentions an atom the model does not label. *)
 
+type fixpoint_stats = {
+  eu_iterations : int;
+      (** [EU] fixpoint steps, {!eu_rings} sweeps included *)
+  eg_iterations : int;  (** plain [EG] fixpoint steps *)
+  ring_layers : int;    (** layers saved by {!eu_rings} *)
+}
+(** Iteration counters, accumulated process-wide (across all models)
+    since the last {!reset_fixpoint_stats}. *)
+
+val fixpoint_stats : unit -> fixpoint_stats
+(** Snapshot the counters. *)
+
+val reset_fixpoint_stats : unit -> unit
+(** Zero the counters. *)
+
 val sat : Kripke.t -> Syntax.t -> Bdd.t
 (** [sat m f] — the set of states of [m] satisfying [f] (the [Check]
     procedure of Section 4). *)

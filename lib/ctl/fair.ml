@@ -3,6 +3,23 @@ type rings = {
   layers : Bdd.t array;
 }
 
+(* Observability counters, process-wide like [Check]'s; the nested EU
+   sweeps of the fair fixpoint land in [Check.fixpoint_stats]. *)
+type fixpoint_stats = {
+  outer_iterations : int;
+  ring_layers : int;
+}
+
+let outer_iters = ref 0
+let rings_saved = ref 0
+
+let fixpoint_stats () =
+  { outer_iterations = !outer_iters; ring_layers = !rings_saved }
+
+let reset_fixpoint_stats () =
+  outer_iters := 0;
+  rings_saved := 0
+
 let constraints (m : Kripke.t) =
   match m.Kripke.fairness with
   | [] -> [ m.Kripke.space ]
@@ -23,20 +40,36 @@ let eg (m : Kripke.t) f =
   let bman = m.Kripke.man in
   let hs = constraints m in
   let f = Bdd.and_ bman f m.Kripke.space in
-  let rec go z =
-    let z' = eg_step m f hs z in
-    if Bdd.equal z z' then z else go z'
-  in
-  go f
+  let frontier = ref f in
+  Bdd.with_root bman
+    (fun () -> f :: !frontier :: hs)
+    (fun () ->
+      let rec go z =
+        incr outer_iters;
+        let z' = eg_step m f hs z in
+        if Bdd.equal z z' then z
+        else begin
+          frontier := z';
+          go z'
+        end
+      in
+      go f)
 
 let eg_with_rings (m : Kripke.t) f =
   let bman = m.Kripke.man in
   let z = eg m f in
   let f = Bdd.and_ bman f m.Kripke.space in
-  let ring h =
-    { constr = h; layers = Check.eu_rings m f (Bdd.and_ bman z h) }
-  in
-  (z, List.map ring (constraints m))
+  let saved = ref [ z; f ] in
+  Bdd.with_root bman
+    (fun () -> !saved)
+    (fun () ->
+      let ring h =
+        let layers = Check.eu_rings m f (Bdd.and_ bman z h) in
+        rings_saved := !rings_saved + Array.length layers;
+        saved := Array.to_list layers @ !saved;
+        { constr = h; layers }
+      in
+      (z, List.map ring (constraints m)))
 
 (* Memoising [fair] per model would need physical-identity caching of
    models; the computation is a fixpoint over fixpoints but models are

@@ -15,6 +15,22 @@ type rings = {
 }
 (** The "onion rings" Section 6's witness construction descends. *)
 
+type fixpoint_stats = {
+  outer_iterations : int;
+      (** iterations of the fair-[EG] outer greatest fixpoint *)
+  ring_layers : int;
+      (** layers saved by {!eg_with_rings} for witness generation *)
+}
+(** Counters accumulated process-wide since the last
+    {!reset_fixpoint_stats}; the nested [EU] sweeps the outer fixpoint
+    runs are counted by [Check.fixpoint_stats]. *)
+
+val fixpoint_stats : unit -> fixpoint_stats
+(** Snapshot the counters. *)
+
+val reset_fixpoint_stats : unit -> unit
+(** Zero the counters. *)
+
 val constraints : Kripke.t -> Bdd.t list
 (** The effective fairness constraints: the model's list, or [[true]]
     when it is empty. *)

@@ -34,6 +34,24 @@ type t = {
   labels : (string * Bdd.t) list;
 }
 
+(* Every BDD a model owns, for GC root registration: as long as the
+   model record itself is referenced, these diagrams must survive
+   [Bdd.gc]. *)
+let roots m =
+  let schedule_roots = function
+    | None -> []
+    | Some steps ->
+      List.concat_map (fun s -> [ s.cluster; s.quant ]) steps
+  in
+  (m.space :: m.init :: m.trans :: m.fairness)
+  @ List.map snd m.labels
+  @ schedule_roots m.pre_schedule
+  @ schedule_roots m.post_schedule
+
+let register_roots m =
+  ignore (Bdd.add_root m.man (fun () -> roots m) : Bdd.root);
+  m
+
 let cardinal = function
   | Bool -> 2
   | Enum vs -> List.length vs
@@ -51,7 +69,8 @@ let mk_var ~name ~vtype ~first_bit =
   { var_name = name; vtype; bits = Array.init w (fun i -> first_bit + i) }
 
 let with_fairness m fairness =
-  { m with fairness = List.map (Bdd.and_ m.man m.space) fairness }
+  register_roots
+    { m with fairness = List.map (Bdd.and_ m.man m.space) fairness }
 
 let cur_bit m b = Bdd.var m.man (2 * b)
 let nxt_bit m b = Bdd.var m.man ((2 * b) + 1)
@@ -106,11 +125,12 @@ let make ~man ~vars ~nbits ?space ~init ~trans ?(fairness = []) ?(labels = [])
   let trans = Bdd.conj man [ trans; space; space' ] in
   let init = Bdd.and_ man init space in
   let fairness = List.map (Bdd.and_ man space) fairness in
-  {
-    man; vars; nbits; space; init; trans;
-    pre_schedule = None; post_schedule = None;
-    fairness; labels;
-  }
+  register_roots
+    {
+      man; vars; nbits; space; init; trans;
+      pre_schedule = None; post_schedule = None;
+      fairness; labels;
+    }
 
 (* Eliminate variables cluster by cluster: each step conjoins its
    cluster and immediately quantifies the variables no later cluster
@@ -178,7 +198,10 @@ let with_partition m clusters =
       ~all_cube:(cur_cube_of m.man m.nbits)
       parts
   in
-  { m with pre_schedule = Some pre_schedule; post_schedule = Some post_schedule }
+  register_roots
+    { m with
+      pre_schedule = Some pre_schedule;
+      post_schedule = Some post_schedule }
 
 let partitioned m = m.pre_schedule <> None
 
@@ -197,11 +220,21 @@ let post m s =
     unprime m img
 
 let reachable m =
-  let rec go r =
-    let r' = Bdd.or_ m.man r (post m r) in
-    if Bdd.equal r r' then r else go r'
-  in
-  go m.init
+  (* Root the frontier so a GC triggered mid-fixpoint cannot sweep the
+     running approximation. *)
+  let frontier = ref m.init in
+  Bdd.with_root m.man
+    (fun () -> [ !frontier ])
+    (fun () ->
+      let rec go r =
+        let r' = Bdd.or_ m.man r (post m r) in
+        if Bdd.equal r r' then r
+        else begin
+          frontier := r';
+          go r'
+        end
+      in
+      go m.init)
 
 let deadlocks m =
   Bdd.diff m.man m.space (pre m m.space)
@@ -241,15 +274,22 @@ let state_to_bdd m (st : state) =
 let pick_state m set =
   let set = Bdd.and_ m.man set m.space in
   if Bdd.is_zero set then None
-  else
+  else begin
+    (* [Bdd.any_sat] returns a partial cube; bits it leaves unmentioned
+       are don't-cares, and pinning a don't-care to [false] stays inside
+       the set, so the result is a genuine single state. *)
     let partial = Bdd.any_sat set in
     let st = Array.make m.nbits false in
     List.iter
-      (fun (v, b) ->
-        (* Only current-copy variables are expected in state sets. *)
-        if v mod 2 = 0 then st.(v / 2) <- b)
+      (fun (v, b) -> if v mod 2 = 0 then st.(v / 2) <- b)
       partial;
+    (* A state set must constrain current-copy variables only; if the
+       pinned state fell outside the set, the cube required a next-copy
+       variable we cannot represent in a state. *)
+    if not (Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))) then
+      invalid_arg "Kripke.pick_state: set constrains next-state variables";
     Some st
+  end
 
 let pick_successor m st target =
   let succ = post m (state_to_bdd m st) in

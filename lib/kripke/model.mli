@@ -67,7 +67,14 @@ val make :
   t
 (** Assemble a model.  [init] and both endpoints of [trans] are
     conjoined with [space] (default: all encodings valid), and fairness
-    constraints are intersected with [space]. *)
+    constraints are intersected with [space].  The model's BDDs are
+    registered as garbage-collection roots with [man] (see {!roots} and
+    [Bdd.gc]), so an explicit collection never sweeps them. *)
+
+val roots : t -> Bdd.t list
+(** Every BDD the model owns (space, init, transition relation,
+    schedules, fairness constraints, labels) — the set {!make} registers
+    with [Bdd.add_root]. *)
 
 val with_partition : t -> Bdd.t list -> t
 (** [with_partition m clusters] — the same model with image
@@ -157,7 +164,11 @@ val state_to_bdd : t -> state -> Bdd.t
 
 val pick_state : t -> Bdd.t -> state option
 (** A deterministic representative of a state set (lexicographically
-    least within [space]); [None] if the set is empty. *)
+    least within [space]); [None] if the set is empty.  The result is a
+    {e total} assignment: state bits the set does not constrain are
+    pinned to [false], so [state_to_bdd] of the result is always a
+    subset of the set.  Raises [Invalid_argument] if the set constrains
+    next-copy variables (it is then not a state set). *)
 
 val pick_successor : t -> state -> Bdd.t -> state option
 (** [pick_successor m s target] — a successor of [s] inside [target]. *)

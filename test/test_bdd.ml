@@ -406,4 +406,129 @@ let constrain_suite =
     Alcotest.test_case "constrain shrinks" `Quick test_constrain_shrinks;
   ]
 
-let suite = suite @ constrain_suite
+(* ------------------------------------------------------------------ *)
+(* Manager statistics, bounded caches, and GC.  These use private
+   managers: the shared [man] above accumulates state across tests.    *)
+
+let test_stats_counters () =
+  let m = Bdd.create () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let g = Bdd.or_ m (Bdd.var m 2) f in
+  ignore (Bdd.exists m (Bdd.cube m [ 0 ]) g : Bdd.t);
+  let s = Bdd.stats m in
+  Alcotest.(check bool) "ite called" true (s.Bdd.ite.Bdd.calls > 0);
+  Alcotest.(check bool) "exists called" true (s.Bdd.exists.Bdd.calls > 0);
+  Alcotest.(check bool) "misses counted" true (Bdd.cache_misses s > 0);
+  Alcotest.(check bool) "live nodes" true (s.Bdd.live_nodes > 2);
+  Alcotest.(check bool) "peak >= live" true
+    (s.Bdd.peak_nodes >= s.Bdd.live_nodes);
+  (* Recomputing an already-cached operation hits. *)
+  let before = (Bdd.stats m).Bdd.ite.Bdd.hits in
+  ignore (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) : Bdd.t);
+  Alcotest.(check bool) "repeat op hits cache" true
+    ((Bdd.stats m).Bdd.ite.Bdd.hits > before);
+  Bdd.reset_stats m;
+  let z = Bdd.stats m in
+  Alcotest.(check int) "reset zeroes calls" 0 z.Bdd.ite.Bdd.calls;
+  Alcotest.(check int) "reset zeroes hits" 0 (Bdd.cache_hits z);
+  Alcotest.(check int) "peak restarts from live" z.Bdd.live_nodes
+    z.Bdd.peak_nodes
+
+let test_rename_non_injective () =
+  let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
+  Alcotest.check_raises "collapsing rename rejected"
+    (Invalid_argument "Bdd.rename: permutation not injective on support")
+    (fun () -> ignore (Bdd.rename man f (fun _ -> 0)));
+  Alcotest.check_raises "negative target rejected"
+    (Invalid_argument "Bdd.rename: negative target variable")
+    (fun () -> ignore (Bdd.rename man f (fun v -> v - 1)));
+  (* Only the support matters: a permutation that collides outside it
+     is fine. *)
+  let g = Bdd.var man 0 in
+  let perm v = if v = 0 then 5 else 7 in
+  Alcotest.(check bool) "off-support collision accepted" true
+    (Bdd.equal (Bdd.rename man g perm) (Bdd.var man 5))
+
+let test_eviction_canonicity () =
+  let m = Bdd.create ~cache_limit:4 () in
+  (* Enough distinct operations to overflow a 4-entry cache many times
+     over; canonicity must be unaffected because only caches, never the
+     unique table, are dropped. *)
+  let xs = List.init 8 (fun i -> Bdd.var m i) in
+  let chain = List.fold_left (Bdd.xor m) (Bdd.zero m) xs in
+  let chain' = List.fold_right (fun x acc -> Bdd.xor m acc x) xs (Bdd.zero m) in
+  Alcotest.(check bool) "xor chains share one node" true
+    (Bdd.equal chain chain');
+  Alcotest.(check bool) "evictions happened" true
+    ((Bdd.stats m).Bdd.cache_evictions > 0);
+  Alcotest.check_raises "zero limit rejected"
+    (Invalid_argument "Bdd.set_cache_limit: non-positive limit")
+    (fun () -> Bdd.set_cache_limit m (Some 0))
+
+let test_gc () =
+  let m = Bdd.create () in
+  let keep = Bdd.xor m (Bdd.var m 0) (Bdd.var m 1) in
+  let keep_id = Bdd.id keep in
+  let root = Bdd.add_root m (fun () -> [ keep ]) in
+  (* Garbage: a large cube we drop on the floor. *)
+  ignore (Bdd.cube m (List.init 20 (fun i -> i + 2)) : Bdd.t);
+  let live_before = Bdd.live_nodes m in
+  let collected = Bdd.gc m in
+  Alcotest.(check bool) "gc collected the dead cube" true (collected >= 20);
+  Alcotest.(check int) "live = before - collected"
+    (live_before - collected) (Bdd.live_nodes m);
+  (* The kept diagram must still be canonical: rebuilding the same
+     function yields the same node. *)
+  let again = Bdd.xor m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "kept root still canonical" true
+    (Bdd.equal keep again);
+  Alcotest.(check int) "same physical id" keep_id (Bdd.id again);
+  let s = Bdd.stats m in
+  Alcotest.(check int) "gc runs counted" 1 s.Bdd.gc_runs;
+  Alcotest.(check int) "collected counted" collected s.Bdd.gc_collected;
+  (* After removing the root the kept diagram becomes garbage too. *)
+  Bdd.remove_root m root;
+  Alcotest.(check bool) "unrooted nodes swept" true (Bdd.gc m > 0);
+  Alcotest.(check int) "only constants and vars' nodes remain" 0
+    (Bdd.live_nodes m)
+
+let test_with_root () =
+  let m = Bdd.create () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  let inside =
+    Bdd.with_root m (fun () -> [ f ]) (fun () ->
+        ignore (Bdd.gc m : int);
+        Bdd.equal f (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1)))
+  in
+  Alcotest.(check bool) "rooted across gc inside with_root" true inside;
+  (* Provider unregistered on exit: now f is garbage. *)
+  ignore (Bdd.gc m : int);
+  Alcotest.(check int) "swept after with_root returns" 0 (Bdd.live_nodes m)
+
+let test_any_sat_total () =
+  let f = Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 2) in
+  let a = Bdd.any_sat_total f ~vars:[ 0; 1; 2; 3 ] in
+  Alcotest.(check (list (pair int bool))) "total, don't-cares pinned false"
+    [ (0, false); (1, false); (2, true); (3, false) ]
+    a;
+  Alcotest.(check (list (pair int bool))) "tautology over two vars"
+    [ (0, false); (1, false) ]
+    (Bdd.any_sat_total (Bdd.one man) ~vars:[ 1; 0 ]);
+  Alcotest.check_raises "support must be covered"
+    (Invalid_argument "Bdd.any_sat_total: support not contained in vars")
+    (fun () -> ignore (Bdd.any_sat_total f ~vars:[ 0; 1 ]));
+  Alcotest.check_raises "constant false"
+    Not_found
+    (fun () -> ignore (Bdd.any_sat_total (Bdd.zero man) ~vars:[ 0 ]))
+
+let stats_suite =
+  [
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+    Alcotest.test_case "rename injectivity" `Quick test_rename_non_injective;
+    Alcotest.test_case "eviction canonicity" `Quick test_eviction_canonicity;
+    Alcotest.test_case "gc" `Quick test_gc;
+    Alcotest.test_case "with_root" `Quick test_with_root;
+    Alcotest.test_case "any_sat_total" `Quick test_any_sat_total;
+  ]
+
+let suite = suite @ constrain_suite @ stats_suite

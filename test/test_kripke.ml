@@ -78,6 +78,41 @@ let test_pick_state_respects_space () =
   | None -> Alcotest.fail "space empty"
   | Some st -> ignore (Kripke.value_of_state x st) (* must not raise *)
 
+let test_pick_state_single () =
+  (* Picking from a set with don't-care bits must yield one genuine
+     state of the set, not a partial cube. *)
+  let m = Lazy.force counter3 in
+  let set = Kripke.label m "b1" in
+  match Kripke.pick_state m set with
+  | None -> Alcotest.fail "set is non-empty"
+  | Some st ->
+    Alcotest.(check int) "one bit per state bit" m.Kripke.nbits
+      (Array.length st);
+    Alcotest.(check bool) "picked state is in the set" true
+      (Kripke.eval_in_state m set st);
+    Alcotest.(check (float 1e-9)) "decodes to a single state" 1.0
+      (Kripke.count_states m (Kripke.state_to_bdd m st))
+
+let test_pick_state_rejects_next_vars () =
+  (* BDD variable 1 is the next-state copy of bit 0; a "state set"
+     constraining it cannot be decoded into a state. *)
+  let m = Lazy.force counter3 in
+  let bad = Bdd.var m.Kripke.man 1 in
+  Alcotest.check_raises "next-copy constraint rejected"
+    (Invalid_argument "Kripke.pick_state: set constrains next-state variables")
+    (fun () -> ignore (Kripke.pick_state m bad))
+
+let test_model_roots_survive_gc () =
+  (* [Kripke.make] registers the model's BDDs as GC roots, so an
+     explicit collection must not disturb reachability analysis. *)
+  let m = Models.counter 3 in
+  let before = Kripke.count_states m (Kripke.reachable m) in
+  ignore (Bdd.gc m.Kripke.man : int);
+  Alcotest.(check bool) "model roots registered" true
+    (Kripke.roots m <> []);
+  Alcotest.(check (float 1e-9)) "reachable unchanged after gc" before
+    (Kripke.count_states m (Kripke.reachable m))
+
 let test_enum_space_count () =
   let b = Kripke.Builder.create () in
   let x = Kripke.Builder.enum_var b "x" [ "a"; "b"; "c" ] in
@@ -181,6 +216,11 @@ let suite =
     Alcotest.test_case "var_by_name missing" `Quick test_var_by_name_missing;
     Alcotest.test_case "states_in roundtrip" `Quick test_states_in_roundtrip;
     Alcotest.test_case "pick_state respects space" `Quick test_pick_state_respects_space;
+    Alcotest.test_case "pick_state single state" `Quick test_pick_state_single;
+    Alcotest.test_case "pick_state rejects next vars" `Quick
+      test_pick_state_rejects_next_vars;
+    Alcotest.test_case "model roots survive gc" `Quick
+      test_model_roots_survive_gc;
     Alcotest.test_case "enum space count" `Quick test_enum_space_count;
     Alcotest.test_case "totalize" `Quick test_totalize;
     Alcotest.test_case "builder duplicate var" `Quick test_builder_duplicate_var;

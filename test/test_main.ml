@@ -6,6 +6,7 @@ let () =
       ("ctl", Test_ctl.suite);
       ("explicit", Test_explicit.suite);
       ("witness", Test_witness.suite);
+      ("stats", Test_stats.suite);
       ("ctlstar", Test_ctlstar.suite);
       ("automata", Test_automata.suite);
       ("smv", Test_smv.suite);

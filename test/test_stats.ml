@@ -1,0 +1,103 @@
+(* Resource management must be invisible to verification: dropping the
+   operation caches (explicitly or by size-triggered eviction) and
+   collecting garbage nodes must never change a satisfaction set.  The
+   properties run the checker twice on the same manager — once
+   undisturbed, once with caches bounded or cleared — and require
+   physically equal answers (canonicity makes Bdd.equal id equality). *)
+
+let prop name ?(count = 75) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let with_formula () =
+  QCheck2.Gen.pair (Models.random_model_gen ~nfair:2 ()) Models.formula_gen
+
+let prop_clear_caches_preserves_sat =
+  prop "clearing caches mid-run preserves Check.sat and Fair.sat"
+    (with_formula ())
+    (fun (rm, f) ->
+      let m = rm.Models.sym in
+      let plain = Ctl.Check.sat m f in
+      let fair = Ctl.Fair.sat m f in
+      Bdd.clear_caches m.Kripke.man;
+      let plain' = Ctl.Check.sat m f in
+      Bdd.clear_caches m.Kripke.man;
+      let fair' = Ctl.Fair.sat m f in
+      Bdd.equal plain plain' && Bdd.equal fair fair')
+
+let prop_eviction_preserves_sat =
+  prop "a tiny cache limit (constant eviction) preserves sat sets"
+    (with_formula ())
+    (fun (rm, f) ->
+      let m = rm.Models.sym in
+      let plain = Ctl.Check.sat m f in
+      let fair = Ctl.Fair.sat m f in
+      (* 16 entries evicts continuously inside every fixpoint sweep. *)
+      Bdd.set_cache_limit m.Kripke.man (Some 16);
+      let plain' = Ctl.Check.sat m f in
+      let fair' = Ctl.Fair.sat m f in
+      Bdd.set_cache_limit m.Kripke.man None;
+      Bdd.equal plain plain' && Bdd.equal fair fair')
+
+let prop_gc_preserves_rooted_sat =
+  prop "gc between runs preserves a rooted sat set"
+    (with_formula ())
+    (fun (rm, f) ->
+      let m = rm.Models.sym in
+      let bman = m.Kripke.man in
+      let saved = Ctl.Fair.sat m f in
+      Bdd.with_root bman
+        (fun () -> [ saved ])
+        (fun () ->
+          ignore (Bdd.gc bman : int);
+          Bdd.equal saved (Ctl.Fair.sat m f)))
+
+(* The end-to-end GC story on a real model: check a specification, keep
+   its satisfaction set rooted, produce garbage, collect, and verify
+   the answer is bit-for-bit stable. *)
+let test_gc_mutex () =
+  let { Models.m; t1; c1; t2; c2 } = Models.mutex () in
+  let bman = m.Kripke.man in
+  let starvation = Ctl.AG (Ctl.Imp (t1, Ctl.AF c1)) in
+  let saved = Ctl.Fair.sat m starvation in
+  let root = Bdd.add_root bman (fun () -> [ saved ]) in
+  (* Garbage: another specification's satisfaction set plus a scratch
+     diagram, both dropped on the floor. *)
+  ignore (Ctl.Check.sat m (Ctl.EU (t2, Ctl.And (c2, Ctl.EX t1))) : Bdd.t);
+  ignore (Bdd.xor bman m.Kripke.trans m.Kripke.space : Bdd.t);
+  let collected = Bdd.gc bman in
+  Alcotest.(check bool) "gc collected the dropped diagrams" true
+    (collected > 0);
+  let again = Ctl.Fair.sat m starvation in
+  Alcotest.(check bool) "rooted sat set survives and stays canonical" true
+    (Bdd.equal saved again);
+  Bdd.remove_root bman root;
+  (* The model's own roots (registered by Kripke.make) keep checking
+     sound after further collections. *)
+  ignore (Bdd.gc bman : int);
+  Alcotest.(check bool) "verdict stable after sweeping the saved set" true
+    (Bdd.equal again (Ctl.Fair.sat m starvation)
+    = Bdd.equal saved (Ctl.Fair.sat m starvation))
+
+let test_fixpoint_counters () =
+  let { Models.m; t1; c1; _ } = Models.mutex () in
+  Ctl.Check.reset_fixpoint_stats ();
+  Ctl.Fair.reset_fixpoint_stats ();
+  ignore (Ctl.Fair.sat m (Ctl.AG (Ctl.Imp (t1, Ctl.AF c1))) : Bdd.t);
+  let c = Ctl.Check.fixpoint_stats () in
+  let f = Ctl.Fair.fixpoint_stats () in
+  Alcotest.(check bool) "EU iterations counted" true
+    (c.Ctl.Check.eu_iterations > 0);
+  Alcotest.(check bool) "fair outer iterations counted" true
+    (f.Ctl.Fair.outer_iterations > 0);
+  Ctl.Check.reset_fixpoint_stats ();
+  Alcotest.(check int) "reset zeroes the EU counter" 0
+    (Ctl.Check.fixpoint_stats ()).Ctl.Check.eu_iterations
+
+let suite =
+  [
+    prop_clear_caches_preserves_sat;
+    prop_eviction_preserves_sat;
+    prop_gc_preserves_rooted_sat;
+    Alcotest.test_case "gc on the mutex model" `Quick test_gc_mutex;
+    Alcotest.test_case "fixpoint counters" `Quick test_fixpoint_counters;
+  ]

@@ -269,6 +269,37 @@ let test_eg_stats_strategies () =
     (Counterex.Validate.eg_witness m ~f:m.Kripke.space tr = Ok ());
   Alcotest.(check bool) "at least one round" true (stats.Counterex.Witness.rounds >= 1)
 
+let test_eg_stats_restart_bound () =
+  (* From 0 the nearest constraint state is 1, a transient state the
+     rest of the path cannot return to, so the first round anchors the
+     cycle at t = 1 and fails to close; the construction must restart
+     (into the fair SCC {2,3}).  A zero restart budget is therefore
+     exceeded — and the exception carries the work done so far. *)
+  let g =
+    Explicit.Egraph.make ~nstates:4
+      ~edges:[ (0, 1); (1, 2); (2, 3); (3, 2) ]
+      ~init:[ 0 ]
+      ~fairness:[ Explicit.Egraph.mask_of_list ~nstates:4 [ 1; 3 ] ]
+      ()
+  in
+  let m, encode = Explicit.Bridge.to_kripke g in
+  let start = encode 0 in
+  (match
+     Counterex.Witness.eg_stats m ~max_restarts:0 ~f:m.Kripke.space ~start
+   with
+  | _ -> Alcotest.fail "expected Restart_bound_exceeded"
+  | exception Counterex.Witness.Restart_bound_exceeded
+      { restarts; rounds; prefix } ->
+    Alcotest.(check int) "restarts reported" 1 restarts;
+    Alcotest.(check int) "rounds reported" 1 rounds;
+    Alcotest.(check bool) "prefix preserved" true (prefix <> []));
+  (* A generous budget succeeds on the same instance. *)
+  let _, stats =
+    Counterex.Witness.eg_stats m ~max_restarts:10 ~f:m.Kripke.space ~start
+  in
+  Alcotest.(check bool) "restarts within budget" true
+    (stats.Counterex.Witness.restarts <= 10)
+
 let suite =
   [
     prop_eg_restart;
@@ -287,6 +318,8 @@ let suite =
     Alcotest.test_case "explain rejects false formulas" `Quick test_explain_rejects_false_formula;
     Alcotest.test_case "EF witness on counter" `Quick test_ef_witness_on_counter;
     Alcotest.test_case "eg_stats two-SCC chain" `Quick test_eg_stats_strategies;
+    Alcotest.test_case "eg_stats restart bound" `Quick
+      test_eg_stats_restart_bound;
   ]
 
 (* ------------------------------------------------------------------ *)
