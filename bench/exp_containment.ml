@@ -16,12 +16,12 @@ let run ~full =
         let chaos = Workloads.chaotic_scheduler n in
         let ok_verdict, t_holds =
           Harness.time_once (fun () ->
-              Automata.Containment.contains ~sys:rr ~spec)
+              Automata.Containment.contains ~sys:rr ~spec ())
         in
         assert (ok_verdict = Ok ());
         let result, t_fails =
           Harness.time_once (fun () ->
-              Automata.Containment.contains ~sys:chaos ~spec)
+              Automata.Containment.contains ~sys:chaos ~spec ())
         in
         let word_len, valid =
           match result with
@@ -56,4 +56,4 @@ let bechamel =
   let chaos = Workloads.chaotic_scheduler 4 in
   Bechamel.Test.make ~name:"e5-containment4"
     (Bechamel.Staged.stage (fun () ->
-         Automata.Containment.contains ~sys:chaos ~spec))
+         Automata.Containment.contains ~sys:chaos ~spec ()))

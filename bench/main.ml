@@ -21,6 +21,7 @@ let experiments =
     ("E7", Exp_fair.run, Exp_fair.bechamel);
     ("E8", Exp_overhead.run, Exp_overhead.bechamel);
     ("E9", Exp_partition.run, Exp_partition.bechamel);
+    ("E10", Exp_govern.run, Exp_govern.bechamel);
   ]
 
 let run_raw () =

@@ -1,7 +1,12 @@
 (* smv_check — a command-line symbolic model checker in the style of
    SMV: parse a model, check every SPEC (plus any --spec formulas),
    print verdicts and, for failed universal / satisfied existential
-   specifications, an execution trace (Section 6). *)
+   specifications, an execution trace (Section 6).
+
+   Exit codes: 0 every specification holds; 1 at least one is false
+   (and none undetermined); 2 a resource limit tripped, a specification
+   was left undetermined, or the run was interrupted; 3 input error or
+   internal failure. *)
 
 let ( let* ) = Result.bind
 
@@ -15,7 +20,40 @@ type options = {
   cache_limit : int option;
   simulate : int option;
   seed : int;
+  timeout : float option;
+  node_limit : int option;
+  step_limit : int option;
+  debug : bool;
 }
+
+(* Per-spec verdicts; [Undetermined] covers resource breaches and
+   (without --debug) unexpected exceptions, so one bad specification
+   never takes down the rest of the run. *)
+type verdict = Holds | Fails | Undetermined of string
+
+(* --------------------------------------------------------------- *)
+(* SIGINT: set a flag and cancel whatever limits are live; the next
+   poll point inside the running BDD operation raises, so the current
+   operation finishes its step, the spec is reported UNDETERMINED, and
+   the run exits cleanly with code 2. *)
+
+let interrupted = ref false
+let current_limits : Bdd.Limits.t option ref = ref None
+
+let install_sigint () =
+  match
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           interrupted := true;
+           match !current_limits with
+           | Some l -> Bdd.Limits.cancel l
+           | None -> ()))
+  with
+  | () -> ()
+  | exception (Invalid_argument _ | Sys_error _) ->
+    (* no signal support on this platform: run ungoverned *)
+    ()
 
 let load opts =
   match Smv.load_file ~partitioned:opts.partitioned opts.file with
@@ -43,8 +81,8 @@ let compile_extra compiled text =
   | exception Smv.Compile.Error (msg, _) ->
     Error (Printf.sprintf "--spec %S: %s" text msg)
 
-let print_model_stats m =
-  let reachable = Kripke.reachable m in
+let print_model_stats ?limits m =
+  let reachable = Kripke.reachable ?limits m in
   Format.printf "model: %d state bits, %.0f states in the state space, %.0f reachable@."
     m.Kripke.nbits
     (Kripke.count_states m m.Kripke.space)
@@ -78,22 +116,38 @@ let rec existential = function
   | Ctl.Imp _ | Ctl.Iff _ | Ctl.AX _ | Ctl.AF _ | Ctl.AG _ | Ctl.AU _ ->
     false
 
-let check_one m ~fair ~traces (name, spec) =
-  let holds = if fair then Ctl.Fair.holds m spec else Ctl.Check.holds m spec in
-  Format.printf "-- specification %s is %s@." name
-    (if holds then "true" else "false");
-  if holds && traces && existential spec then begin
-    match Counterex.Explain.witness m spec with
+let describe_breach (info : Bdd.Limits.info) =
+  Format.asprintf "%a" Bdd.Limits.pp_breach info.Bdd.Limits.breach
+
+let print_breach_progress (info : Bdd.Limits.info) =
+  let p = info.Bdd.Limits.progress in
+  Format.printf
+    "--   progress before the limit: %d fixpoint iterations, %d ring segments%s@."
+    p.Bdd.Limits.iterations p.Bdd.Limits.rings
+    (match p.Bdd.Limits.witness_prefix with
+    | [] -> ""
+    | states -> Printf.sprintf ", %d witness states" (List.length states))
+
+(* Print the trace for a determined verdict.  A resource breach here is
+   reported as a note but keeps the verdict: the answer was already
+   computed, only its explanation ran out of budget. *)
+let print_trace m ~fair:_ ~holds spec =
+  if holds then begin
+    if existential spec then
+    match Counterex.Explain.witness ?limits:!current_limits m spec with
     | Some tr ->
       Format.printf "-- as demonstrated by the following execution sequence@.";
       Format.printf "%a@." (Kripke.Trace.pp m) tr
     | None -> ()
     | exception Counterex.Explain.Cannot_explain _ -> ()
-  end;
-  if (not holds) && traces then begin
+    | exception Bdd.Limits.Exhausted info ->
+      Format.printf "-- (witness construction hit a resource limit: %s)@."
+        (describe_breach info)
+  end
+  else begin
     (* Counterexamples always use fair semantics when constraints are
        declared, as SMV does. *)
-    match Counterex.Explain.counterexample m spec with
+    match Counterex.Explain.counterexample ?limits:!current_limits m spec with
     | Some tr ->
       Format.printf
         "-- as demonstrated by the following execution sequence@.";
@@ -108,20 +162,66 @@ let check_one m ~fair ~traces (name, spec) =
         "-- (no initial-state counterexample: the formula fails only under plain semantics)@."
     | exception Counterex.Explain.Cannot_explain msg ->
       Format.printf "-- (could not build a linear counterexample: %s)@." msg
-  end;
-  holds
+    | exception Bdd.Limits.Exhausted info ->
+      Format.printf
+        "-- (counterexample construction hit a resource limit: %s)@."
+        (describe_breach info)
+  end
 
-(* Random walk from a random initial state: pick a uniform successor
-   at each step (by enumerating successors; intended for interactive
-   exploration of small-to-medium models). *)
+(* Check one specification under a fresh budget bundle.  Budgets are
+   per-spec so one hard specification cannot starve the rest; the
+   bundle is also the SIGINT cancellation point. *)
+let check_one m ~opts (name, spec) =
+  let limits =
+    match (opts.timeout, opts.node_limit, opts.step_limit) with
+    | None, None, None -> Bdd.Limits.unlimited ()
+    | timeout, node_budget, step_budget ->
+      Bdd.Limits.create ?timeout ?node_budget ?step_budget ()
+  in
+  current_limits := Some limits;
+  let verdict =
+    match
+      Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
+          if opts.fair then Ctl.Fair.holds ~limits m spec
+          else Ctl.Check.holds ~limits m spec)
+    with
+    | true -> Holds
+    | false -> Fails
+    | exception Bdd.Limits.Exhausted info ->
+      Format.printf "-- specification %s is UNDETERMINED (%s)@." name
+        (describe_breach info);
+      print_breach_progress info;
+      (* Reclaim the breached computation's intermediate nodes so a
+         node-budget trip on one spec does not doom the next (the
+         model's own BDDs are GC roots and survive). *)
+      ignore (Bdd.gc m.Kripke.man);
+      Undetermined (describe_breach info)
+    | exception e when not opts.debug ->
+      Format.printf "-- specification %s is UNDETERMINED (internal error: %s)@."
+        name (Printexc.to_string e);
+      Undetermined (Printexc.to_string e)
+  in
+  (match verdict with
+  | Holds | Fails ->
+    let holds = verdict = Holds in
+    Format.printf "-- specification %s is %s@." name
+      (if holds then "true" else "false");
+    if opts.traces then
+      Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
+          try print_trace m ~fair:opts.fair ~holds spec
+          with e when not opts.debug ->
+            Format.printf "-- (trace construction failed: %s)@."
+              (Printexc.to_string e))
+  | Undetermined _ -> ());
+  current_limits := None;
+  verdict
+
+(* Random walk from a random initial state, choosing uniformly at each
+   step with symbolic cofactor-weighted sampling — no state
+   enumeration, so arbitrarily large models are safe to explore. *)
 let simulate m ~steps ~seed =
   let rng = Random.State.make [| seed |] in
-  let pick set =
-    match Kripke.states_in m set with
-    | [] -> None
-    | states ->
-      Some (List.nth states (Random.State.int rng (List.length states)))
-  in
+  let pick set = Kripke.pick_random_state m ~rng set in
   match pick m.Kripke.init with
   | None -> Format.printf "no initial state@."
   | Some st ->
@@ -136,12 +236,34 @@ let simulate m ~steps ~seed =
     Format.printf "-- random simulation (%d steps, seed %d)@." steps seed;
     Format.printf "%a@." (Kripke.Trace.pp m) tr
 
-let run opts =
+let validate opts =
   let* () =
     match opts.cache_limit with
     | Some n when n <= 0 -> Error "--cache-limit: N must be positive"
     | Some _ | None -> Ok ()
   in
+  let* () =
+    match opts.simulate with
+    | Some n when n <= 0 -> Error "--simulate: STEPS must be positive"
+    | Some _ | None -> Ok ()
+  in
+  let* () =
+    match opts.timeout with
+    | Some t when t <= 0.0 -> Error "--timeout: SECS must be positive"
+    | Some _ | None -> Ok ()
+  in
+  let* () =
+    match opts.node_limit with
+    | Some n when n <= 0 -> Error "--node-limit: N must be positive"
+    | Some _ | None -> Ok ()
+  in
+  match opts.step_limit with
+  | Some n when n <= 0 -> Error "--step-limit: N must be positive"
+  | Some _ | None -> Ok ()
+
+(* Returns Ok (exit code) or Error message (input error, exit 3). *)
+let run opts =
+  let* () = validate opts in
   let* compiled = load opts in
   let m = compiled.Smv.Compile.model in
   (match opts.cache_limit with
@@ -160,29 +282,40 @@ let run opts =
       (Ok []) opts.extra_specs
   in
   let specs = compiled.Smv.Compile.specs @ List.rev extra in
-  let result =
+  let verdicts =
     if specs = [] then begin
       Format.printf "no specifications to check@.";
-      Ok true
+      []
     end
     else
-      let ok =
-        List.fold_left
-          (fun ok spec ->
-            check_one m ~fair:opts.fair ~traces:opts.traces spec && ok)
-          true specs
-      in
-      Ok ok
+      (* Stop early on SIGINT; otherwise check every spec even after
+         failures and breaches (per-spec isolation). *)
+      List.filter_map
+        (fun spec ->
+          if !interrupted then None else Some (check_one m ~opts spec))
+        specs
   in
-  if opts.stats then print_run_stats m;
-  result
+  if !interrupted then begin
+    Format.printf "-- interrupted; statistics so far:@.";
+    print_run_stats m
+  end
+  else if opts.stats then print_run_stats m;
+  let some_undetermined =
+    List.exists (function Undetermined _ -> true | _ -> false) verdicts
+  in
+  let some_false = List.exists (( = ) Fails) verdicts in
+  if !interrupted || some_undetermined then Ok 2
+  else if some_false then Ok 1
+  else Ok 0
 
 open Cmdliner
 
+(* [string], not [file]: a missing path must flow through our own
+   error reporting (exit 3), not cmdliner's argument-parse exit. *)
 let file_arg =
   Arg.(
     required
-    & pos 0 (some file) None
+    & pos 0 (some string) None
     & info [] ~docv:"MODEL.smv" ~doc:"SMV model to check.")
 
 let spec_arg =
@@ -242,20 +375,65 @@ let seed_arg =
     value & opt int 0
     & info [ "seed" ] ~docv:"N" ~doc:"Random seed for --simulate.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock budget per specification; a spec that exceeds it \
+           is reported UNDETERMINED and checking continues with the \
+           next one.")
+
+let node_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "node-limit" ] ~docv:"N"
+        ~doc:
+          "Live BDD-node budget per specification; exceeded budgets \
+           report UNDETERMINED like --timeout.")
+
+let step_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "step-limit" ] ~docv:"N"
+        ~doc:
+          "Fixpoint-iteration / ring-descent step budget per \
+           specification (deterministic, unlike --timeout).")
+
+let debug_arg =
+  Arg.(
+    value & flag
+    & info [ "debug" ]
+        ~doc:
+          "Developer mode: record exception backtraces and let \
+           unexpected exceptions crash with a full trace instead of \
+           being condensed to one-line diagnostics.")
+
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
-    simulate seed =
+    simulate seed timeout node_limit step_limit debug =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
-      partitioned; cache_limit; simulate; seed;
+      partitioned; cache_limit; simulate; seed; timeout; node_limit;
+      step_limit; debug;
     }
   in
+  Printexc.record_backtrace debug;
+  install_sigint ();
   match run opts with
-  | Ok true -> 0
-  | Ok false -> 1
+  | Ok code -> code
   | Error msg ->
     Format.eprintf "%s@." msg;
-    2
+    3
+  | exception e when not debug ->
+    (* Crash guard: anything unexpected outside the per-spec isolation
+       becomes a one-line diagnostic. *)
+    Format.eprintf "smv_check: internal error on %s: %s@." file
+      (Printexc.to_string e);
+    3
 
 let cmd =
   let doc = "symbolic CTL model checker with counterexample generation" in
@@ -268,9 +446,25 @@ let cmd =
          FAIRNESS constraints, and prints a counterexample execution \
          trace (a finite path, or a path followed by a repeating cycle) \
          for every failed specification.";
+      `P
+        "Resource governance: $(b,--timeout), $(b,--node-limit) and \
+         $(b,--step-limit) bound each specification separately; a spec \
+         that exceeds a budget is reported UNDETERMINED and the \
+         remaining specs are still checked.  SIGINT finishes the \
+         current BDD operation, prints statistics so far, and exits \
+         cleanly.";
+      `S Manpage.s_exit_status;
+      `P "0 — every specification holds.";
+      `P "1 — at least one specification is false (none undetermined).";
+      `P
+        "2 — a resource limit tripped, some verdict is undetermined, or \
+         the run was interrupted.";
+      `P "3 — input error (unreadable or invalid model, bad flags) or \
+          internal failure.";
       `S Manpage.s_examples;
       `P "smv_check examples/models/mutex.smv";
       `P "smv_check --spec 'AG (tr1 -> AF ta1)' arbiter.smv";
+      `P "smv_check --timeout 5 --node-limit 2000000 big_model.smv";
     ]
   in
   Cmd.v
@@ -278,6 +472,7 @@ let cmd =
     Term.(
       const main $ file_arg $ spec_arg $ no_fair_arg $ no_trace_arg
       $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
-      $ seed_arg)
+      $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
+      $ debug_arg)
 
 let () = exit (Cmd.eval' cmd)

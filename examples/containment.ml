@@ -36,7 +36,7 @@ let both_fair =
 
 let report name ~sys ~spec =
   Format.printf "@[<v>L(%s) ⊆ L(both processes run infinitely often)?@," name;
-  (match Automata.Containment.contains ~sys ~spec with
+  (match Automata.Containment.contains ~sys ~spec () with
   | Ok () -> Format.printf "  yes — containment holds@,"
   | Error ce ->
     Format.printf "  no — counterexample word (accepted by %s, rejected by the spec):@," name;
@@ -74,7 +74,7 @@ let () =
       ~accept:[ ([], [ 0 ]) ]
   in
   Format.printf "@[<v>Rabin: L(any schedule) ⊆ L(eventually only run_A)?@,";
-  (match Automata.Rabin.contains ~sys:rabin_all ~spec:rabin_only_a with
+  (match Automata.Rabin.contains ~sys:rabin_all ~spec:rabin_only_a () with
   | Ok () -> Format.printf "  yes@,"
   | Error ce ->
     Format.printf "  no — e.g. ...(%s)^ω; validated: %b@,"
@@ -92,7 +92,7 @@ let () =
       ~family:[ [ 0 ]; [ 1 ]; [ 0; 1 ] ]
   in
   Format.printf "@[<v>Muller: L(any schedule) ⊆ L(both run infinitely often)?@,";
-  (match Automata.Muller.contains ~sys:muller_all ~spec:muller_fair with
+  (match Automata.Muller.contains ~sys:muller_all ~spec:muller_fair () with
   | Ok () -> Format.printf "  yes@,"
   | Error ce ->
     Format.printf "  no — e.g. %s (%s)^ω; validated: %b@,"

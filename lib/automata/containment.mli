@@ -33,10 +33,12 @@ val check_preconditions : sys:'a Streett.t -> spec:'a Streett.t -> unit
     {!Rabin} checker). *)
 
 val search :
+  ?limits:Bdd.Limits.t ->
   sys:'a Streett.t ->
   spec:'a Streett.t ->
   npairs:int ->
   conjuncts:(Product.t -> int -> Ctlstar.Gffg.conjunct list) ->
+  unit ->
   (unit, 'a counterexample) result
 (** The shared containment loop: build the product, then for each
     disjunct index [0 <= j < npairs] check the restricted-class formula
@@ -45,11 +47,17 @@ val search :
     the Streett checker here and the {!Rabin} checker. *)
 
 val contains :
-  sys:'a Streett.t -> spec:'a Streett.t -> (unit, 'a counterexample) result
+  ?limits:Bdd.Limits.t ->
+  sys:'a Streett.t ->
+  spec:'a Streett.t ->
+  unit ->
+  (unit, 'a counterexample) result
 (** [contains ~sys ~spec] — [Ok ()] when [L(sys) ⊆ L(spec)], otherwise
     a counterexample word.  Both automata are completed internally
     (language-preserving); the specification must be deterministic.
-    The alphabets must be equal ([Invalid_argument] otherwise). *)
+    The alphabets must be equal ([Invalid_argument] otherwise).
+    [limits] is threaded through every product-model fixpoint and
+    witness construction; a breach raises [Bdd.Limits.Exhausted]. *)
 
 val check_counterexample :
   sys:'a Streett.t -> spec:'a Streett.t -> 'a counterexample -> bool

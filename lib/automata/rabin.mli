@@ -43,11 +43,16 @@ val accepts_lasso_det : 'a t -> prefix:int list -> cycle:int list -> bool
     indices). *)
 
 val contains :
-  sys:'a t -> spec:'a t -> (unit, 'a Containment.counterexample) result
+  ?limits:Bdd.Limits.t ->
+  sys:'a t ->
+  spec:'a t ->
+  unit ->
+  (unit, 'a Containment.counterexample) result
 (** [L(sys) ⊆ L(spec)] for a nondeterministic system and a
     {e deterministic} specification; [Error] carries a separating lasso
     word.  Raises {!Containment.Spec_not_deterministic} /
-    [Invalid_argument] like the Streett version. *)
+    [Invalid_argument] like the Streett version.  [limits] bounds the
+    underlying product-model fixpoints. *)
 
 val check_counterexample :
   sys:'a t -> spec:'a t -> 'a Containment.counterexample -> bool

@@ -26,6 +26,62 @@ type opstat = {
 
 let fresh_opstat () = { calls = 0; hits = 0; misses = 0 }
 
+(* Public (immutable) snapshots of the counters; declared before [man]
+   so the resource-governance exception below can carry one. *)
+type op_stats = { calls : int; hits : int; misses : int }
+
+type stats = {
+  ite : op_stats;
+  exists : op_stats;
+  forall : op_stats;
+  relprod : op_stats;
+  constrain : op_stats;
+  live_nodes : int;
+  peak_nodes : int;
+  total_nodes : int;
+  cache_evictions : int;
+  gc_runs : int;
+  gc_collected : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance: deadlines, node budgets, step budgets, and
+   cooperative cancellation.
+
+   A [limits] record is attached to a manager; the hot operation loops
+   poll it every [poll_interval] cache probes (a countdown decrement
+   per probe, one wall-clock read per interval), and the fixpoint /
+   ring-descent layers charge their coarse-grained steps explicitly.
+   The record is defined here, before [man], because the manager holds
+   the attached instance; the public face is the [Limits] submodule
+   below. *)
+
+type limits_breach =
+  | Deadline of { timeout : float; elapsed : float }
+  | Node_budget of { budget : int; live : int }
+  | Step_budget of { budget : int; steps : int }
+  | Interrupted
+
+type limits_progress = {
+  steps : int;
+  iterations : int;
+  rings : int;
+  witness_prefix : bool array list;
+}
+
+type limits = {
+  started : float;            (* Unix.gettimeofday at creation *)
+  timeout : float option;     (* requested duration, seconds *)
+  deadline : float option;    (* absolute: started +. timeout *)
+  node_budget : int option;   (* max live (unique-table) nodes *)
+  step_budget : int option;   (* max fixpoint + ring-descent steps *)
+  mutable l_steps : int;      (* budgeted steps consumed *)
+  mutable l_iterations : int; (* fixpoint iterations completed *)
+  mutable l_rings : int;      (* ring-descent segments completed *)
+  mutable l_witness : bool array list;  (* best-so-far witness prefix *)
+  mutable cancelled : bool;   (* cooperative-cancellation flag *)
+}
+
 type man = {
   unique : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
@@ -47,7 +103,16 @@ type man = {
   constrain_stat : opstat;
   roots : (int, unit -> t list) Hashtbl.t;
   mutable next_root : int;
+  mutable limits : limits option;
+      (* the attached governance record, polled from the hot loops *)
+  mutable poll_countdown : int;
+      (* cache probes until the next full limits check *)
 }
+
+(* How many cache probes between full limit checks (wall-clock read +
+   unique-table length).  The countdown decrement itself is the only
+   per-probe cost, so this bounds both poll latency and overhead. *)
+let poll_interval = 4096
 
 let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
   {
@@ -70,6 +135,8 @@ let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
     constrain_stat = fresh_opstat ();
     roots = Hashtbl.create 16;
     next_root = 0;
+    limits = None;
+    poll_countdown = poll_interval;
   }
 
 let set_cache_limit m limit =
@@ -80,12 +147,95 @@ let set_cache_limit m limit =
 
 let cache_limit m = if m.cache_limit = max_int then None else Some m.cache_limit
 
+let count_nodes m = m.next_id - 2
+let live_nodes m = Hashtbl.length m.unique
+
+let snapshot_op (s : opstat) =
+  { calls = s.calls; hits = s.hits; misses = s.misses }
+
+let stats m =
+  {
+    ite = snapshot_op m.ite_stat;
+    exists = snapshot_op m.exists_stat;
+    forall = snapshot_op m.forall_stat;
+    relprod = snapshot_op m.relprod_stat;
+    constrain = snapshot_op m.constrain_stat;
+    live_nodes = live_nodes m;
+    peak_nodes = m.peak_nodes;
+    total_nodes = count_nodes m;
+    cache_evictions = m.evictions;
+    gc_runs = m.gc_runs;
+    gc_collected = m.gc_collected;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Limit checking.  [limits_check_now] is the single breach point:
+   every budget violation funnels through it, so [Limits_exhausted]
+   always carries a fresh stats snapshot and the partial progress
+   recorded so far. *)
+
+type limits_info = {
+  breach : limits_breach;
+  stats : stats;
+  progress : limits_progress;
+}
+
+exception Limits_exhausted of limits_info
+
+let limits_progress_of (l : limits) =
+  {
+    steps = l.l_steps;
+    iterations = l.l_iterations;
+    rings = l.l_rings;
+    witness_prefix = l.l_witness;
+  }
+
+let limits_breach m l breach =
+  raise
+    (Limits_exhausted
+       { breach; stats = stats m; progress = limits_progress_of l })
+
+let limits_check_now m (l : limits) =
+  if l.cancelled then limits_breach m l Interrupted;
+  (match l.node_budget with
+  | Some budget ->
+    let live = live_nodes m in
+    if live > budget then limits_breach m l (Node_budget { budget; live })
+  | None -> ());
+  (match l.step_budget with
+  | Some budget ->
+    if l.l_steps > budget then
+      limits_breach m l (Step_budget { budget; steps = l.l_steps })
+  | None -> ());
+  match l.deadline with
+  | Some d ->
+    let now = Unix.gettimeofday () in
+    if now > d then
+      limits_breach m l
+        (Deadline
+           {
+             timeout = (match l.timeout with Some t -> t | None -> 0.0);
+             elapsed = now -. l.started;
+           })
+  | None -> ()
+
+(* The cooperative poll on the hot path: a countdown decrement per
+   cache probe, a full check every [poll_interval] probes. *)
+let poll m =
+  m.poll_countdown <- m.poll_countdown - 1;
+  if m.poll_countdown <= 0 then begin
+    m.poll_countdown <- poll_interval;
+    match m.limits with None -> () | Some l -> limits_check_now m l
+  end
+
 (* Cache lookups and insertions funnel through these two helpers so hit
-   and miss counts stay accurate and every cache obeys the high-water
-   mark.  Eviction drops the whole table ([Hashtbl.reset]): correctness
+   and miss counts stay accurate, every cache obeys the high-water
+   mark, and attached resource limits are polled cooperatively.
+   Eviction drops the whole table ([Hashtbl.reset]): correctness
    never depends on the caches, only sharing does, so a full reset
    mid-recursion merely forces recomputation. *)
-let cache_find stat cache key =
+let cache_find m (stat : opstat) cache key =
+  poll m;
   match Hashtbl.find_opt cache key with
   | Some _ as r ->
     stat.hits <- stat.hits + 1;
@@ -171,7 +321,7 @@ let rec ite m f g h =
     else if is_one g && is_zero h then f
     else
       let key = (id f, id g, id h) in
-      match cache_find m.ite_stat m.ite_cache key with
+      match cache_find m m.ite_stat m.ite_cache key with
       | Some r -> r
       | None ->
         let v = min (level f) (min (level g) (level h)) in
@@ -224,7 +374,7 @@ let rec exists m c f =
     | True | False -> f
     | Node nc ->
       let key = (id f, id c) in
-      (match cache_find m.exists_stat m.exists_cache key with
+      (match cache_find m m.exists_stat m.exists_cache key with
       | Some r -> r
       | None ->
         let r =
@@ -246,7 +396,7 @@ let rec forall m c f =
     | True | False -> f
     | Node nc ->
       let key = (id f, id c) in
-      (match cache_find m.forall_stat m.forall_cache key with
+      (match cache_find m m.forall_stat m.forall_cache key with
       | Some r -> r
       | None ->
         let r =
@@ -276,7 +426,7 @@ let rec and_exists m c f g =
         (* Normalise the cache key: /\ is commutative. *)
         let i, j = if id f <= id g then (id f, id g) else (id g, id f) in
         let key = (i, j, id c) in
-        (match cache_find m.relprod_stat m.relprod_cache key with
+        (match cache_find m m.relprod_stat m.relprod_cache key with
         | Some r -> r
         | None ->
           let f0, f1 = cofactors f v and g0, g1 = cofactors g v in
@@ -304,7 +454,7 @@ let rec constrain m f c =
       if equal f c then True
       else
         let key = (id f, id c) in
-        (match cache_find m.constrain_stat m.constrain_cache key with
+        (match cache_find m m.constrain_stat m.constrain_cache key with
         | Some r -> r
         | None ->
           let v = min (level f) (level c) in
@@ -485,9 +635,6 @@ let fold_sat f vars ~init ~f:k =
     (support f);
   go init 0 f
 
-let count_nodes m = m.next_id - 2
-let live_nodes m = Hashtbl.length m.unique
-
 let clear_caches m =
   Hashtbl.reset m.ite_cache;
   Hashtbl.reset m.constrain_cache;
@@ -497,40 +644,6 @@ let clear_caches m =
 
 (* ------------------------------------------------------------------ *)
 (* Statistics.                                                         *)
-
-type op_stats = { calls : int; hits : int; misses : int }
-
-type stats = {
-  ite : op_stats;
-  exists : op_stats;
-  forall : op_stats;
-  relprod : op_stats;
-  constrain : op_stats;
-  live_nodes : int;
-  peak_nodes : int;
-  total_nodes : int;
-  cache_evictions : int;
-  gc_runs : int;
-  gc_collected : int;
-}
-
-let snapshot_op (s : opstat) =
-  { calls = s.calls; hits = s.hits; misses = s.misses }
-
-let stats m =
-  {
-    ite = snapshot_op m.ite_stat;
-    exists = snapshot_op m.exists_stat;
-    forall = snapshot_op m.forall_stat;
-    relprod = snapshot_op m.relprod_stat;
-    constrain = snapshot_op m.constrain_stat;
-    live_nodes = live_nodes m;
-    peak_nodes = m.peak_nodes;
-    total_nodes = count_nodes m;
-    cache_evictions = m.evictions;
-    gc_runs = m.gc_runs;
-    gc_collected = m.gc_collected;
-  }
 
 let cache_hits s =
   s.ite.hits + s.exists.hits + s.forall.hits + s.relprod.hits
@@ -616,6 +729,106 @@ let gc m =
   m.gc_runs <- m.gc_runs + 1;
   m.gc_collected <- m.gc_collected + collected;
   collected
+
+(* ------------------------------------------------------------------ *)
+(* Resource governance, public face.  The record type and the checker
+   live above (the manager and the hot loops need them); this module
+   adds construction, attachment, and the explicit coarse-grained
+   charge points used by the fixpoint engines. *)
+
+module Limits = struct
+  type nonrec t = limits
+
+  type breach = limits_breach =
+    | Deadline of { timeout : float; elapsed : float }
+    | Node_budget of { budget : int; live : int }
+    | Step_budget of { budget : int; steps : int }
+    | Interrupted
+
+  type progress = limits_progress = {
+    steps : int;
+    iterations : int;
+    rings : int;
+    witness_prefix : bool array list;
+  }
+
+  type info = limits_info = {
+    breach : breach;
+    stats : stats;
+    progress : progress;
+  }
+
+  exception Exhausted = Limits_exhausted
+
+  let create ?timeout ?node_budget ?step_budget () =
+    (match timeout with
+    | Some t when not (t > 0.0) ->
+      invalid_arg "Bdd.Limits.create: non-positive timeout"
+    | Some _ | None -> ());
+    (match node_budget with
+    | Some n when n <= 0 ->
+      invalid_arg "Bdd.Limits.create: non-positive node budget"
+    | Some _ | None -> ());
+    (match step_budget with
+    | Some n when n <= 0 ->
+      invalid_arg "Bdd.Limits.create: non-positive step budget"
+    | Some _ | None -> ());
+    let started = Unix.gettimeofday () in
+    {
+      started;
+      timeout;
+      deadline = (match timeout with Some t -> Some (started +. t) | None -> None);
+      node_budget;
+      step_budget;
+      l_steps = 0;
+      l_iterations = 0;
+      l_rings = 0;
+      l_witness = [];
+      cancelled = false;
+    }
+
+  let unlimited () = create ()
+  let cancel l = l.cancelled <- true
+  let cancelled l = l.cancelled
+  let progress l = limits_progress_of l
+  let elapsed l = Unix.gettimeofday () -. l.started
+
+  let attach m l =
+    m.limits <- Some l;
+    m.poll_countdown <- min m.poll_countdown poll_interval
+
+  let detach m = m.limits <- None
+  let attached m = m.limits
+
+  let with_attached m l k =
+    let previous = m.limits in
+    attach m l;
+    Fun.protect ~finally:(fun () -> m.limits <- previous) k
+
+  let check = limits_check_now
+
+  let step m l =
+    l.l_steps <- l.l_steps + 1;
+    l.l_iterations <- l.l_iterations + 1;
+    limits_check_now m l
+
+  let ring_step m l =
+    l.l_steps <- l.l_steps + 1;
+    l.l_rings <- l.l_rings + 1;
+    limits_check_now m l
+
+  let note_witness l states = l.l_witness <- states
+
+  let pp_breach ppf = function
+    | Deadline { timeout; elapsed } ->
+      Format.fprintf ppf "timeout after %.2fs (limit %gs)" elapsed timeout
+    | Node_budget { budget; live } ->
+      Format.fprintf ppf "node budget of %d exceeded (%d live nodes)" budget
+        live
+    | Step_budget { budget; steps } ->
+      Format.fprintf ppf "step budget of %d exceeded (%d steps)" budget steps
+    | Interrupted -> Format.fprintf ppf "interrupted"
+end
 
 let pp ppf f =
   match f with

@@ -270,6 +270,115 @@ val gc : man -> int
     the unique table; the operation caches are dropped (they may hold
     swept nodes).  Returns the number of nodes collected. *)
 
+(** {1 Resource governance}
+
+    No call into the BDD package (or the checking layers built on it)
+    may run forever or exhaust memory silently: a {!Limits.t} carries an
+    optional wall-clock deadline, a live-node budget, a coarse-grained
+    step budget, and a cooperative-cancellation flag.  Once
+    {!Limits.attach}ed to a manager it is polled from the hot operation
+    loops (ite / quantification / relational product) every few thousand
+    cache probes — measured overhead is well under 2% — and the fixpoint
+    and ring-descent engines additionally charge their iterations
+    against the step budget through {!Limits.step} / {!Limits.ring_step}.
+    A breach raises the single structured exception {!Limits.Exhausted}
+    carrying which budget tripped, a {!stats} snapshot, and the partial
+    progress recorded so far, so callers can report a truncated result
+    instead of hanging or crashing.
+
+    Limits never affect results: a run that completes under limits
+    returns exactly what the un-governed run returns, and after a breach
+    the manager remains fully usable (hash-consing canonicity is
+    unaffected; in-flight roots are unwound by [Fun.protect]). *)
+
+module Limits : sig
+  type t
+  (** A budget bundle.  Mutable: it accumulates consumed steps and
+      partial progress, so use a fresh value per governed call (e.g. per
+      specification) unless a shared budget is intended. *)
+
+  (** Which budget tripped. *)
+  type breach =
+    | Deadline of { timeout : float; elapsed : float }
+        (** wall-clock: [timeout] seconds requested, [elapsed] spent *)
+    | Node_budget of { budget : int; live : int }
+        (** live unique-table nodes exceeded the budget *)
+    | Step_budget of { budget : int; steps : int }
+        (** fixpoint-iteration / ring-descent steps exceeded the budget *)
+    | Interrupted  (** {!cancel} was called (e.g. from a SIGINT handler) *)
+
+  type progress = {
+    steps : int;       (** budgeted steps consumed *)
+    iterations : int;  (** fixpoint iterations completed *)
+    rings : int;       (** ring-descent segments completed *)
+    witness_prefix : bool array list;
+        (** best-so-far witness path (states as [Kripke.state]-encoded
+            bit arrays); empty unless witness construction had begun *)
+  }
+  (** Partial progress at the moment of the breach. *)
+
+  type info = { breach : breach; stats : stats; progress : progress }
+
+  exception Exhausted of info
+  (** The single structured resource-limit exception. *)
+
+  val create :
+    ?timeout:float -> ?node_budget:int -> ?step_budget:int -> unit -> t
+  (** [create ()] makes a budget bundle; omitted budgets are unlimited.
+      [timeout] is in seconds, measured from [create] (wall clock).
+      Raises [Invalid_argument] on non-positive budgets. *)
+
+  val unlimited : unit -> t
+  (** No budgets — still cancellable, which is how SIGINT handling
+      works on runs without explicit limits. *)
+
+  val cancel : t -> unit
+  (** Request cooperative cancellation: the next poll point raises
+      {!Exhausted} with {!breach} [Interrupted].  Async-signal-safe (it
+      only sets a flag), so it may be called from a signal handler. *)
+
+  val cancelled : t -> bool
+
+  val attach : man -> t -> unit
+  (** Install the limits on a manager: the BDD operation loops start
+      polling it.  At most one limits value is attached at a time; a
+      second [attach] replaces the first. *)
+
+  val detach : man -> unit
+  val attached : man -> t option
+
+  val with_attached : man -> t -> (unit -> 'a) -> 'a
+  (** [with_attached m l k] runs [k] with [l] attached, restoring the
+      previously attached limits (if any) on exit — normal or
+      exceptional. *)
+
+  val check : man -> t -> unit
+  (** Check every budget right now; raises {!Exhausted} on a breach.
+      The explicit form of the poll the hot loops run implicitly. *)
+
+  val step : man -> t -> unit
+  (** Charge one fixpoint iteration against the step budget, then
+      {!check}.  Called by the [Ctl] / [Kripke] / [Ctlstar] fixpoint
+      loops once per iteration. *)
+
+  val ring_step : man -> t -> unit
+  (** Charge one ring-descent segment against the step budget, then
+      {!check}.  Called by [Counterex.Witness] while walking rings. *)
+
+  val note_witness : t -> bool array list -> unit
+  (** Record the best-so-far witness path so a later breach reports it
+      in {!progress}. *)
+
+  val progress : t -> progress
+  (** Snapshot the progress counters (also available without a breach). *)
+
+  val elapsed : t -> float
+  (** Seconds since [create]. *)
+
+  val pp_breach : Format.formatter -> breach -> unit
+  (** One-line rendering, e.g. ["timeout after 1.02s (limit 1s)"]. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Structural summary printer (id, root variable, node count). *)
 

@@ -42,20 +42,33 @@ exception
     restart bound, preserving the work done so far for diagnosis
     (unlike {!No_witness}, which reports contract violations). *)
 
-val ex : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+val ex :
+  ?limits:Bdd.Limits.t ->
+  Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Two-state witness for [EX f] (no fairness): [start] followed by a
-    successor in [f]. *)
+    successor in [f].  Every function below accepts [?limits]: each
+    ring-descent segment charges one step against the budget (raising
+    [Bdd.Limits.Exhausted] on a breach), and the fair-[EG] construction
+    records its best-so-far path prefix in the limits' progress so a
+    breach still reports partial work.  Limits never change the
+    witness, only whether the construction is allowed to finish. *)
 
-val eu : Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+val eu :
+  ?limits:Bdd.Limits.t ->
+  Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Finite witness for [E[f U g]] (no fairness): a shortest-via-rings
     path from [start] through [f]-states to a [g]-state. *)
 
-val eg : ?strategy:strategy -> Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+val eg :
+  ?limits:Bdd.Limits.t ->
+  ?strategy:strategy ->
+  Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Lasso witness for [EG f] under the model's fairness constraints
     (all of Section 6).  With no declared constraints this degenerates
     to a plain [EG] witness. *)
 
 val eg_stats :
+  ?limits:Bdd.Limits.t ->
   ?strategy:strategy ->
   ?max_restarts:int ->
   Kripke.t ->
@@ -69,10 +82,14 @@ val eg_stats :
     rounds; exceeding it raises {!Restart_bound_exceeded} with the
     collected prefix and counts. *)
 
-val ex_fair : Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+val ex_fair :
+  ?limits:Bdd.Limits.t ->
+  Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Witness for [EX f] under fairness: a step into [f /\ fair],
     extended to an infinite fair path by an [EG true] witness. *)
 
-val eu_fair : Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
+val eu_fair :
+  ?limits:Bdd.Limits.t ->
+  Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Witness for [E[f U g]] under fairness: a finite prefix to
     [g /\ fair], extended to an infinite fair path. *)

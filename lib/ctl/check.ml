@@ -24,9 +24,15 @@ let reset_fixpoint_stats () =
   eg_iters := 0;
   rings_built := 0
 
+(* Charge one fixpoint iteration against the optional resource limits
+   (shared by every fixpoint loop below). *)
+let tick (m : Kripke.t) = function
+  | None -> ()
+  | Some l -> Bdd.Limits.step m.Kripke.man l
+
 let ex (m : Kripke.t) s = Kripke.pre m s
 
-let eu (m : Kripke.t) f g =
+let eu ?limits (m : Kripke.t) f g =
   let bman = m.Kripke.man in
   let frontier = ref g in
   Bdd.with_root bman
@@ -34,6 +40,7 @@ let eu (m : Kripke.t) f g =
     (fun () ->
       let rec go q =
         incr eu_iters;
+        tick m limits;
         let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
         if Bdd.equal q q' then q
         else begin
@@ -43,7 +50,7 @@ let eu (m : Kripke.t) f g =
       in
       go g)
 
-let eu_rings (m : Kripke.t) f g =
+let eu_rings ?limits (m : Kripke.t) f g =
   let bman = m.Kripke.man in
   let layers = ref [ g ] in
   Bdd.with_root bman
@@ -51,6 +58,7 @@ let eu_rings (m : Kripke.t) f g =
     (fun () ->
       let rec go acc q =
         incr eu_iters;
+        tick m limits;
         let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
         if Bdd.equal q q' then List.rev acc
         else begin
@@ -62,7 +70,7 @@ let eu_rings (m : Kripke.t) f g =
       rings_built := !rings_built + Array.length rings;
       rings)
 
-let eg (m : Kripke.t) f =
+let eg ?limits (m : Kripke.t) f =
   let bman = m.Kripke.man in
   let frontier = ref f in
   Bdd.with_root bman
@@ -70,6 +78,7 @@ let eg (m : Kripke.t) f =
     (fun () ->
       let rec go z =
         incr eg_iters;
+        tick m limits;
         let z' = Bdd.and_ bman z (Bdd.and_ bman f (ex m z)) in
         if Bdd.equal z z' then z
         else begin
@@ -108,7 +117,8 @@ let sat_with ~ex ~eu ~eg (m : Kripke.t) formula =
   in
   go (Syntax.enf formula)
 
-let sat m formula = sat_with ~ex ~eu ~eg m formula
+let sat ?limits m formula =
+  sat_with ~ex ~eu:(eu ?limits) ~eg:(eg ?limits) m formula
 
-let holds m formula =
-  Bdd.subset m.Kripke.man m.Kripke.init (sat m formula)
+let holds ?limits m formula =
+  Bdd.subset m.Kripke.man m.Kripke.init (sat ?limits m formula)

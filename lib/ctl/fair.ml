@@ -27,16 +27,16 @@ let constraints (m : Kripke.t) =
 
 (* One step of the outer greatest fixpoint:
    z |-> f /\ /\_k EX (E[f U (z /\ h_k)]). *)
-let eg_step m f hs z =
+let eg_step ?limits m f hs z =
   let bman = m.Kripke.man in
   List.fold_left
     (fun acc h ->
       let target = Bdd.and_ bman z h in
-      let reach = Check.eu m f target in
+      let reach = Check.eu ?limits m f target in
       Bdd.and_ bman acc (Check.ex m reach))
     f hs
 
-let eg (m : Kripke.t) f =
+let eg ?limits (m : Kripke.t) f =
   let bman = m.Kripke.man in
   let hs = constraints m in
   let f = Bdd.and_ bman f m.Kripke.space in
@@ -46,7 +46,10 @@ let eg (m : Kripke.t) f =
     (fun () ->
       let rec go z =
         incr outer_iters;
-        let z' = eg_step m f hs z in
+        (match limits with
+        | Some l -> Bdd.Limits.step bman l
+        | None -> ());
+        let z' = eg_step ?limits m f hs z in
         if Bdd.equal z z' then z
         else begin
           frontier := z';
@@ -55,16 +58,16 @@ let eg (m : Kripke.t) f =
       in
       go f)
 
-let eg_with_rings (m : Kripke.t) f =
+let eg_with_rings ?limits (m : Kripke.t) f =
   let bman = m.Kripke.man in
-  let z = eg m f in
+  let z = eg ?limits m f in
   let f = Bdd.and_ bman f m.Kripke.space in
   let saved = ref [ z; f ] in
   Bdd.with_root bman
     (fun () -> !saved)
     (fun () ->
       let ring h =
-        let layers = Check.eu_rings m f (Bdd.and_ bman z h) in
+        let layers = Check.eu_rings ?limits m f (Bdd.and_ bman z h) in
         rings_saved := !rings_saved + Array.length layers;
         saved := Array.to_list layers @ !saved;
         { constr = h; layers }
@@ -75,20 +78,22 @@ let eg_with_rings (m : Kripke.t) f =
    models; the computation is a fixpoint over fixpoints but models are
    checked many formulas at a time, so callers that care (the checker
    below) compute it once per [sat]. *)
-let fair_states (m : Kripke.t) = eg m m.Kripke.space
+let fair_states ?limits (m : Kripke.t) = eg ?limits m m.Kripke.space
 
 let ex_with ~fair m f = Check.ex m (Bdd.and_ m.Kripke.man f fair)
 
-let eu_with ~fair m f g = Check.eu m f (Bdd.and_ m.Kripke.man g fair)
+let eu_with ?limits ~fair m f g =
+  Check.eu ?limits m f (Bdd.and_ m.Kripke.man g fair)
 
-let ex m f = ex_with ~fair:(fair_states m) m f
-let eu m f g = eu_with ~fair:(fair_states m) m f g
+let ex ?limits m f = ex_with ~fair:(fair_states ?limits m) m f
+let eu ?limits m f g = eu_with ?limits ~fair:(fair_states ?limits m) m f g
 
-let sat m formula =
-  let fair = fair_states m in
+let sat ?limits m formula =
+  let fair = fair_states ?limits m in
   Check.sat_with ~ex:(fun m f -> ex_with ~fair m f)
-    ~eu:(fun m f g -> eu_with ~fair m f g)
-    ~eg:(fun m f -> eg m f)
+    ~eu:(fun m f g -> eu_with ?limits ~fair m f g)
+    ~eg:(fun m f -> eg ?limits m f)
     m formula
 
-let holds m formula = Bdd.subset m.Kripke.man m.Kripke.init (sat m formula)
+let holds ?limits m formula =
+  Bdd.subset m.Kripke.man m.Kripke.init (sat ?limits m formula)

@@ -35,25 +35,30 @@ val constraints : Kripke.t -> Bdd.t list
 (** The effective fairness constraints: the model's list, or [[true]]
     when it is empty. *)
 
-val eg : Kripke.t -> Bdd.t -> Bdd.t
+val eg : ?limits:Bdd.Limits.t -> Kripke.t -> Bdd.t -> Bdd.t
 (** [CheckFairEG]: greatest fixpoint
-    [gfp Z. f /\ /\_k EX (E[f U (Z /\ h_k)])]. *)
+    [gfp Z. f /\ /\_k EX (E[f U (Z /\ h_k)])].  Every function below
+    accepts [?limits]: outer and nested fixpoint iterations each charge
+    one step against the budget (raising [Bdd.Limits.Exhausted] on a
+    breach); limits never change results, only whether the computation
+    is allowed to finish. *)
 
-val eg_with_rings : Kripke.t -> Bdd.t -> Bdd.t * rings list
+val eg_with_rings :
+  ?limits:Bdd.Limits.t -> Kripke.t -> Bdd.t -> Bdd.t * rings list
 (** Fair [EG] together with the ring sequences saved in the last outer
     iteration, one per effective constraint. *)
 
-val fair_states : Kripke.t -> Bdd.t
+val fair_states : ?limits:Bdd.Limits.t -> Kripke.t -> Bdd.t
 (** [fair = CheckFairEG true]: states at the start of some fair path. *)
 
-val ex : Kripke.t -> Bdd.t -> Bdd.t
+val ex : ?limits:Bdd.Limits.t -> Kripke.t -> Bdd.t -> Bdd.t
 (** [CheckFairEX f = CheckEX (f /\ fair)]. *)
 
-val eu : Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t
+val eu : ?limits:Bdd.Limits.t -> Kripke.t -> Bdd.t -> Bdd.t -> Bdd.t
 (** [CheckFairEU f g = CheckEU f (g /\ fair)]. *)
 
-val sat : Kripke.t -> Syntax.t -> Bdd.t
+val sat : ?limits:Bdd.Limits.t -> Kripke.t -> Syntax.t -> Bdd.t
 (** Full CTL over fair paths ([CheckFair]). *)
 
-val holds : Kripke.t -> Syntax.t -> bool
+val holds : ?limits:Bdd.Limits.t -> Kripke.t -> Syntax.t -> bool
 (** Does every initial state satisfy the formula over fair paths? *)

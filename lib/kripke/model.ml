@@ -219,7 +219,12 @@ let post m s =
     let img = Bdd.and_exists m.man (cur_cube m) m.trans s in
     unprime m img
 
-let reachable m =
+(* Charge one fixpoint iteration against the optional limits. *)
+let tick m = function
+  | None -> ()
+  | Some l -> Bdd.Limits.step m.man l
+
+let reachable ?limits m =
   (* Root the frontier so a GC triggered mid-fixpoint cannot sweep the
      running approximation. *)
   let frontier = ref m.init in
@@ -227,6 +232,7 @@ let reachable m =
     (fun () -> [ !frontier ])
     (fun () ->
       let rec go r =
+        tick m limits;
         let r' = Bdd.or_ m.man r (post m r) in
         if Bdd.equal r r' then r
         else begin
@@ -288,6 +294,40 @@ let pick_state m set =
        variable we cannot represent in a state. *)
     if not (Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))) then
       invalid_arg "Kripke.pick_state: set constrains next-state variables";
+    Some st
+  end
+
+(* Uniform random member of a state set, without enumerating it: walk
+   the current-copy bits in order, choosing each bit with probability
+   proportional to the satisfying-assignment count of the corresponding
+   cofactor.  Both cofactors leave the same next-copy variables free,
+   so the counts are proportional to state counts and the result is
+   uniform over the set.  O(nbits * diagram size) — no exponential
+   enumeration, unlike {!states_in}. *)
+let pick_random_state m ~rng set =
+  let set = Bdd.and_ m.man set m.space in
+  if Bdd.is_zero set then None
+  else begin
+    let st = Array.make m.nbits false in
+    let cur = ref set in
+    for b = 0 to m.nbits - 1 do
+      let v = 2 * b in
+      let f0 = Bdd.restrict m.man !cur v false in
+      let f1 = Bdd.restrict m.man !cur v true in
+      let w0 = if Bdd.is_zero f0 then 0.0 else Bdd.sat_count f0 (2 * m.nbits) in
+      let w1 = if Bdd.is_zero f1 then 0.0 else Bdd.sat_count f1 (2 * m.nbits) in
+      let take_true =
+        if w1 = 0.0 then false
+        else if w0 = 0.0 then true
+        else Random.State.float rng (w0 +. w1) < w1
+      in
+      st.(b) <- take_true;
+      cur := if take_true then f1 else f0
+    done;
+    (* Same guard as {!pick_state}: a state set must constrain
+       current-copy variables only. *)
+    if not (Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))) then
+      invalid_arg "Kripke.pick_random_state: set constrains next-state variables";
     Some st
   end
 

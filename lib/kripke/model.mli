@@ -133,8 +133,11 @@ val pre : t -> Bdd.t -> Bdd.t
 val post : t -> Bdd.t -> Bdd.t
 (** [post m s] — successors of states in [s]. *)
 
-val reachable : t -> Bdd.t
-(** Least fixpoint of [post] from [init]. *)
+val reachable : ?limits:Bdd.Limits.t -> t -> Bdd.t
+(** Least fixpoint of [post] from [init].  [limits] charges one step
+    per frontier iteration and is polled inside the image computations
+    (when attached to the manager); a breach raises
+    [Bdd.Limits.Exhausted]. *)
 
 val deadlocks : t -> Bdd.t
 (** States of [space] with no successor.  CTL semantics (and the
@@ -169,6 +172,13 @@ val pick_state : t -> Bdd.t -> state option
     pinned to [false], so [state_to_bdd] of the result is always a
     subset of the set.  Raises [Invalid_argument] if the set constrains
     next-copy variables (it is then not a state set). *)
+
+val pick_random_state : t -> rng:Random.State.t -> Bdd.t -> state option
+(** A uniformly random member of a state set, chosen symbolically (one
+    weighted cofactor descent per state bit — no enumeration, so it is
+    safe on sets with astronomically many states); [None] if the set is
+    empty.  Raises [Invalid_argument] if the set constrains next-copy
+    variables. *)
 
 val pick_successor : t -> state -> Bdd.t -> state option
 (** [pick_successor m s target] — a successor of [s] inside [target]. *)

@@ -206,8 +206,13 @@ let tokenize input =
       else if is_digit c then begin
         let j = ref i in
         while !j < n && is_digit input.[!j] do incr j done;
-        let value = int_of_string (String.sub input i (!j - i)) in
-        go !j ((INT value, pos i) :: acc)
+        let text = String.sub input i (!j - i) in
+        match int_of_string_opt text with
+        | Some value -> go !j ((INT value, pos i) :: acc)
+        | None ->
+          raise
+            (Error (Printf.sprintf "integer literal out of range: %s" text,
+                    pos i))
       end
       else if is_ident_start c then begin
         let j = ref (i + 1) in

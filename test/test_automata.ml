@@ -84,13 +84,13 @@ let test_run_inf_accepts () =
 
 let test_containment_holds () =
   (* L(inf_a) ⊆ L(accept-all). *)
-  match Automata.Containment.contains ~sys:inf_a ~spec:accept_all with
+  match Automata.Containment.contains ~sys:inf_a ~spec:accept_all () with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "containment should hold"
 
 let test_containment_fails_with_word () =
   (* L(accept-all) ⊄ L(inf_a): some word has finitely many a's. *)
-  match Automata.Containment.contains ~sys:accept_all ~spec:inf_a with
+  match Automata.Containment.contains ~sys:accept_all ~spec:inf_a () with
   | Ok () -> Alcotest.fail "containment should fail"
   | Error ce ->
     Alcotest.(check bool) "counterexample validates" true
@@ -106,7 +106,7 @@ let test_containment_streett_pair () =
      infinitely often: impossible... actually any word either has inf
      many b (inf ∩ {0} ≠ ∅, accepted) or eventually only a
      (inf ⊆ {1}, accepted).  So containment HOLDS here. *)
-  match Automata.Containment.contains ~sys:accept_all ~spec:fair_spec with
+  match Automata.Containment.contains ~sys:accept_all ~spec:fair_spec () with
   | Ok () -> ()
   | Error ce ->
     Alcotest.failf "unexpected counterexample (cycle length %d)"
@@ -118,7 +118,7 @@ let test_containment_requires_det_spec () =
       ~delta:[ (0, 0, 0); (0, 0, 1); (0, 1, 0); (1, 0, 1); (1, 1, 1) ]
       ~accept:[]
   in
-  match Automata.Containment.contains ~sys:accept_all ~spec:nondet with
+  match Automata.Containment.contains ~sys:accept_all ~spec:nondet () with
   | _ -> Alcotest.fail "expected Spec_not_deterministic"
   | exception Automata.Containment.Spec_not_deterministic -> ()
 
@@ -130,7 +130,7 @@ let test_containment_alphabet_mismatch () =
   in
   Alcotest.check_raises "alphabet mismatch"
     (Invalid_argument "Containment.contains: different alphabets") (fun () ->
-      ignore (Automata.Containment.contains ~sys:accept_all ~spec:other))
+      ignore (Automata.Containment.contains ~sys:accept_all ~spec:other ()))
 
 (* Nondeterministic system: guesses a point after which only b's
    occur; its language is "finitely many a's". *)
@@ -144,11 +144,11 @@ let test_nondeterministic_sys () =
      exactly the words with finitely many a's: complement of inf_a =
      tracker with pair (inf ⊆ {after-b}). *)
   let fin_a_spec = last_letter_tracker ~accept:[ ([ 0 ], []) ] in
-  (match Automata.Containment.contains ~sys:finitely_many_a ~spec:fin_a_spec with
+  (match Automata.Containment.contains ~sys:finitely_many_a ~spec:fin_a_spec () with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "containment should hold");
   (* But not ⊆ inf_a: witness word is eventually only b. *)
-  match Automata.Containment.contains ~sys:finitely_many_a ~spec:inf_a with
+  match Automata.Containment.contains ~sys:finitely_many_a ~spec:inf_a () with
   | Ok () -> Alcotest.fail "containment should fail"
   | Error ce ->
     Alcotest.(check bool) "validates" true
@@ -186,7 +186,7 @@ let prop_containment_vs_sampling =
     QCheck2.Gen.(triple det_automaton_gen det_automaton_gen
                    (list_repeat 20 word_gen))
     (fun (sys, spec, words) ->
-      match Automata.Containment.contains ~sys ~spec with
+      match Automata.Containment.contains ~sys ~spec () with
       | Error ce ->
         Automata.Containment.check_counterexample ~sys ~spec ce
       | Ok () ->
@@ -256,13 +256,13 @@ let test_rabin_run_inf () =
 
 let test_rabin_containment_holds () =
   (* "eventually only a" ⊆ everything. *)
-  match Automata.Rabin.contains ~sys:rabin_eventually_a ~spec:rabin_all with
+  match Automata.Rabin.contains ~sys:rabin_eventually_a ~spec:rabin_all () with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "containment should hold"
 
 let test_rabin_containment_fails () =
   (* everything ⊄ "eventually only a": expect a word with b's forever.  *)
-  match Automata.Rabin.contains ~sys:rabin_all ~spec:rabin_eventually_a with
+  match Automata.Rabin.contains ~sys:rabin_all ~spec:rabin_eventually_a () with
   | Ok () -> Alcotest.fail "containment should fail"
   | Error ce ->
     Alcotest.(check bool) "validates" true
@@ -279,7 +279,7 @@ let test_rabin_empty_system () =
       ~delta:[ (0, 0, 0); (0, 1, 0) ]
       ~accept:[]
   in
-  match Automata.Rabin.contains ~sys:empty ~spec:rabin_eventually_a with
+  match Automata.Rabin.contains ~sys:empty ~spec:rabin_eventually_a () with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "empty language is contained in everything"
 
@@ -362,12 +362,12 @@ let test_muller_acceptance () =
     (Automata.Muller.accepts_lasso_det muller_fair_or_a ~prefix:[] ~cycle:[ 1 ])
 
 let test_muller_containment_holds () =
-  match Automata.Muller.contains ~sys:muller_only_a ~spec:muller_fair_or_a with
+  match Automata.Muller.contains ~sys:muller_only_a ~spec:muller_fair_or_a () with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "only-a ⊆ fair-or-a should hold"
 
 let test_muller_containment_fails () =
-  match Automata.Muller.contains ~sys:muller_all ~spec:muller_fair_or_a with
+  match Automata.Muller.contains ~sys:muller_all ~spec:muller_fair_or_a () with
   | Ok () -> Alcotest.fail "everything ⊄ fair-or-a"
   | Error ce ->
     Alcotest.(check bool) "validates" true
@@ -385,7 +385,7 @@ let test_muller_spec_too_large () =
            (List.init n (fun s -> [ (s, 0, (s + 1) mod n); (s, 1, s) ])))
       ~family:[ List.init n Fun.id ]
   in
-  match Automata.Muller.contains ~sys:muller_all ~spec:(big 17) with
+  match Automata.Muller.contains ~sys:muller_all ~spec:(big 17) () with
   | _ -> Alcotest.fail "expected Spec_too_large"
   | exception Automata.Muller.Spec_too_large 17 -> ()
 

@@ -1,0 +1,120 @@
+(* End-to-end contract of the smv_check executable: exit codes
+   (0 all hold / 1 some fail / 2 resource limit / 3 input error),
+   per-spec fault isolation, and flag validation.  The binary is built
+   as a dependency and invoked as a subprocess. *)
+
+let exe = Filename.concat (Filename.concat ".." "bin") "smv_check.exe"
+
+let run args =
+  let cmd = Filename.quote_command exe args ^ " 2>&1" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let code =
+    match Unix.close_process_in ic with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+let contains ~needle haystack =
+  Astring.String.is_infix ~affix:needle haystack
+
+let model_path name =
+  Filename.concat (Filename.concat (Filename.concat ".." "examples") "models")
+    name
+
+let temp_model source =
+  let path = Filename.temp_file "smv_cli_test" ".smv" in
+  let oc = open_out path in
+  output_string oc source;
+  close_out oc;
+  path
+
+let all_true_model =
+  "MODULE main\n\
+   VAR x : boolean;\n\
+   ASSIGN\n\
+   \  init(x) := FALSE;\n\
+   \  next(x) := x;\n\
+   SPEC AG !x\n\
+   SPEC EF !x\n"
+
+let test_exit_all_hold () =
+  let path = temp_model all_true_model in
+  let code, out = run [ path ] in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "both specs true" true
+    (contains ~needle:"is true" out && not (contains ~needle:"is false" out))
+
+let test_exit_some_fail () =
+  let code, out = run [ model_path "mutex.smv" ] in
+  Alcotest.(check int) "exit 1" 1 code;
+  Alcotest.(check bool) "a false verdict is reported" true
+    (contains ~needle:"is false" out)
+
+let test_exit_limit_and_isolation () =
+  let code, out = run [ model_path "counter26.smv"; "--step-limit"; "50" ] in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "first spec undetermined" true
+    (contains ~needle:"UNDETERMINED (step budget of 50 exceeded" out);
+  (* fault isolation: the trivial second spec is still decided *)
+  Alcotest.(check bool) "second spec still checked" true
+    (contains ~needle:"(AG (b0 | !b0)) is true" out)
+
+let test_timeout_trips () =
+  let code, out = run [ model_path "counter26.smv"; "--timeout"; "1" ] in
+  Alcotest.(check int) "exit 2" 2 code;
+  Alcotest.(check bool) "timeout reported" true
+    (contains ~needle:"UNDETERMINED (timeout after" out);
+  Alcotest.(check bool) "second spec still checked" true
+    (contains ~needle:"(AG (b0 | !b0)) is true" out)
+
+let test_exit_input_errors () =
+  let code, _ = run [ "no_such_model.smv" ] in
+  Alcotest.(check int) "missing file: exit 3" 3 code;
+  let bad = temp_model "MODULE main\nVAR x (\n" in
+  let code, _ = run [ bad ] in
+  Sys.remove bad;
+  Alcotest.(check int) "syntax error: exit 3" 3 code;
+  let path = temp_model all_true_model in
+  let code, out = run [ path; "--simulate"; "0" ] in
+  let code2, out2 = run [ path; "--timeout"; "0" ] in
+  let code3, _ = run [ path; "--node-limit"; "0" ] in
+  Sys.remove path;
+  Alcotest.(check int) "--simulate 0: exit 3" 3 code;
+  Alcotest.(check bool) "--simulate message" true
+    (contains ~needle:"STEPS must be positive" out);
+  Alcotest.(check int) "--timeout 0: exit 3" 3 code2;
+  Alcotest.(check bool) "--timeout message" true
+    (contains ~needle:"SECS must be positive" out2);
+  Alcotest.(check int) "--node-limit 0: exit 3" 3 code3
+
+let test_simulate_runs () =
+  let path = temp_model all_true_model in
+  let code, out = run [ path; "--simulate"; "4"; "--seed"; "7"; "-q" ] in
+  Sys.remove path;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "simulation printed" true
+    (contains ~needle:"random simulation (4 steps, seed 7)" out)
+
+let suite =
+  [
+    Alcotest.test_case "exit 0 when all specifications hold" `Quick
+      test_exit_all_hold;
+    Alcotest.test_case "exit 1 when a specification fails" `Quick
+      test_exit_some_fail;
+    Alcotest.test_case "exit 2 + isolation on a step budget" `Quick
+      test_exit_limit_and_isolation;
+    Alcotest.test_case "exit 2 + isolation on --timeout" `Slow
+      test_timeout_trips;
+    Alcotest.test_case "exit 3 on input errors" `Quick
+      test_exit_input_errors;
+    Alcotest.test_case "--simulate walks symbolically" `Quick
+      test_simulate_runs;
+  ]

@@ -1,0 +1,109 @@
+(* The frontend never crashes: whatever mangled input it is fed, the
+   pipeline either compiles or raises one of the four declared frontend
+   errors — never Failure, Not_found, Invalid_argument, Match_failure
+   or a stack overflow.  The corpus is the real example models, mutated
+   by truncation, character flips, insertions, line shuffles and
+   cross-model splices. *)
+
+let models_dir = Filename.concat (Filename.concat ".." "examples") "models"
+
+let corpus =
+  lazy
+    (Sys.readdir models_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".smv")
+    |> List.map (fun f ->
+           let ic = open_in (Filename.concat models_dir f) in
+           let n = in_channel_length ic in
+           let s = really_input_string ic n in
+           close_in ic;
+           s))
+
+(* Bytes that stress the lexer: structure characters, digits long
+   enough to overflow, operators, and plain noise. *)
+let spice =
+  [| ":"; ";"; "("; ")"; "{"; "}"; ".."; "->"; "<->"; "&"; "|"; "!";
+     "="; ","; "9999999999999999999999"; "MODULE"; "VAR"; "ASSIGN";
+     "SPEC"; "case"; "esac"; "next"; "init"; "boolean"; "\x00"; "\xff";
+     "--"; "0"; "xyzzy" |]
+
+let mutate_gen =
+  let open QCheck2.Gen in
+  let* base = oneofl (Lazy.force corpus) in
+  let* nmut = int_range 1 6 in
+  let mutation = oneofl [ `Truncate; `Flip; `Insert; `DropLine; `Splice ] in
+  let apply s = function
+    | `Truncate ->
+      let* k = int_bound (max 0 (String.length s - 1)) in
+      return (String.sub s 0 k)
+    | `Flip ->
+      if String.length s = 0 then return s
+      else
+        let* i = int_bound (String.length s - 1) in
+        let* c = char in
+        let b = Bytes.of_string s in
+        Bytes.set b i c;
+        return (Bytes.to_string b)
+    | `Insert ->
+      let* i = int_bound (String.length s) in
+      let* w = oneofl (Array.to_list spice) in
+      return (String.sub s 0 i ^ w ^ String.sub s i (String.length s - i))
+    | `DropLine ->
+      let lines = String.split_on_char '\n' s in
+      let n = List.length lines in
+      if n <= 1 then return s
+      else
+        let* k = int_bound (n - 1) in
+        return
+          (String.concat "\n" (List.filteri (fun i _ -> i <> k) lines))
+    | `Splice ->
+      let* other = oneofl (Lazy.force corpus) in
+      let* i = int_bound (String.length s) in
+      let* j = int_bound (String.length other) in
+      return
+        (String.sub s 0 i
+        ^ String.sub other j (String.length other - j))
+  in
+  let rec go s k =
+    if k = 0 then QCheck2.Gen.return s
+    else
+      let* m = mutation in
+      let* s' = apply s m in
+      go s' (k - 1)
+  in
+  go base nmut
+
+let declared_error = function
+  | Smv.Lexer.Error _ | Smv.Parser.Error _ | Smv.Flatten.Error _
+  | Smv.Compile.Error _ ->
+    true
+  | _ -> false
+
+let prop_frontend_total =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"mutated models: declared errors only"
+       ~count:300 mutate_gen (fun source ->
+         match Smv.load_string source with
+         | _ -> true
+         | exception e when declared_error e -> true
+         | exception e ->
+           QCheck2.Test.fail_reportf
+             "undeclared exception %s on input:@.%s"
+             (Printexc.to_string e)
+             (String.sub source 0 (min 400 (String.length source)))))
+
+(* Regression: a huge integer literal used to escape as [Failure] from
+   int_of_string. *)
+let test_overflow_literal () =
+  let source = "MODULE main\nVAR x : 0..99999999999999999999;\n" in
+  match Smv.load_string source with
+  | _ -> Alcotest.fail "absurd range accepted"
+  | exception Smv.Lexer.Error _ -> ()
+  | exception e ->
+    Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+
+let suite =
+  [
+    prop_frontend_total;
+    Alcotest.test_case "integer overflow is a lexer error" `Quick
+      test_overflow_literal;
+  ]

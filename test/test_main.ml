@@ -13,4 +13,7 @@ let () =
       ("circuit", Test_circuit.suite);
       ("partition", Test_partition.suite);
       ("examples", Test_examples.suite);
+      ("limits", Test_limits.suite);
+      ("frontend_fuzz", Test_frontend_fuzz.suite);
+      ("cli", Test_cli.suite);
     ]
