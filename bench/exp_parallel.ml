@@ -1,0 +1,100 @@
+(* E11 — multicore specification fan-out (--jobs scaling).
+
+   The parallel unit is one specification: k specs fan out over a pool
+   of worker domains, each worker owning a private BDD manager and a
+   private clone of the model (Parallel.Specs).  There is no shared
+   mutable BDD state, so the expected scaling on a multicore host is
+   near-linear until the spec count or the memory bus saturates; the
+   per-worker cost over a sequential run is one model clone plus the
+   loss of cross-spec op-cache sharing.
+
+   This experiment times the same spec batch checked sequentially
+   (no pool) and with jobs ∈ {1, 2, 4, 8}, verifying that every run
+   produces identical verdicts.  Speedup is reported against the
+   sequential baseline.  On a host with fewer cores than jobs the sweep
+   degenerates into an overhead measurement — the honest number is
+   printed either way, alongside the core count the runtime reports. *)
+
+(* AG (c_i -> AF c_{i+1}) around the ring: every spec needs a full
+   backward AF fixpoint, so per-spec work is substantial and uniform —
+   the friendliest shape for fan-out, and the paper's common case of a
+   model checked against a list of response properties. *)
+let specs_for ~bits ~nspecs =
+  Array.init nspecs (fun i ->
+      let a = Ctl.atom (Printf.sprintf "c%d" (i mod bits)) in
+      let b = Ctl.atom (Printf.sprintf "c%d" ((i + 1) mod bits)) in
+      Ctl.AG (Ctl.Imp (a, Ctl.AF b)))
+
+let check_sequential m specs =
+  Array.map (fun s -> Ctl.Check.holds m s) specs
+
+let check_parallel ~jobs m specs =
+  let results, _worker_stats =
+    Parallel.Specs.map ~jobs
+      ~f:(fun wm spec _ -> Ctl.Check.holds wm spec)
+      m specs
+  in
+  Array.map
+    (function Ok v -> v | Error e -> raise e)
+    results
+
+(* Every timed run is cold: a fresh manager and model, so the parallel
+   runs cannot freeload on op-cache entries a previous run left behind
+   (and vice versa). *)
+let timed ~bits check =
+  let m = Workloads.ring bits in
+  Gc.full_major ();
+  Harness.time_once (fun () -> check m)
+
+let run ~full =
+  let bits, nspecs = if full then (14, 16) else (10, 8) in
+  let specs = specs_for ~bits ~nspecs in
+  let baseline, seq_s = timed ~bits (fun m -> check_sequential m specs) in
+  let jobs_sweep = [ 1; 2; 4; 8 ] in
+  let rows =
+    List.map
+      (fun jobs ->
+        let verdicts, wall_s =
+          timed ~bits (fun m -> check_parallel ~jobs m specs)
+        in
+        if verdicts <> baseline then
+          failwith
+            (Printf.sprintf "E11: --jobs %d verdicts diverge from sequential"
+               jobs);
+        let speedup = seq_s /. wall_s in
+        Harness.emit_json ~experiment:"E11"
+          [
+            ("workload", Harness.String (Printf.sprintf "ring%d" bits));
+            ("specs", Harness.Int nspecs);
+            ("jobs", Harness.Int jobs);
+            ("wall_s", Harness.Float wall_s);
+            ("speedup", Harness.Float speedup);
+          ];
+        [
+          Printf.sprintf "%d" jobs;
+          Harness.seconds_string wall_s;
+          Printf.sprintf "%.2fx" speedup;
+        ])
+      jobs_sweep
+  in
+  let seq_row = [ "seq (no pool)"; Harness.seconds_string seq_s; "1.00x" ] in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "E11: parallel spec fan-out, ring-%d x %d specs (verdicts checked \
+          identical)"
+         bits nspecs)
+    ~header:[ "jobs"; "wall"; "speedup" ] (seq_row :: rows);
+  Harness.note "Speedup is against the no-pool sequential run on this host;";
+  Harness.note
+    "Domain.recommended_domain_count reports %d core(s) here, so runs with"
+    (Domain.recommended_domain_count ());
+  Harness.note
+    "more jobs than cores measure fan-out overhead, not parallel speedup."
+
+let bechamel =
+  let setup = lazy (Workloads.ring 6, specs_for ~bits:6 ~nspecs:4) in
+  Bechamel.Test.make ~name:"e11-specs-map-jobs2"
+    (Bechamel.Staged.stage (fun () ->
+         let m, specs = Lazy.force setup in
+         check_parallel ~jobs:2 m specs))

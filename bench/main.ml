@@ -22,6 +22,7 @@ let experiments =
     ("E8", Exp_overhead.run, Exp_overhead.bechamel);
     ("E9", Exp_partition.run, Exp_partition.bechamel);
     ("E10", Exp_govern.run, Exp_govern.bechamel);
+    ("E11", Exp_parallel.run, Exp_parallel.bechamel);
   ]
 
 let run_raw () =

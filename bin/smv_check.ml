@@ -23,6 +23,7 @@ type options = {
   timeout : float option;
   node_limit : int option;
   step_limit : int option;
+  jobs : int;
   debug : bool;
 }
 
@@ -32,13 +33,16 @@ type options = {
 type verdict = Holds | Fails | Undetermined of string
 
 (* --------------------------------------------------------------- *)
-(* SIGINT: set a flag and cancel whatever limits are live; the next
-   poll point inside the running BDD operation raises, so the current
-   operation finishes its step, the spec is reported UNDETERMINED, and
-   the run exits cleanly with code 2. *)
+(* SIGINT: set the shared cancel flag.  Every per-spec Limits bundle —
+   sequential or on a worker domain — is created with this flag, so one
+   atomic store cancels them all: the next poll point inside each
+   running BDD operation raises, the in-flight specs are reported
+   UNDETERMINED, queued specs are skipped, and the run exits cleanly
+   with code 2.  [interrupted] is only ever touched from the main
+   domain (handler + aggregation). *)
 
 let interrupted = ref false
-let current_limits : Bdd.Limits.t option ref = ref None
+let cancel_flag : bool Atomic.t = Atomic.make false
 
 let install_sigint () =
   match
@@ -46,14 +50,18 @@ let install_sigint () =
       (Sys.Signal_handle
          (fun _ ->
            interrupted := true;
-           match !current_limits with
-           | Some l -> Bdd.Limits.cancel l
-           | None -> ()))
+           Atomic.set cancel_flag true))
   with
   | () -> ()
   | exception (Invalid_argument _ | Sys_error _) ->
     (* no signal support on this platform: run ungoverned *)
     ()
+
+(* A fresh budget bundle for one specification, cancellable through the
+   shared flag. *)
+let mk_limits opts =
+  Bdd.Limits.create ?timeout:opts.timeout ?node_budget:opts.node_limit
+    ?step_budget:opts.step_limit ~cancel:cancel_flag ()
 
 let load opts =
   match Smv.load_file ~partitioned:opts.partitioned opts.file with
@@ -94,9 +102,13 @@ let print_model_stats ?limits m =
       (Kripke.count_states m dead)
 
 (* The post-run half of --stats: BDD manager counters and fixpoint
-   iteration counts accumulated while checking. *)
-let print_run_stats m =
-  Format.printf "%a@." Bdd.pp_stats (Bdd.stats m.Kripke.man);
+   iteration counts accumulated while checking.  [extra] carries the
+   per-worker manager snapshots of a parallel run, merged into the main
+   manager's counters so --stats reports one totalled view of the whole
+   run regardless of --jobs. *)
+let print_run_stats ?(extra = []) m =
+  let s = List.fold_left Bdd.merge_stats (Bdd.stats m.Kripke.man) extra in
+  Format.printf "%a@." Bdd.pp_stats s;
   let c = Ctl.Check.fixpoint_stats () in
   let f = Ctl.Fair.fixpoint_stats () in
   Format.printf
@@ -119,9 +131,9 @@ let rec existential = function
 let describe_breach (info : Bdd.Limits.info) =
   Format.asprintf "%a" Bdd.Limits.pp_breach info.Bdd.Limits.breach
 
-let print_breach_progress (info : Bdd.Limits.info) =
+let print_breach_progress ppf (info : Bdd.Limits.info) =
   let p = info.Bdd.Limits.progress in
-  Format.printf
+  Format.fprintf ppf
     "--   progress before the limit: %d fixpoint iterations, %d ring segments%s@."
     p.Bdd.Limits.iterations p.Bdd.Limits.rings
     (match p.Bdd.Limits.witness_prefix with
@@ -131,54 +143,50 @@ let print_breach_progress (info : Bdd.Limits.info) =
 (* Print the trace for a determined verdict.  A resource breach here is
    reported as a note but keeps the verdict: the answer was already
    computed, only its explanation ran out of budget. *)
-let print_trace m ~fair:_ ~holds spec =
+let print_trace ppf m ~limits ~fair:_ ~holds spec =
   if holds then begin
     if existential spec then
-    match Counterex.Explain.witness ?limits:!current_limits m spec with
+    match Counterex.Explain.witness ~limits m spec with
     | Some tr ->
-      Format.printf "-- as demonstrated by the following execution sequence@.";
-      Format.printf "%a@." (Kripke.Trace.pp m) tr
+      Format.fprintf ppf "-- as demonstrated by the following execution sequence@.";
+      Format.fprintf ppf "%a@." (Kripke.Trace.pp m) tr
     | None -> ()
     | exception Counterex.Explain.Cannot_explain _ -> ()
     | exception Bdd.Limits.Exhausted info ->
-      Format.printf "-- (witness construction hit a resource limit: %s)@."
+      Format.fprintf ppf "-- (witness construction hit a resource limit: %s)@."
         (describe_breach info)
   end
   else begin
     (* Counterexamples always use fair semantics when constraints are
        declared, as SMV does. *)
-    match Counterex.Explain.counterexample ?limits:!current_limits m spec with
+    match Counterex.Explain.counterexample ~limits m spec with
     | Some tr ->
-      Format.printf
+      Format.fprintf ppf
         "-- as demonstrated by the following execution sequence@.";
-      Format.printf "%a@." (Kripke.Trace.pp m) tr;
-      Format.printf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
+      Format.fprintf ppf "%a@." (Kripke.Trace.pp m) tr;
+      Format.fprintf ppf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
         (if Kripke.Trace.is_lasso tr then
            Printf.sprintf " (cycle of length %d)"
              (List.length tr.Kripke.Trace.cycle)
          else "")
     | None ->
-      Format.printf
+      Format.fprintf ppf
         "-- (no initial-state counterexample: the formula fails only under plain semantics)@."
     | exception Counterex.Explain.Cannot_explain msg ->
-      Format.printf "-- (could not build a linear counterexample: %s)@." msg
+      Format.fprintf ppf "-- (could not build a linear counterexample: %s)@." msg
     | exception Bdd.Limits.Exhausted info ->
-      Format.printf
+      Format.fprintf ppf
         "-- (counterexample construction hit a resource limit: %s)@."
         (describe_breach info)
   end
 
 (* Check one specification under a fresh budget bundle.  Budgets are
    per-spec so one hard specification cannot starve the rest; the
-   bundle is also the SIGINT cancellation point. *)
-let check_one m ~opts (name, spec) =
-  let limits =
-    match (opts.timeout, opts.node_limit, opts.step_limit) with
-    | None, None, None -> Bdd.Limits.unlimited ()
-    | timeout, node_budget, step_budget ->
-      Bdd.Limits.create ?timeout ?node_budget ?step_budget ()
-  in
-  current_limits := Some limits;
+   bundle is also the SIGINT cancellation point.  All output goes to
+   [ppf]: the sequential path passes the standard formatter, the
+   parallel path a per-spec buffer replayed in spec order. *)
+let check_one ppf m ~opts (name, spec) =
+  let limits = mk_limits opts in
   let verdict =
     match
       Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
@@ -188,32 +196,31 @@ let check_one m ~opts (name, spec) =
     | true -> Holds
     | false -> Fails
     | exception Bdd.Limits.Exhausted info ->
-      Format.printf "-- specification %s is UNDETERMINED (%s)@." name
+      Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@." name
         (describe_breach info);
-      print_breach_progress info;
+      print_breach_progress ppf info;
       (* Reclaim the breached computation's intermediate nodes so a
          node-budget trip on one spec does not doom the next (the
          model's own BDDs are GC roots and survive). *)
       ignore (Bdd.gc m.Kripke.man);
       Undetermined (describe_breach info)
     | exception e when not opts.debug ->
-      Format.printf "-- specification %s is UNDETERMINED (internal error: %s)@."
+      Format.fprintf ppf "-- specification %s is UNDETERMINED (internal error: %s)@."
         name (Printexc.to_string e);
       Undetermined (Printexc.to_string e)
   in
   (match verdict with
   | Holds | Fails ->
     let holds = verdict = Holds in
-    Format.printf "-- specification %s is %s@." name
+    Format.fprintf ppf "-- specification %s is %s@." name
       (if holds then "true" else "false");
     if opts.traces then
       Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
-          try print_trace m ~fair:opts.fair ~holds spec
+          try print_trace ppf m ~limits ~fair:opts.fair ~holds spec
           with e when not opts.debug ->
-            Format.printf "-- (trace construction failed: %s)@."
+            Format.fprintf ppf "-- (trace construction failed: %s)@."
               (Printexc.to_string e))
   | Undetermined _ -> ());
-  current_limits := None;
   verdict
 
 (* Random walk from a random initial state, choosing uniformly at each
@@ -257,9 +264,13 @@ let validate opts =
     | Some n when n <= 0 -> Error "--node-limit: N must be positive"
     | Some _ | None -> Ok ()
   in
-  match opts.step_limit with
-  | Some n when n <= 0 -> Error "--step-limit: N must be positive"
-  | Some _ | None -> Ok ()
+  let* () =
+    match opts.step_limit with
+    | Some n when n <= 0 -> Error "--step-limit: N must be positive"
+    | Some _ | None -> Ok ()
+  in
+  if opts.jobs < 0 then Error "--jobs: N must be >= 0 (0 means all cores)"
+  else Ok ()
 
 (* Returns Ok (exit code) or Error message (input error, exit 3). *)
 let run opts =
@@ -282,24 +293,72 @@ let run opts =
       (Ok []) opts.extra_specs
   in
   let specs = compiled.Smv.Compile.specs @ List.rev extra in
-  let verdicts =
+  let jobs =
+    if opts.jobs = 0 then Parallel.default_jobs () else opts.jobs
+  in
+  let verdicts, worker_stats =
     if specs = [] then begin
       Format.printf "no specifications to check@.";
-      []
+      ([], [])
+    end
+    else if jobs > 1 && List.length specs > 1 then begin
+      (* Parallel path: fan the specs out over worker domains.  Each
+         task renders its whole report (verdict line, trace) into a
+         private buffer; the buffers are replayed on the main domain in
+         specification order, so the bytes printed are identical to a
+         sequential run's. *)
+      let names = Array.of_list (List.map fst specs) in
+      let formulas = Array.of_list (List.map snd specs) in
+      let f wm spec i =
+        let buf = Buffer.create 512 in
+        let ppf = Format.formatter_of_buffer buf in
+        let verdict = check_one ppf wm ~opts (names.(i), spec) in
+        Format.pp_print_flush ppf ();
+        (verdict, Buffer.contents buf)
+      in
+      let on_result i = function
+        | Ok ((_ : verdict), out) ->
+          (* Bypass std_formatter for the replay: a multi-line string
+             printed through %s corrupts Format's column tracking.  All
+             Format output ends in @. (flush), so channel-level writes
+             stay ordered. *)
+          Format.print_flush ();
+          print_string out
+        | Error Parallel.Specs.Cancelled -> ()
+        | Error e when not opts.debug ->
+          Format.printf
+            "-- specification %s is UNDETERMINED (worker failed: %s)@."
+            names.(i) (Printexc.to_string e)
+        | Error e -> raise e
+      in
+      let results, worker_stats =
+        Parallel.Specs.map ~jobs ~cancel:cancel_flag ~on_result ~f m
+          formulas
+      in
+      let verdicts =
+        Array.to_list results
+        |> List.filter_map (function
+             | Ok (v, _) -> Some v
+             | Error Parallel.Specs.Cancelled -> None
+             | Error e -> Some (Undetermined (Printexc.to_string e)))
+      in
+      (verdicts, worker_stats)
     end
     else
       (* Stop early on SIGINT; otherwise check every spec even after
          failures and breaches (per-spec isolation). *)
-      List.filter_map
-        (fun spec ->
-          if !interrupted then None else Some (check_one m ~opts spec))
-        specs
+      ( List.filter_map
+          (fun spec ->
+            if !interrupted then None
+            else Some (check_one Format.std_formatter m ~opts spec))
+          specs,
+        [] )
   in
   if !interrupted then begin
     Format.printf "-- interrupted; statistics so far:@.";
-    print_run_stats m
+    print_run_stats ~extra:worker_stats m
   end
-  else if opts.stats then print_run_stats m;
+  else if opts.stats then print_run_stats ~extra:worker_stats m;
   let some_undetermined =
     List.exists (function Undetermined _ -> true | _ -> false) verdicts
   in
@@ -342,7 +401,8 @@ let partitioned_arg =
     value & flag
     & info [ "partitioned" ]
         ~doc:
-          "Use a conjunctively partitioned transition relation with early            quantification for image computation.")
+          "Use a conjunctively partitioned transition relation with \
+           early quantification for image computation.")
 
 let stats_arg =
   Arg.(
@@ -403,6 +463,16 @@ let step_limit_arg =
           "Fixpoint-iteration / ring-descent step budget per \
            specification (deterministic, unlike --timeout).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Check specifications on N worker domains in parallel (0 \
+           means one per core).  Each worker clones the model into a \
+           private BDD manager, so verdicts, traces and exit code are \
+           byte-identical to a sequential run.")
+
 let debug_arg =
   Arg.(
     value & flag
@@ -413,12 +483,12 @@ let debug_arg =
            being condensed to one-line diagnostics.")
 
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
-    simulate seed timeout node_limit step_limit debug =
+    simulate seed timeout node_limit step_limit jobs debug =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
       partitioned; cache_limit; simulate; seed; timeout; node_limit;
-      step_limit; debug;
+      step_limit; jobs; debug;
     }
   in
   Printexc.record_backtrace debug;
@@ -453,6 +523,12 @@ let cmd =
          remaining specs are still checked.  SIGINT finishes the \
          current BDD operation, prints statistics so far, and exits \
          cleanly.";
+      `P
+        "Parallelism: $(b,--jobs N) checks specifications on N worker \
+         domains, each with a private clone of the model in its own \
+         BDD manager (shared-nothing, no locks on the BDD hot paths).  \
+         Output order, traces and the exit code are byte-identical to \
+         a sequential run.";
       `S Manpage.s_exit_status;
       `P "0 — every specification holds.";
       `P "1 — at least one specification is false (none undetermined).";
@@ -473,6 +549,6 @@ let cmd =
       const main $ file_arg $ spec_arg $ no_fair_arg $ no_trace_arg
       $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
       $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
-      $ debug_arg)
+      $ jobs_arg $ debug_arg)
 
 let () = exit (Cmd.eval' cmd)

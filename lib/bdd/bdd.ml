@@ -79,7 +79,14 @@ type limits = {
   mutable l_iterations : int; (* fixpoint iterations completed *)
   mutable l_rings : int;      (* ring-descent segments completed *)
   mutable l_witness : bool array list;  (* best-so-far witness prefix *)
-  mutable cancelled : bool;   (* cooperative-cancellation flag *)
+  cancelled : bool Atomic.t;
+      (* cooperative-cancellation flag.  Atomic, not a plain mutable
+         bool: cancellation is requested from outside the domain that
+         owns the manager (a signal handler in the main domain, a
+         coordinator cancelling worker domains), and a plain field
+         written by one domain has no visibility guarantee in another.
+         The flag may be shared between several bundles (one per worker
+         spec) so a single store cancels them all. *)
 }
 
 type man = {
@@ -196,7 +203,7 @@ let limits_breach m l breach =
        { breach; stats = stats m; progress = limits_progress_of l })
 
 let limits_check_now m (l : limits) =
-  if l.cancelled then limits_breach m l Interrupted;
+  if Atomic.get l.cancelled then limits_breach m l Interrupted;
   (match l.node_budget with
   | Some budget ->
     let live = live_nodes m in
@@ -642,6 +649,33 @@ let clear_caches m =
   Hashtbl.reset m.forall_cache;
   Hashtbl.reset m.relprod_cache
 
+(* Cross-manager copy.  A reduced ordered diagram copied node by node
+   (same variables, same shape) through [mk] is again reduced and
+   ordered, so the result is [dst]'s canonical diagram for the same
+   boolean function — no [ite] rebuilding needed, one [mk] per source
+   node.  Only the immutable node structure of [f] is read, never its
+   manager's tables, which is what makes the copy safe to run from a
+   domain other than the one that built [f] (the source manager must
+   merely be quiescent; concurrent transfers out of the same diagram
+   are fine).  Recursion depth is bounded by the number of distinct
+   variables on a path, not by diagram size. *)
+let transfer ~dst f =
+  let memo : (int, t) Hashtbl.t = Hashtbl.create 1024 in
+  let rec go f =
+    match f with
+    | False | True -> f
+    | Node n -> (
+      match Hashtbl.find_opt memo n.nid with
+      | Some r -> r
+      | None ->
+        let lo = go n.low in
+        let hi = go n.high in
+        let r = mk dst n.var lo hi in
+        Hashtbl.add memo n.nid r;
+        r)
+  in
+  go f
+
 (* ------------------------------------------------------------------ *)
 (* Statistics.                                                         *)
 
@@ -652,6 +686,31 @@ let cache_hits s =
 let cache_misses s =
   s.ite.misses + s.exists.misses + s.forall.misses + s.relprod.misses
   + s.constrain.misses
+
+(* Pointwise sum of two snapshots, for aggregating the managers of a
+   parallel run into one report.  Summing [peak_nodes] across managers
+   that were live at the same time gives an upper bound on the
+   simultaneous footprint, which is the number a memory budget cares
+   about. *)
+let merge_stats a b =
+  let op (x : op_stats) (y : op_stats) =
+    { calls = x.calls + y.calls;
+      hits = x.hits + y.hits;
+      misses = x.misses + y.misses }
+  in
+  {
+    ite = op a.ite b.ite;
+    exists = op a.exists b.exists;
+    forall = op a.forall b.forall;
+    relprod = op a.relprod b.relprod;
+    constrain = op a.constrain b.constrain;
+    live_nodes = a.live_nodes + b.live_nodes;
+    peak_nodes = a.peak_nodes + b.peak_nodes;
+    total_nodes = a.total_nodes + b.total_nodes;
+    cache_evictions = a.cache_evictions + b.cache_evictions;
+    gc_runs = a.gc_runs + b.gc_runs;
+    gc_collected = a.gc_collected + b.gc_collected;
+  }
 
 let reset_stats m =
   let reset (s : opstat) =
@@ -760,7 +819,7 @@ module Limits = struct
 
   exception Exhausted = Limits_exhausted
 
-  let create ?timeout ?node_budget ?step_budget () =
+  let create ?timeout ?node_budget ?step_budget ?cancel () =
     (match timeout with
     | Some t when not (t > 0.0) ->
       invalid_arg "Bdd.Limits.create: non-positive timeout"
@@ -784,12 +843,12 @@ module Limits = struct
       l_iterations = 0;
       l_rings = 0;
       l_witness = [];
-      cancelled = false;
+      cancelled = (match cancel with Some c -> c | None -> Atomic.make false);
     }
 
   let unlimited () = create ()
-  let cancel l = l.cancelled <- true
-  let cancelled l = l.cancelled
+  let cancel l = Atomic.set l.cancelled true
+  let cancelled l = Atomic.get l.cancelled
   let progress l = limits_progress_of l
   let elapsed l = Unix.gettimeofday () -. l.started
 

@@ -135,6 +135,27 @@ val constrain : man -> t -> t -> t
     intermediate sets against reachability invariants.  Raises
     [Invalid_argument] when [c] is the constant false. *)
 
+(** {1 Cross-manager transfer} *)
+
+val transfer : dst:man -> t -> t
+(** [transfer ~dst f] — the canonical diagram of [dst] computing the
+    same boolean function as [f] (over the same variable indices),
+    built by a memoised structural copy: one node-constructor call per
+    distinct node of [f], no [ite] recursion.  Copying a reduced
+    ordered diagram node by node preserves reduction and ordering, so
+    [size] is preserved exactly and semantic properties ([eval],
+    [sat_count], [support]) coincide.
+
+    The copy reads only the immutable node structure of [f] — never the
+    source manager's tables — so it is safe to call from a different
+    domain than the one that owns the source manager, as long as no
+    domain is mutating the source diagram's manager concurrently.  This
+    is the bridge that lets each worker domain of a parallel run build
+    a private copy of shared state in its own single-domain manager
+    ([Kripke.clone_into] is built on it).  Transferring into the source
+    manager itself returns [f] (hash-consing finds the existing
+    nodes). *)
+
 (** {1 Renaming} *)
 
 val rename : man -> t -> (int -> int) -> t
@@ -227,6 +248,12 @@ val cache_hits : stats -> int
 
 val cache_misses : stats -> int
 (** Total cache misses across the five operation caches. *)
+
+val merge_stats : stats -> stats -> stats
+(** Pointwise sum of two snapshots — used to aggregate the per-worker
+    managers of a parallel run into a single report.  [peak_nodes] is
+    summed too: for managers live at the same time that is an upper
+    bound on the simultaneous footprint. *)
 
 val reset_stats : man -> unit
 (** Zero every counter; [peak_nodes] restarts from the current
@@ -323,10 +350,19 @@ module Limits : sig
   (** The single structured resource-limit exception. *)
 
   val create :
-    ?timeout:float -> ?node_budget:int -> ?step_budget:int -> unit -> t
+    ?timeout:float ->
+    ?node_budget:int ->
+    ?step_budget:int ->
+    ?cancel:bool Atomic.t ->
+    unit ->
+    t
   (** [create ()] makes a budget bundle; omitted budgets are unlimited.
       [timeout] is in seconds, measured from [create] (wall clock).
-      Raises [Invalid_argument] on non-positive budgets. *)
+      [cancel] supplies the cancellation flag instead of a fresh one,
+      so several bundles (e.g. one per worker-domain specification) can
+      share a single flag: one [Atomic.set] cancels them all, which is
+      how SIGINT stops a parallel run.  Raises [Invalid_argument] on
+      non-positive budgets. *)
 
   val unlimited : unit -> t
   (** No budgets — still cancellable, which is how SIGINT handling
@@ -334,8 +370,10 @@ module Limits : sig
 
   val cancel : t -> unit
   (** Request cooperative cancellation: the next poll point raises
-      {!Exhausted} with {!breach} [Interrupted].  Async-signal-safe (it
-      only sets a flag), so it may be called from a signal handler. *)
+      {!Exhausted} with {!breach} [Interrupted].  The flag is an
+      [Atomic.bool], so the request is visible across domains (a plain
+      mutable bool would carry no such guarantee), and setting it is
+      async-signal-safe, so it may be called from a signal handler. *)
 
   val cancelled : t -> bool
 

@@ -1,28 +1,31 @@
 exception Unknown_atom of string
 
 (* Observability counters: global (per-process, not per-model), updated
-   by every fixpoint below and snapshotted by [fixpoint_stats]. *)
+   by every fixpoint below and snapshotted by [fixpoint_stats].
+   Atomic, because parallel spec checking runs these fixpoints from
+   several domains at once and a merged stats report must not lose
+   increments (a plain ref would). *)
 type fixpoint_stats = {
   eu_iterations : int;
   eg_iterations : int;
   ring_layers : int;
 }
 
-let eu_iters = ref 0
-let eg_iters = ref 0
-let rings_built = ref 0
+let eu_iters = Atomic.make 0
+let eg_iters = Atomic.make 0
+let rings_built = Atomic.make 0
 
 let fixpoint_stats () =
   {
-    eu_iterations = !eu_iters;
-    eg_iterations = !eg_iters;
-    ring_layers = !rings_built;
+    eu_iterations = Atomic.get eu_iters;
+    eg_iterations = Atomic.get eg_iters;
+    ring_layers = Atomic.get rings_built;
   }
 
 let reset_fixpoint_stats () =
-  eu_iters := 0;
-  eg_iters := 0;
-  rings_built := 0
+  Atomic.set eu_iters 0;
+  Atomic.set eg_iters 0;
+  Atomic.set rings_built 0
 
 (* Charge one fixpoint iteration against the optional resource limits
    (shared by every fixpoint loop below). *)
@@ -39,7 +42,7 @@ let eu ?limits (m : Kripke.t) f g =
     (fun () -> [ f; g; !frontier ])
     (fun () ->
       let rec go q =
-        incr eu_iters;
+        Atomic.incr eu_iters;
         tick m limits;
         let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
         if Bdd.equal q q' then q
@@ -57,7 +60,7 @@ let eu_rings ?limits (m : Kripke.t) f g =
     (fun () -> f :: !layers)
     (fun () ->
       let rec go acc q =
-        incr eu_iters;
+        Atomic.incr eu_iters;
         tick m limits;
         let q' = Bdd.or_ bman q (Bdd.and_ bman f (ex m q)) in
         if Bdd.equal q q' then List.rev acc
@@ -67,7 +70,7 @@ let eu_rings ?limits (m : Kripke.t) f g =
         end
       in
       let rings = Array.of_list (go [ g ] g) in
-      rings_built := !rings_built + Array.length rings;
+      ignore (Atomic.fetch_and_add rings_built (Array.length rings) : int);
       rings)
 
 let eg ?limits (m : Kripke.t) f =
@@ -77,7 +80,7 @@ let eg ?limits (m : Kripke.t) f =
     (fun () -> [ f; !frontier ])
     (fun () ->
       let rec go z =
-        incr eg_iters;
+        Atomic.incr eg_iters;
         tick m limits;
         let z' = Bdd.and_ bman z (Bdd.and_ bman f (ex m z)) in
         if Bdd.equal z z' then z

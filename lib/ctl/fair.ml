@@ -3,22 +3,25 @@ type rings = {
   layers : Bdd.t array;
 }
 
-(* Observability counters, process-wide like [Check]'s; the nested EU
-   sweeps of the fair fixpoint land in [Check.fixpoint_stats]. *)
+(* Observability counters, process-wide like [Check]'s (and atomic for
+   the same reason: several checking domains may increment them at
+   once); the nested EU sweeps of the fair fixpoint land in
+   [Check.fixpoint_stats]. *)
 type fixpoint_stats = {
   outer_iterations : int;
   ring_layers : int;
 }
 
-let outer_iters = ref 0
-let rings_saved = ref 0
+let outer_iters = Atomic.make 0
+let rings_saved = Atomic.make 0
 
 let fixpoint_stats () =
-  { outer_iterations = !outer_iters; ring_layers = !rings_saved }
+  { outer_iterations = Atomic.get outer_iters;
+    ring_layers = Atomic.get rings_saved }
 
 let reset_fixpoint_stats () =
-  outer_iters := 0;
-  rings_saved := 0
+  Atomic.set outer_iters 0;
+  Atomic.set rings_saved 0
 
 let constraints (m : Kripke.t) =
   match m.Kripke.fairness with
@@ -45,7 +48,7 @@ let eg ?limits (m : Kripke.t) f =
     (fun () -> f :: !frontier :: hs)
     (fun () ->
       let rec go z =
-        incr outer_iters;
+        Atomic.incr outer_iters;
         (match limits with
         | Some l -> Bdd.Limits.step bman l
         | None -> ());
@@ -68,7 +71,7 @@ let eg_with_rings ?limits (m : Kripke.t) f =
     (fun () ->
       let ring h =
         let layers = Check.eu_rings ?limits m f (Bdd.and_ bman z h) in
-        rings_saved := !rings_saved + Array.length layers;
+        ignore (Atomic.fetch_and_add rings_saved (Array.length layers) : int);
         saved := Array.to_list layers @ !saved;
         { constr = h; layers }
       in

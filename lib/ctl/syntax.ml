@@ -23,6 +23,26 @@ let ( ||| ) a b = Or (a, b)
 let ( ==> ) a b = Imp (a, b)
 let neg f = Not f
 
+(* Rebuild a formula with every embedded [Pred] state set rewritten —
+   the hook that moves a compiled formula onto another BDD manager
+   ([Bdd.transfer] as [fn]) for shared-nothing parallel checking. *)
+let rec map_pred fn = function
+  | (True | False | Atom _) as f -> f
+  | Pred b -> Pred (fn b)
+  | Not f -> Not (map_pred fn f)
+  | And (a, b) -> And (map_pred fn a, map_pred fn b)
+  | Or (a, b) -> Or (map_pred fn a, map_pred fn b)
+  | Imp (a, b) -> Imp (map_pred fn a, map_pred fn b)
+  | Iff (a, b) -> Iff (map_pred fn a, map_pred fn b)
+  | EX f -> EX (map_pred fn f)
+  | EF f -> EF (map_pred fn f)
+  | EG f -> EG (map_pred fn f)
+  | EU (a, b) -> EU (map_pred fn a, map_pred fn b)
+  | AX f -> AX (map_pred fn f)
+  | AF f -> AF (map_pred fn f)
+  | AG f -> AG (map_pred fn f)
+  | AU (a, b) -> AU (map_pred fn a, map_pred fn b)
+
 let rec enf = function
   | (True | False | Atom _ | Pred _) as f -> f
   | Not f -> Not (enf f)

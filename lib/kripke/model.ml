@@ -183,7 +183,8 @@ let with_partition m clusters =
   in
   if not (Bdd.equal check m.trans) then
     invalid_arg
-      "Kripke.with_partition: clusters do not conjoin to the transition        relation";
+      "Kripke.with_partition: clusters do not conjoin to the transition \
+       relation";
   let space' = Bdd.rename m.man m.space (fun v -> v + 1) in
   let parts = m.space :: space' :: clusters in
   let pre_schedule =
@@ -204,6 +205,34 @@ let with_partition m clusters =
       post_schedule = Some post_schedule }
 
 let partitioned m = m.pre_schedule <> None
+
+(* Deep-copy a model into another manager: every BDD goes through
+   [Bdd.transfer] (which reads only immutable node structure, so
+   several worker domains may clone the same source model at once), the
+   variable layout is duplicated, and the clone registers its own GC
+   roots with the destination manager.  Because transfer preserves
+   semantics exactly and every choice the checking / witness layers
+   make is semantic (lexicographically least cubes, fixpoints), a clone
+   produces bit-identical verdicts and traces to the original. *)
+let clone_into dst m =
+  if dst == m.man then invalid_arg "Kripke.clone_into: same manager";
+  let t b = Bdd.transfer ~dst b in
+  let clone_steps =
+    List.map (fun s -> { cluster = t s.cluster; quant = t s.quant })
+  in
+  register_roots
+    {
+      man = dst;
+      vars = Array.map (fun v -> { v with bits = Array.copy v.bits }) m.vars;
+      nbits = m.nbits;
+      space = t m.space;
+      init = t m.init;
+      trans = t m.trans;
+      pre_schedule = Option.map clone_steps m.pre_schedule;
+      post_schedule = Option.map clone_steps m.post_schedule;
+      fairness = List.map t m.fairness;
+      labels = List.map (fun (name, b) -> (name, t b)) m.labels;
+    }
 
 let pre m s =
   match m.pre_schedule with

@@ -91,6 +91,19 @@ val with_partition : t -> Bdd.t list -> t
 val partitioned : t -> bool
 (** Is a partitioned schedule installed? *)
 
+val clone_into : Bdd.man -> t -> t
+(** [clone_into dst m] — a deep copy of the model whose every BDD
+    (space, init, transition relation, schedules, fairness, labels)
+    lives in [dst], built with [Bdd.transfer]; the clone registers its
+    own garbage-collection roots with [dst].  The copy reads only
+    immutable node structure, never the source manager's tables, so
+    several domains may clone the same model concurrently — this is how
+    each worker of a parallel run gets a private model on a private
+    single-domain manager, keeping BDD hot paths lock-free.  A clone is
+    observationally identical: verdicts, witnesses and traces computed
+    on it are bit-for-bit those of the original.  Raises
+    [Invalid_argument] when [dst] is the model's own manager. *)
+
 val with_fairness : t -> Bdd.t list -> t
 (** The same model under different fairness constraints (cheap: all
     BDDs are shared).  Used by the CTL* witness machinery, which turns

@@ -1,0 +1,15 @@
+(** Parallel checking over worker domains (OCaml 5 shared-nothing
+    parallelism): the fixed-size domain {!Pool} and the per-spec
+    fan-out {!Specs} built on it.
+
+    Design rule: a BDD manager is owned by exactly one domain for its
+    whole life.  Parallelism comes from cloning — [Bdd.transfer] /
+    [Kripke.clone_into] copy shared immutable structure into private
+    managers — never from locking the hash-consing hot paths. *)
+
+module Pool = Pool
+module Specs = Specs
+
+let default_jobs () = Domain.recommended_domain_count ()
+(** The runtime's recommendation for how many domains this machine can
+    usefully run — the meaning of [--jobs 0]. *)

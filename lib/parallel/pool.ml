@@ -1,0 +1,111 @@
+(* Fixed-size domain pool: a mutex-and-condition protected FIFO of
+   thunks, n worker domains looping pop-run-repeat, and one condition
+   per future for the await side.  No spinning anywhere: workers block
+   on [nonempty] when the queue is dry, awaiters block on the future's
+   own condition until the worker fills it. *)
+
+type task = unit -> unit
+
+type t = {
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* signalled on submit and on shutdown *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+(* Pop the next task, blocking while the queue is empty and the pool
+   open; [None] means shutdown with an empty queue, i.e. exit. *)
+let next_task pool =
+  Mutex.lock pool.mutex;
+  let rec go () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.nonempty pool.mutex;
+      go ()
+    end
+  in
+  let job = go () in
+  Mutex.unlock pool.mutex;
+  job
+
+let rec worker_loop pool =
+  match next_task pool with
+  | None -> ()
+  | Some job ->
+    (* [job] is a [submit] wrapper and cannot raise; the guard is
+       belt-and-braces so a worker never dies silently. *)
+    (try job () with _ -> ());
+    worker_loop pool
+
+let create n =
+  if n < 1 then invalid_arg "Parallel.Pool.create: need at least one worker";
+  let pool =
+    {
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  pool.domains <-
+    List.init n (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = List.length pool.domains
+
+let submit pool f =
+  let fut = { fmutex = Mutex.create (); fcond = Condition.create ();
+              state = Pending }
+  in
+  let task () =
+    let outcome = match f () with v -> Done v | exception e -> Failed e in
+    Mutex.lock fut.fmutex;
+    fut.state <- outcome;
+    Condition.broadcast fut.fcond;
+    Mutex.unlock fut.fmutex
+  in
+  Mutex.lock pool.mutex;
+  if pool.closed then begin
+    Mutex.unlock pool.mutex;
+    invalid_arg "Parallel.Pool.submit: pool is shut down"
+  end;
+  Queue.push task pool.queue;
+  Condition.signal pool.nonempty;
+  Mutex.unlock pool.mutex;
+  fut
+
+let await fut =
+  Mutex.lock fut.fmutex;
+  let rec go () =
+    match fut.state with
+    | Pending ->
+      Condition.wait fut.fcond fut.fmutex;
+      go ()
+    | Done v -> Ok v
+    | Failed e -> Error e
+  in
+  let r = go () in
+  Mutex.unlock fut.fmutex;
+  r
+
+let await_exn fut = match await fut with Ok v -> v | Error e -> raise e
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let domains = pool.domains in
+  pool.closed <- true;
+  pool.domains <- [];
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join domains

@@ -1,0 +1,50 @@
+(** A fixed-size pool of worker domains.
+
+    Hand-rolled over [Domain] / [Mutex] / [Condition] (no external
+    scheduler dependency): [create n] spawns [n] domains that block on
+    a shared FIFO task queue; [submit] enqueues a thunk and returns a
+    future; [await] blocks the calling domain until the thunk has run.
+    Tasks never run on the submitting domain, so the submitter is free
+    to await in any order (the ordered-output pattern of the parallel
+    model checker: await futures in submission order, print each result
+    as it arrives).
+
+    Exceptions raised by a task are caught in the worker and carried to
+    the awaiting domain through the future — a crashing task never
+    takes a worker (or the pool) down.
+
+    The pool itself holds no domain-unsafe state beyond its own queue;
+    whether the {e tasks} are safe to run concurrently is the caller's
+    contract.  The intended discipline is shared-nothing: each worker
+    touches only state it created itself (see [Check]). *)
+
+type t
+
+type 'a future
+(** The pending result of a submitted task. *)
+
+val create : int -> t
+(** Spawn a pool of [n >= 1] worker domains (raises [Invalid_argument]
+    otherwise).  Remember that domains are not threads: creating more
+    of them than cores buys nothing, and every pool must be
+    {!shutdown}. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task.  Raises [Invalid_argument] if the pool has been
+    shut down. *)
+
+val await : 'a future -> ('a, exn) result
+(** Block until the task has run; [Error e] if it raised [e].  May be
+    called from any domain, any number of times. *)
+
+val await_exn : 'a future -> 'a
+(** {!await}, re-raising the task's exception. *)
+
+val shutdown : t -> unit
+(** Drain: workers finish every already-submitted task, then exit; the
+    calling domain joins them all.  Idempotent.  After shutdown the
+    results of all submitted tasks are visible to the caller (the joins
+    establish the happens-before edge). *)

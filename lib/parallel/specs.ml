@@ -1,0 +1,50 @@
+exception Cancelled
+
+(* Per-worker state: the private manager and model clone.  Keyed by
+   domain-local storage so it is built lazily, once per worker domain,
+   on the worker's first task — a pool worker that never gets a task
+   never pays for a clone.  The key is created per [map] call, so pools
+   from successive calls cannot see each other's state. *)
+
+let map ~jobs ?cancel ?on_result ~f (m : Kripke.t) specs =
+  let n = Array.length specs in
+  let jobs = max 1 (min jobs n) in
+  (* Worker managers are registered here as they are created; the list
+     is read only after the pool is shut down (workers joined), so the
+     mutex covers just the concurrent registrations. *)
+  let reg_mutex = Mutex.create () in
+  let managers = ref [] in
+  let ctx =
+    Domain.DLS.new_key (fun () ->
+        let dst = Bdd.create ?cache_limit:(Bdd.cache_limit m.Kripke.man) () in
+        let wm = Kripke.clone_into dst m in
+        Mutex.lock reg_mutex;
+        managers := dst :: !managers;
+        Mutex.unlock reg_mutex;
+        wm)
+  in
+  let cancelled () =
+    match cancel with Some c -> Atomic.get c | None -> false
+  in
+  let task i () =
+    if cancelled () then raise Cancelled;
+    let wm = Domain.DLS.get ctx in
+    let spec = Ctl.map_pred (Bdd.transfer ~dst:wm.Kripke.man) specs.(i) in
+    f wm spec i
+  in
+  let pool = Pool.create jobs in
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let futures = Array.init n (fun i -> Pool.submit pool (task i)) in
+        (* Await in submission order; [on_result] therefore fires in
+           spec order even though completions interleave freely. *)
+        Array.mapi
+          (fun i fut ->
+            let r = Pool.await fut in
+            (match on_result with Some k -> k i r | None -> ());
+            r)
+          futures)
+  in
+  (results, List.rev_map Bdd.stats !managers)

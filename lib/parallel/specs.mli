@@ -1,0 +1,58 @@
+(** Shared-nothing parallel specification checking.
+
+    The unit of parallelism is one specification: PR 2 made specs fully
+    independent (fresh budgets, fault isolation), so k specs can run on
+    k worker domains with no coordination beyond the fan-out itself.
+    BDD managers stay strictly single-domain — instead of locking the
+    hot hash-consing paths, every worker clones what it needs into a
+    private manager:
+
+    - on its first task, a worker builds a private [Bdd.man] (inheriting
+      the source manager's cache limit) and a private model via
+      [Kripke.clone_into] (per-domain state, built once per worker and
+      reused across the specs it checks);
+    - each task then moves its specification onto the worker manager
+      with [Ctl.map_pred (Bdd.transfer ~dst ...)] and runs the caller's
+      function against the private model.
+
+    Cloning reads only immutable node structure, so workers clone from
+    the shared source model concurrently without synchronisation.
+    Since every choice the checking and witness layers make is semantic
+    (canonical cubes, fixpoints), per-worker results — verdicts, traces,
+    printed output — are bit-identical to a sequential run's. *)
+
+exception Cancelled
+(** A task skipped because the shared cancel flag was already set when
+    it was picked up (its [f] never ran). *)
+
+val map :
+  jobs:int ->
+  ?cancel:bool Atomic.t ->
+  ?on_result:(int -> ('r, exn) result -> unit) ->
+  f:(Kripke.t -> Ctl.t -> int -> 'r) ->
+  Kripke.t ->
+  Ctl.t array ->
+  ('r, exn) result array * Bdd.stats list
+(** [map ~jobs ~f m specs] checks every [specs.(i)] as [f wm spec i]
+    where [wm] is the calling worker's private clone of [m] and [spec]
+    its private copy of [specs.(i)], distributing tasks over a pool of
+    [min jobs (Array.length specs)] worker domains (at least 1).
+
+    Result [i] is [Ok r] when [f] returned [r], [Error Cancelled] when
+    the task was skipped because [cancel] was set before it started,
+    and [Error e] when [f] (or the worker's model clone) raised [e] —
+    one crashing spec never affects the others.
+
+    [cancel] is the cooperative stop flag: set it (from a signal
+    handler, another domain, or a breach policy) and queued tasks skip;
+    to also interrupt tasks already running, share the same flag with
+    the [Bdd.Limits] bundles [f] attaches (see [Bdd.Limits.create]).
+
+    [on_result] is invoked in the calling domain, in specification
+    order, as each result becomes available — the hook for printing a
+    parallel run's output in deterministic order without waiting for
+    the whole batch.
+
+    Returns the results plus one [Bdd.stats] snapshot per worker
+    manager (taken after all workers have been joined), for merging
+    into a single report with [Bdd.merge_stats]. *)

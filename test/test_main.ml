@@ -14,6 +14,7 @@ let () =
       ("partition", Test_partition.suite);
       ("examples", Test_examples.suite);
       ("limits", Test_limits.suite);
+      ("parallel", Test_parallel.suite);
       ("frontend_fuzz", Test_frontend_fuzz.suite);
       ("cli", Test_cli.suite);
     ]
