@@ -23,6 +23,7 @@ let experiments =
     ("E9", Exp_partition.run, Exp_partition.bechamel);
     ("E10", Exp_govern.run, Exp_govern.bechamel);
     ("E11", Exp_parallel.run, Exp_parallel.bechamel);
+    ("E12", Exp_recover.run, Exp_recover.bechamel);
   ]
 
 let run_raw () =

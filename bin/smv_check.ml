@@ -5,8 +5,15 @@
 
    Exit codes: 0 every specification holds; 1 at least one is false
    (and none undetermined); 2 a resource limit tripped, a specification
-   was left undetermined, or the run was interrupted; 3 input error or
-   internal failure. *)
+   was left undetermined, or the run was interrupted; 3 input error,
+   internal failure, or a trace that failed certification.
+
+   Recovery: with --retries N a breached / out-of-memory / crashed
+   specification is re-attempted up to N times through the
+   Robust.Ladder rungs (gc-retry, degraded representation,
+   explicit-state fallback), each attempt under exponentially
+   backed-off budgets; with --retries 0 (the default) behaviour —
+   output bytes included — is identical to the pre-recovery checker. *)
 
 let ( let* ) = Result.bind
 
@@ -24,6 +31,10 @@ type options = {
   node_limit : int option;
   step_limit : int option;
   jobs : int;
+  retries : int;
+  retry_factor : float;
+  certify : bool;
+  inject : string option;
   debug : bool;
 }
 
@@ -32,14 +43,22 @@ type options = {
    never takes down the rest of the run. *)
 type verdict = Holds | Fails | Undetermined of string
 
+(* What check_one hands back: the verdict plus whether a produced trace
+   failed certification (which forces exit code 3). *)
+type report = { verdict : verdict; cert_failed : bool }
+
+(* A parsed --inject specification. *)
+type inject = Inject_site of Bdd.Fault.site * int | Inject_worker of int
+
 (* --------------------------------------------------------------- *)
 (* SIGINT: set the shared cancel flag.  Every per-spec Limits bundle —
    sequential or on a worker domain — is created with this flag, so one
    atomic store cancels them all: the next poll point inside each
    running BDD operation raises, the in-flight specs are reported
    UNDETERMINED, queued specs are skipped, and the run exits cleanly
-   with code 2.  [interrupted] is only ever touched from the main
-   domain (handler + aggregation). *)
+   with code 2.  The recovery ladder checks the same flag between
+   attempts, so Ctrl-C also means "no more retries".  [interrupted] is
+   only ever touched from the main domain (handler + aggregation). *)
 
 let interrupted = ref false
 let cancel_flag : bool Atomic.t = Atomic.make false
@@ -88,6 +107,39 @@ let compile_extra compiled text =
     Error (Printf.sprintf "--spec %S: %s" text msg)
   | exception Smv.Compile.Error (msg, _) ->
     Error (Printf.sprintf "--spec %S: %s" text msg)
+
+let parse_inject ~seed = function
+  | None -> Ok None
+  | Some s -> (
+    match String.index_opt s ':' with
+    | None ->
+      Error "--inject: expected SITE:COUNT (e.g. mk:1000, step:3, worker:1)"
+    | Some i ->
+      let site = String.sub s 0 i in
+      let count = String.sub s (i + 1) (String.length s - i - 1) in
+      let* n =
+        if count = "rand" then
+          (* Seeded so chaos runs are reproducible: same --seed, same
+             injection point. *)
+          let rng = Random.State.make [| seed; 0x1aB2 |] in
+          Ok (1 + Random.State.int rng 4096)
+        else
+          match int_of_string_opt count with
+          | Some n when n >= 1 -> Ok n
+          | Some _ | None ->
+            Error "--inject: COUNT must be a positive integer or 'rand'"
+      in
+      match site with
+      | "worker" -> Ok (Some (Inject_worker n))
+      | _ -> (
+        match Bdd.Fault.site_of_string site with
+        | Some fs -> Ok (Some (Inject_site (fs, n)))
+        | None ->
+          Error
+            (Printf.sprintf
+               "--inject: unknown site %S (expected mk, probe, gc, step or \
+                worker)"
+               site)))
 
 let print_model_stats ?limits m =
   let reachable = Kripke.reachable ?limits m in
@@ -140,88 +192,343 @@ let print_breach_progress ppf (info : Bdd.Limits.info) =
     | [] -> ""
     | states -> Printf.sprintf ", %d witness states" (List.length states))
 
-(* Print the trace for a determined verdict.  A resource breach here is
-   reported as a note but keeps the verdict: the answer was already
-   computed, only its explanation ran out of budget. *)
-let print_trace ppf m ~limits ~fair:_ ~holds spec =
-  if holds then begin
-    if existential spec then
-    match Counterex.Explain.witness ~limits m spec with
-    | Some tr ->
-      Format.fprintf ppf "-- as demonstrated by the following execution sequence@.";
-      Format.fprintf ppf "%a@." (Kripke.Trace.pp m) tr
-    | None -> ()
-    | exception Counterex.Explain.Cannot_explain _ -> ()
-    | exception Bdd.Limits.Exhausted info ->
-      Format.fprintf ppf "-- (witness construction hit a resource limit: %s)@."
-        (describe_breach info)
-  end
-  else begin
-    (* Counterexamples always use fair semantics when constraints are
-       declared, as SMV does. *)
-    match Counterex.Explain.counterexample ~limits m spec with
-    | Some tr ->
-      Format.fprintf ppf
-        "-- as demonstrated by the following execution sequence@.";
-      Format.fprintf ppf "%a@." (Kripke.Trace.pp m) tr;
-      Format.fprintf ppf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
-        (if Kripke.Trace.is_lasso tr then
-           Printf.sprintf " (cycle of length %d)"
-             (List.length tr.Kripke.Trace.cycle)
-         else "")
-    | None ->
-      Format.fprintf ppf
-        "-- (no initial-state counterexample: the formula fails only under plain semantics)@."
-    | exception Counterex.Explain.Cannot_explain msg ->
-      Format.fprintf ppf "-- (could not build a linear counterexample: %s)@." msg
-    | exception Bdd.Limits.Exhausted info ->
-      Format.fprintf ppf
-        "-- (counterexample construction hit a resource limit: %s)@."
-        (describe_breach info)
-  end
-
-(* Check one specification under a fresh budget bundle.  Budgets are
-   per-spec so one hard specification cannot starve the rest; the
-   bundle is also the SIGINT cancellation point.  All output goes to
-   [ppf]: the sequential path passes the standard formatter, the
-   parallel path a per-spec buffer replayed in spec order. *)
-let check_one ppf m ~opts (name, spec) =
-  let limits = mk_limits opts in
-  let verdict =
-    match
-      Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
-          if opts.fair then Ctl.Fair.holds ~limits m spec
-          else Ctl.Check.holds ~limits m spec)
-    with
-    | true -> Holds
-    | false -> Fails
-    | exception Bdd.Limits.Exhausted info ->
-      Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@." name
-        (describe_breach info);
-      print_breach_progress ppf info;
-      (* Reclaim the breached computation's intermediate nodes so a
-         node-budget trip on one spec does not doom the next (the
-         model's own BDDs are GC roots and survive). *)
-      ignore (Bdd.gc m.Kripke.man);
-      Undetermined (describe_breach info)
-    | exception e when not opts.debug ->
-      Format.fprintf ppf "-- specification %s is UNDETERMINED (internal error: %s)@."
-        name (Printexc.to_string e);
-      Undetermined (Printexc.to_string e)
+(* Build — and, when [emit], print (byte-identical to the pre-recovery
+   checker) — the trace for a determined verdict.  A resource breach
+   here is reported as a note but keeps the verdict: the answer was
+   already computed, only its explanation ran out of budget.
+   [fallback] switches the source of the trace to the explicit-state
+   bridge (the ladder's last rung); the surrounding text stays the
+   same, so downstream tooling parses both alike. *)
+let trace_for ppf m ~limits ~emit ~holds ~fallback spec =
+  let emitf fmt =
+    if emit then Format.fprintf ppf fmt else Format.ifprintf ppf fmt
   in
-  (match verdict with
-  | Holds | Fails ->
-    let holds = verdict = Holds in
-    Format.fprintf ppf "-- specification %s is %s@." name
-      (if holds then "true" else "false");
-    if opts.traces then
-      Bdd.Limits.with_attached m.Kripke.man limits (fun () ->
-          try print_trace ppf m ~limits ~fair:opts.fair ~holds spec
-          with e when not opts.debug ->
-            Format.fprintf ppf "-- (trace construction failed: %s)@."
-              (Printexc.to_string e))
-  | Undetermined _ -> ());
-  verdict
+  let show tr =
+    emitf "-- as demonstrated by the following execution sequence@.";
+    emitf "%a@." (Kripke.Trace.pp m) tr
+  in
+  let show_fail tr =
+    show tr;
+    emitf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
+      (if Kripke.Trace.is_lasso tr then
+         Printf.sprintf " (cycle of length %d)"
+           (List.length tr.Kripke.Trace.cycle)
+       else "")
+  in
+  match fallback with
+  | Some fb ->
+    if holds then begin
+      if not (existential spec) then None
+      else
+        match Robust.Fallback.witness fb spec with
+        | Some tr ->
+          show tr;
+          Some tr
+        | None -> None
+    end
+    else begin
+      match Robust.Fallback.counterexample fb spec with
+      | Some tr ->
+        show_fail tr;
+        Some tr
+      | None ->
+        emitf "-- (no explicit-state trace for this formula shape)@.";
+        None
+    end
+  | None ->
+    if holds then begin
+      if not (existential spec) then None
+      else
+        match Counterex.Explain.witness ~limits m spec with
+        | Some tr ->
+          show tr;
+          Some tr
+        | None -> None
+        | exception Counterex.Explain.Cannot_explain _ -> None
+        | exception Bdd.Limits.Exhausted info ->
+          emitf "-- (witness construction hit a resource limit: %s)@."
+            (describe_breach info);
+          None
+    end
+    else begin
+      (* Counterexamples always use fair semantics when constraints are
+         declared, as SMV does. *)
+      match Counterex.Explain.counterexample ~limits m spec with
+      | Some tr ->
+        show_fail tr;
+        Some tr
+      | None ->
+        emitf
+          "-- (no initial-state counterexample: the formula fails only under plain semantics)@.";
+        None
+      | exception Counterex.Explain.Cannot_explain msg ->
+        emitf "-- (could not build a linear counterexample: %s)@." msg;
+        None
+      | exception Bdd.Limits.Exhausted info ->
+        emitf "-- (counterexample construction hit a resource limit: %s)@."
+          (describe_breach info);
+        None
+    end
+
+(* What one ladder attempt produced: the verdict, the model it was
+   decided on (the degraded rung may swap in a partitioned variant),
+   the budget bundle it ran under (trace construction keeps charging
+   it), and the explicit bridge when the verdict came from the
+   explicit-state rung. *)
+type attempt_result = {
+  ar_holds : bool;
+  ar_model : Kripke.t;
+  ar_limits : Bdd.Limits.t;
+  ar_fallback : Robust.Fallback.t option;
+}
+
+(* Check one specification.  Budgets are per-spec so one hard
+   specification cannot starve the rest; the bundle is also the SIGINT
+   cancellation point.  With --retries 0 this reduces to exactly one
+   Direct attempt whose behaviour (prints included) matches the
+   pre-recovery checker byte for byte.  All output goes to [ppf]: the
+   sequential path passes the standard formatter, the parallel path a
+   per-spec buffer replayed in spec order.
+
+   [clusters] supplies the transition clusters for the degraded rung
+   (a thunk: workers transfer them onto their own manager lazily);
+   [inject] arms the manager's fault before the first attempt;
+   [prior] carries a crashed worker attempt so the local re-run resumes
+   the ladder instead of restarting it. *)
+let check_one ppf m ~opts ~clusters ?inject ?prior (name, spec) =
+  let man = m.Kripke.man in
+  let spec_started = Unix.gettimeofday () in
+  let saved_cache_limit = Bdd.cache_limit man in
+  let max_attempts = opts.retries + 1 in
+  (* Exponential budget backoff: attempt 1 runs under exactly the base
+     budgets (the --retries 0 identity); retry k multiplies node/step
+     budgets by factor^(k-1) and gives the remaining share of a
+     (timeout * attempts)-sized wall-clock pool. *)
+  let backoff k = function
+    | None -> None
+    | Some n ->
+      let scaled = float_of_int n *. (opts.retry_factor ** float_of_int (k - 1)) in
+      Some (if scaled >= 1e18 then max_int else int_of_float scaled)
+  in
+  let timeout_for k =
+    match opts.timeout with
+    | None -> None
+    | Some t ->
+      if k = 1 then Some t
+      else
+        let total = t *. float_of_int max_attempts in
+        let elapsed = Unix.gettimeofday () -. spec_started in
+        let left = max 1 (max_attempts - k + 1) in
+        Some (Float.max 0.05 ((total -. elapsed) /. float_of_int left))
+  in
+  let limits_for k =
+    if k = 1 then mk_limits opts
+    else
+      Bdd.Limits.create ?timeout:(timeout_for k)
+        ?node_budget:(backoff k opts.node_limit)
+        ?step_budget:(backoff k opts.step_limit) ~cancel:cancel_flag ()
+  in
+  let run_symbolic model limits =
+    Bdd.Limits.with_attached model.Kripke.man limits (fun () ->
+        if opts.fair then Ctl.Fair.holds ~limits model spec
+        else Ctl.Check.holds ~limits model spec)
+  in
+  (* The degraded representation, built once per spec: partitioned
+     transition relation (from the compiler's clusters) when the model
+     is not already partitioned. *)
+  let dmodel = ref None in
+  let degraded_model () =
+    match !dmodel with
+    | Some dm -> dm
+    | None ->
+      let dm =
+        if Kripke.partitioned m then m
+        else
+          match clusters () with
+          | [] -> m
+          | cs -> ( try Kripke.with_partition m cs with Invalid_argument _ -> m)
+      in
+      dmodel := Some dm;
+      dm
+  in
+  let attempt_fn ~attempt strategy =
+    let limits = limits_for attempt in
+    match strategy with
+    | Robust.Ladder.Direct | Robust.Ladder.Main_domain ->
+      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
+        ar_fallback = None }
+    | Robust.Ladder.Gc_retry ->
+      (* Reclaim the breached computation's intermediate nodes and drop
+         the op-caches, then re-run plainly under backed-off budgets. *)
+      ignore (Bdd.gc man);
+      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
+        ar_fallback = None }
+    | Robust.Ladder.Degraded ->
+      (* Trade speed for footprint: tight op-caches plus a partitioned
+         relation with early quantification. *)
+      let tightened =
+        match Bdd.cache_limit man with
+        | Some n -> min n 8192
+        | None -> 8192
+      in
+      Bdd.set_cache_limit man (Some tightened);
+      let dm = degraded_model () in
+      { ar_holds = run_symbolic dm limits; ar_model = dm;
+        ar_limits = limits; ar_fallback = None }
+    | Robust.Ladder.Explicit_state ->
+      (* Abandon the symbolic representation: enumerate the (small)
+         state space and decide explicitly.  Deadline and SIGINT still
+         apply (the enumeration's symbolic steps poll them); node/step
+         budgets do not — they measure symbolic work. *)
+      let limits =
+        Bdd.Limits.create ?timeout:(timeout_for attempt) ~cancel:cancel_flag ()
+      in
+      let fb =
+        Bdd.Limits.with_attached man limits (fun () ->
+            Robust.Fallback.build m)
+      in
+      {
+        ar_holds = Robust.Fallback.holds fb ~fair:opts.fair spec;
+        ar_model = m;
+        ar_limits = limits;
+        ar_fallback = Some fb;
+      }
+  in
+  (* Arm the injected fault (chaos testing) for this specification;
+     one-shot, and disarmed on every exit path so a fault armed for
+     spec k can never leak into spec k+1. *)
+  (match inject with
+  | Some (site, n) -> Bdd.Fault.arm man ~site ~after:n
+  | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      Bdd.Fault.disarm man;
+      Bdd.set_cache_limit man saved_cache_limit)
+    (fun () ->
+      let outcome =
+        match
+          Robust.Ladder.run ~retries:opts.retries
+            ~cancelled:(fun () -> Atomic.get cancel_flag)
+            ~fits_explicit:(fun () -> Robust.Fallback.fits m)
+            ~live_nodes:(fun () -> Bdd.live_nodes man)
+            ?prior attempt_fn
+        with
+        | r -> r
+        | exception Bdd.Limits.Exhausted info ->
+          (* Only [Interrupted] breaches reach here (the ladder retries
+             the others): report like any breach and stop cleanly. *)
+          Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@."
+            name (describe_breach info);
+          print_breach_progress ppf info;
+          ignore (Bdd.gc man);
+          Error (Robust.Ladder.Breach info, [])
+        | exception e when not opts.debug ->
+          Format.fprintf ppf
+            "-- specification %s is UNDETERMINED (internal error: %s)@."
+            name (Printexc.to_string e);
+          Error
+            ( Robust.Ladder.Crashed (Printexc.to_string e),
+              [] )
+      in
+      let print_attempt_log log =
+        if opts.stats && List.length log > 1 then
+          List.iter
+            (fun a ->
+              Format.fprintf ppf "--   %a@." Robust.Ladder.pp_attempt a)
+            log
+      in
+      match outcome with
+      | Error (failure, log) ->
+        (* The ladder is out of rungs (or was never given any): report
+           the last failure.  For --retries 0 these prints are exactly
+           the pre-recovery checker's. *)
+        (match (failure, log) with
+        | Robust.Ladder.Breach info, _ :: _ ->
+          Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@."
+            name (describe_breach info);
+          print_breach_progress ppf info;
+          ignore (Bdd.gc man)
+        | Robust.Ladder.Oom, _ :: _ ->
+          if opts.debug && opts.retries = 0 then raise Out_of_memory;
+          Format.fprintf ppf
+            "-- specification %s is UNDETERMINED (internal error: %s)@." name
+            (Printexc.to_string Out_of_memory)
+        | Robust.Ladder.Crashed msg, _ :: _ ->
+          Format.fprintf ppf
+            "-- specification %s is UNDETERMINED (worker failed: %s)@." name
+            msg
+        | _, [] ->
+          (* the failure was already reported (interrupt / internal
+             error paths above) *)
+          ());
+        print_attempt_log log;
+        { verdict = Undetermined (Robust.Ladder.failure_name failure);
+          cert_failed = false }
+      | Ok (ar, log) ->
+        let holds = ar.ar_holds in
+        let final =
+          match List.rev log with a :: _ -> a | [] -> assert false
+        in
+        let recovered = final.Robust.Ladder.index > 1 in
+        Format.fprintf ppf "-- specification %s is %s%s@." name
+          (if holds then "true" else "false")
+          (if recovered then
+             Printf.sprintf " (recovered: attempt %d via %s)"
+               final.Robust.Ladder.index
+               (Robust.Ladder.strategy_name final.Robust.Ladder.strategy)
+           else "");
+        print_attempt_log log;
+        let need_cert = opts.certify || recovered in
+        let tr =
+          if opts.traces || need_cert then begin
+            match
+              Bdd.Limits.with_attached ar.ar_model.Kripke.man ar.ar_limits
+                (fun () ->
+                  trace_for ppf ar.ar_model ~limits:ar.ar_limits
+                    ~emit:opts.traces ~holds ~fallback:ar.ar_fallback spec)
+            with
+            | tr -> tr
+            | exception e when not opts.debug ->
+              Format.fprintf ppf "-- (trace construction failed: %s)@."
+                (Printexc.to_string e);
+              None
+          end
+          else None
+        in
+        let cert_failed =
+          match tr with
+          | Some tr when need_cert -> (
+            (* Certification runs uncapped but cancellable: the trace
+               is already in hand, only SIGINT may stop its
+               re-validation. *)
+            let climits = Bdd.Limits.create ~cancel:cancel_flag () in
+            let cert =
+              if holds then Robust.Certify.witness ~limits:climits m spec tr
+              else Robust.Certify.counterexample ~limits:climits m spec tr
+            in
+            match
+              Bdd.Limits.with_attached man climits (fun () -> cert)
+            with
+            | Ok () ->
+              Format.fprintf ppf
+                "-- certificate: trace independently validated (%d states)@."
+                (Kripke.Trace.length tr);
+              false
+            | Error msg ->
+              Format.fprintf ppf "-- CERTIFICATION FAILED: %s@." msg;
+              Format.fprintf ppf
+                "-- specification %s verdict withdrawn (uncertified trace)@."
+                name;
+              true
+            | exception Bdd.Limits.Exhausted info ->
+              Format.fprintf ppf "-- (certification interrupted: %s)@."
+                (describe_breach info);
+              false)
+          | Some _ | None -> false
+        in
+        if cert_failed then
+          { verdict = Undetermined "certification failed"; cert_failed = true }
+        else { verdict = (if holds then Holds else Fails); cert_failed = false })
 
 (* Random walk from a random initial state, choosing uniformly at each
    step with symbolic cofactor-weighted sampling — no state
@@ -269,14 +576,39 @@ let validate opts =
     | Some n when n <= 0 -> Error "--step-limit: N must be positive"
     | Some _ | None -> Ok ()
   in
+  let* () =
+    if opts.retries < 0 then Error "--retries: N must be >= 0" else Ok ()
+  in
+  let* () =
+    if opts.retry_factor < 1.0 then
+      Error "--retry-budget-factor: F must be >= 1.0"
+    else Ok ()
+  in
+  let* inj = parse_inject ~seed:opts.seed opts.inject in
+  let* () =
+    match inj with
+    | Some (Inject_worker _) when opts.jobs < 2 ->
+      Error "--inject worker:N requires a parallel run (--jobs >= 2)"
+    | Some _ | None -> Ok ()
+  in
   if opts.jobs < 0 then Error "--jobs: N must be >= 0 (0 means all cores)"
   else Ok ()
 
 (* Returns Ok (exit code) or Error message (input error, exit 3). *)
 let run opts =
   let* () = validate opts in
+  let* inject = parse_inject ~seed:opts.seed opts.inject in
   let* compiled = load opts in
   let m = compiled.Smv.Compile.model in
+  let main_clusters = compiled.Smv.Compile.clusters in
+  (* The clusters must survive any ladder-triggered gc between the
+     breach and the degraded rung that consumes them. *)
+  let (_ : Bdd.root) =
+    Bdd.add_root m.Kripke.man (fun () -> main_clusters)
+  in
+  let site_inject =
+    match inject with Some (Inject_site (s, n)) -> Some (s, n) | _ -> None
+  in
   (match opts.cache_limit with
   | Some _ as limit -> Bdd.set_cache_limit m.Kripke.man limit
   | None -> ());
@@ -296,7 +628,7 @@ let run opts =
   let jobs =
     if opts.jobs = 0 then Parallel.default_jobs () else opts.jobs
   in
-  let verdicts, worker_stats =
+  let reports, worker_stats =
     if specs = [] then begin
       Format.printf "no specifications to check@.";
       ([], [])
@@ -312,12 +644,23 @@ let run opts =
       let f wm spec i =
         let buf = Buffer.create 512 in
         let ppf = Format.formatter_of_buffer buf in
-        let verdict = check_one ppf wm ~opts (names.(i), spec) in
+        let clusters () =
+          List.map (Bdd.transfer ~dst:wm.Kripke.man) main_clusters
+        in
+        let r =
+          check_one ppf wm ~opts ~clusters ?inject:site_inject
+            (names.(i), spec)
+        in
         Format.pp_print_flush ppf ();
-        (verdict, Buffer.contents buf)
+        (r, Buffer.contents buf)
       in
+      (* Crashed-worker recovery happens here, on the main domain, in
+         spec order: the crashed attempt seeds the ladder as attempt 1
+         and the re-run climbs from Main_domain.  [overrides] keeps the
+         recovered reports for final aggregation. *)
+      let overrides : (int, report) Hashtbl.t = Hashtbl.create 4 in
       let on_result i = function
-        | Ok ((_ : verdict), out) ->
+        | Ok ((_ : report), out) ->
           (* Bypass std_formatter for the replay: a multi-line string
              printed through %s corrupts Format's column tracking.  All
              Format output ends in @. (flush), so channel-level writes
@@ -325,6 +668,32 @@ let run opts =
           Format.print_flush ();
           print_string out
         | Error Parallel.Specs.Cancelled -> ()
+        | Error Parallel.Pool.Worker_crashed
+          when opts.retries > 0 && not !interrupted ->
+          let prior =
+            [
+              {
+                Robust.Ladder.index = 1;
+                strategy = Robust.Ladder.Direct;
+                failure =
+                  Some (Robust.Ladder.Crashed "worker domain died");
+                live_nodes = 0;
+                duration = 0.;
+              };
+            ]
+          in
+          let buf = Buffer.create 512 in
+          let ppf = Format.formatter_of_buffer buf in
+          let r =
+            check_one ppf m ~opts
+              ~clusters:(fun () -> main_clusters)
+              ?inject:None ~prior
+              (names.(i), formulas.(i))
+          in
+          Format.pp_print_flush ppf ();
+          Hashtbl.replace overrides i r;
+          Format.print_flush ();
+          print_string (Buffer.contents buf)
         | Error e when not opts.debug ->
           Format.printf
             "-- specification %s is UNDETERMINED (worker failed: %s)@."
@@ -332,17 +701,31 @@ let run opts =
         | Error e -> raise e
       in
       let results, worker_stats =
-        Parallel.Specs.map ~jobs ~cancel:cancel_flag ~on_result ~f m
-          formulas
+        Parallel.Specs.map ~jobs ~cancel:cancel_flag
+          ?chaos_crash:
+            (match inject with Some (Inject_worker n) -> Some n | _ -> None)
+          ~on_result ~f m formulas
       in
-      let verdicts =
-        Array.to_list results
-        |> List.filter_map (function
-             | Ok (v, _) -> Some v
-             | Error Parallel.Specs.Cancelled -> None
-             | Error e -> Some (Undetermined (Printexc.to_string e)))
+      let reports =
+        Array.to_list
+          (Array.mapi
+             (fun i r ->
+               match Hashtbl.find_opt overrides i with
+               | Some rr -> Some rr
+               | None -> (
+                 match r with
+                 | Ok (rr, _) -> Some rr
+                 | Error Parallel.Specs.Cancelled -> None
+                 | Error e ->
+                   Some
+                     {
+                       verdict = Undetermined (Printexc.to_string e);
+                       cert_failed = false;
+                     }))
+             results)
+        |> List.filter_map Fun.id
       in
-      (verdicts, worker_stats)
+      (reports, worker_stats)
     end
     else
       (* Stop early on SIGINT; otherwise check every spec even after
@@ -350,7 +733,11 @@ let run opts =
       ( List.filter_map
           (fun spec ->
             if !interrupted then None
-            else Some (check_one Format.std_formatter m ~opts spec))
+            else
+              Some
+                (check_one Format.std_formatter m ~opts
+                   ~clusters:(fun () -> main_clusters)
+                   ?inject:site_inject spec))
           specs,
         [] )
   in
@@ -359,11 +746,14 @@ let run opts =
     print_run_stats ~extra:worker_stats m
   end
   else if opts.stats then print_run_stats ~extra:worker_stats m;
+  let verdicts = List.map (fun r -> r.verdict) reports in
+  let some_cert_failed = List.exists (fun r -> r.cert_failed) reports in
   let some_undetermined =
     List.exists (function Undetermined _ -> true | _ -> false) verdicts
   in
   let some_false = List.exists (( = ) Fails) verdicts in
-  if !interrupted || some_undetermined then Ok 2
+  if some_cert_failed then Ok 3
+  else if !interrupted || some_undetermined then Ok 2
   else if some_false then Ok 1
   else Ok 0
 
@@ -411,7 +801,8 @@ let stats_arg =
         ~doc:
           "Print model statistics (state counts, deadlocks) before \
            checking, and BDD-manager counters (cache hits/misses, peak \
-           node count) plus fixpoint iteration counts afterwards.")
+           node count) plus fixpoint iteration counts afterwards.  \
+           With --retries, also the per-spec attempt log.")
 
 let cache_limit_arg =
   Arg.(
@@ -433,7 +824,8 @@ let simulate_arg =
 let seed_arg =
   Arg.(
     value & opt int 0
-    & info [ "seed" ] ~docv:"N" ~doc:"Random seed for --simulate.")
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Random seed for --simulate and --inject SITE:rand.")
 
 let timeout_arg =
   Arg.(
@@ -473,6 +865,53 @@ let jobs_arg =
            private BDD manager, so verdicts, traces and exit code are \
            byte-identical to a sequential run.")
 
+let retries_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-attempt a breached, out-of-memory or crashed \
+           specification up to N times with escalating remediation: \
+           garbage collection, a degraded (partitioned, tight-cache) \
+           representation, then an explicit-state fallback when the \
+           state space is small enough.  Recovered verdicts are \
+           annotated and their traces always certified.  Default 0: \
+           no recovery, behaviour identical to earlier versions.")
+
+let retry_factor_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "retry-budget-factor" ] ~docv:"F"
+        ~doc:
+          "Exponential budget backoff for retries: attempt k runs \
+           under node/step budgets multiplied by F^(k-1), and the \
+           remaining share of a (timeout * attempts) wall-clock pool.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Independently re-validate every emitted witness or \
+           counterexample trace against path semantics (transition \
+           membership, operand satisfaction, fairness hits on the \
+           cycle).  A trace that fails certification withdraws its \
+           verdict and the run exits 3.  Always on for recovered \
+           (retried) specifications.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "inject" ] ~docv:"SITE:COUNT"
+        ~doc:
+          "Chaos testing: deterministically fail the COUNT-th visit to \
+           SITE (mk, probe, gc or step — raising the same errors real \
+           resource exhaustion would) or kill the worker domain that \
+           picks up the COUNT-th task (worker, needs --jobs >= 2).  \
+           COUNT may be 'rand' (seeded by --seed).  Combine with \
+           --retries to exercise the recovery ladder.")
+
 let debug_arg =
   Arg.(
     value & flag
@@ -483,12 +922,13 @@ let debug_arg =
            being condensed to one-line diagnostics.")
 
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
-    simulate seed timeout node_limit step_limit jobs debug =
+    simulate seed timeout node_limit step_limit jobs retries retry_factor
+    certify inject debug =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
       partitioned; cache_limit; simulate; seed; timeout; node_limit;
-      step_limit; jobs; debug;
+      step_limit; jobs; retries; retry_factor; certify; inject; debug;
     }
   in
   Printexc.record_backtrace debug;
@@ -524,23 +964,38 @@ let cmd =
          current BDD operation, prints statistics so far, and exits \
          cleanly.";
       `P
+        "Recovery: $(b,--retries N) climbs a remediation ladder instead \
+         of giving up — garbage collection and backed-off budgets \
+         first, then a partitioned relation with tight caches, finally \
+         an explicit-state re-check when the state space is small.  \
+         Recovered verdicts are annotated on the verdict line and \
+         their traces are always certified ($(b,--certify)).  \
+         $(b,--inject) plants deterministic faults to exercise every \
+         rung in CI.";
+      `P
         "Parallelism: $(b,--jobs N) checks specifications on N worker \
          domains, each with a private clone of the model in its own \
          BDD manager (shared-nothing, no locks on the BDD hot paths).  \
          Output order, traces and the exit code are byte-identical to \
-         a sequential run.";
+         a sequential run.  A crashed worker is respawned, and with \
+         $(b,--retries) its specification is re-checked on the main \
+         domain.";
       `S Manpage.s_exit_status;
       `P "0 — every specification holds.";
       `P "1 — at least one specification is false (none undetermined).";
       `P
         "2 — a resource limit tripped, some verdict is undetermined, or \
          the run was interrupted.";
-      `P "3 — input error (unreadable or invalid model, bad flags) or \
-          internal failure.";
+      `P
+        "3 — input error (unreadable or invalid model, bad flags), \
+         internal failure, or an emitted trace failed $(b,--certify) \
+         validation.";
       `S Manpage.s_examples;
       `P "smv_check examples/models/mutex.smv";
       `P "smv_check --spec 'AG (tr1 -> AF ta1)' arbiter.smv";
       `P "smv_check --timeout 5 --node-limit 2000000 big_model.smv";
+      `P "smv_check --step-limit 100 --retries 2 --certify counter.smv";
+      `P "smv_check --inject mk:5000 --retries 1 --stats model.smv";
     ]
   in
   Cmd.v
@@ -549,6 +1004,7 @@ let cmd =
       const main $ file_arg $ spec_arg $ no_fair_arg $ no_trace_arg
       $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
       $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
-      $ jobs_arg $ debug_arg)
+      $ jobs_arg $ retries_arg $ retry_factor_arg $ certify_arg
+      $ inject_arg $ debug_arg)
 
 let () = exit (Cmd.eval' cmd)

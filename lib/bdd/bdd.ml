@@ -89,6 +89,17 @@ type limits = {
          spec) so a single store cancels them all. *)
 }
 
+(* Deterministic fault injection (public face: the [Fault] submodule).
+   An armed fault names a site and a countdown; the matching hook
+   decrements it and, at zero, disarms itself and raises.  One-shot by
+   construction: a retry attempt after a recovery never re-trips the
+   same injection.  Defined before [man] because the manager carries
+   the armed fault. *)
+
+type fault_site = Mk | Cache_probe | Gc | Step
+
+type fault = { f_site : fault_site; mutable f_remaining : int }
+
 type man = {
   unique : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
@@ -114,6 +125,9 @@ type man = {
       (* the attached governance record, polled from the hot loops *)
   mutable poll_countdown : int;
       (* cache probes until the next full limits check *)
+  mutable fault : fault option;
+      (* armed fault injection, if any (chaos testing only) *)
+  mutable faults_fired : int;
 }
 
 (* How many cache probes between full limit checks (wall-clock read +
@@ -144,6 +158,8 @@ let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
     next_root = 0;
     limits = None;
     poll_countdown = poll_interval;
+    fault = None;
+    faults_fired = 0;
   }
 
 let set_cache_limit m limit =
@@ -235,6 +251,26 @@ let poll m =
     match m.limits with None -> () | Some l -> limits_check_now m l
   end
 
+(* The fault hook on the hot sites.  Disarmed cost is one immediate
+   field load and branch — unmeasurable next to the hash-table probe
+   each site performs anyway (bench E12 keeps it honest).  When the
+   countdown reaches zero the fault disarms itself first, then raises
+   [Out_of_memory]: the same exception a genuine allocation failure at
+   that site would surface, so recovery code cannot tell injected
+   pressure from real pressure. *)
+let fault_tick m site =
+  match m.fault with
+  | None -> ()
+  | Some f ->
+    if f.f_site = site then begin
+      f.f_remaining <- f.f_remaining - 1;
+      if f.f_remaining <= 0 then begin
+        m.fault <- None;
+        m.faults_fired <- m.faults_fired + 1;
+        raise Out_of_memory
+      end
+    end
+
 (* Cache lookups and insertions funnel through these two helpers so hit
    and miss counts stay accurate, every cache obeys the high-water
    mark, and attached resource limits are polled cooperatively.
@@ -242,6 +278,7 @@ let poll m =
    never depends on the caches, only sharing does, so a full reset
    mid-recursion merely forces recomputation. *)
 let cache_find m (stat : opstat) cache key =
+  fault_tick m Cache_probe;
   poll m;
   match Hashtbl.find_opt cache key with
   | Some _ as r ->
@@ -286,6 +323,7 @@ let high = function
 
 (* The only node constructor: reduces and hash-conses. *)
 let mk m v lo hi =
+  fault_tick m Mk;
   if equal lo hi then lo
   else
     let key = (v, id lo, id hi) in
@@ -762,6 +800,7 @@ let with_root m f k =
   Fun.protect ~finally:(fun () -> remove_root m r) k
 
 let gc m =
+  fault_tick m Gc;
   let marked = Hashtbl.create (max 64 (Hashtbl.length m.unique)) in
   let rec mark = function
     | False | True -> ()
@@ -866,7 +905,28 @@ module Limits = struct
 
   let check = limits_check_now
 
+  (* The [Step] fault site lives here rather than in [fault_tick]: a
+     tripped deadline is a [Limits] breach, not an allocation failure,
+     so it must funnel through [limits_breach] to carry the usual stats
+     snapshot and partial progress. *)
+  let fault_step_tick m l =
+    match m.fault with
+    | Some f when f.f_site = Step ->
+      f.f_remaining <- f.f_remaining - 1;
+      if f.f_remaining <= 0 then begin
+        m.fault <- None;
+        m.faults_fired <- m.faults_fired + 1;
+        limits_breach m l
+          (Deadline
+             {
+               timeout = (match l.timeout with Some t -> t | None -> 0.0);
+               elapsed = Unix.gettimeofday () -. l.started;
+             })
+      end
+    | Some _ | None -> ()
+
   let step m l =
+    fault_step_tick m l;
     l.l_steps <- l.l_steps + 1;
     l.l_iterations <- l.l_iterations + 1;
     limits_check_now m l
@@ -887,6 +947,42 @@ module Limits = struct
     | Step_budget { budget; steps } ->
       Format.fprintf ppf "step budget of %d exceeded (%d steps)" budget steps
     | Interrupted -> Format.fprintf ppf "interrupted"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection, public face.  The hooks themselves
+   live on the hot paths above ([fault_tick] in [mk] / [cache_find] /
+   [gc], [fault_step_tick] in [Limits.step]); this module only arms and
+   disarms them. *)
+
+module Fault = struct
+  type site = fault_site = Mk | Cache_probe | Gc | Step
+
+  let arm m ~site ~after =
+    if after <= 0 then invalid_arg "Bdd.Fault.arm: non-positive count";
+    m.fault <- Some { f_site = site; f_remaining = after }
+
+  let disarm m = m.fault <- None
+
+  let armed m =
+    match m.fault with
+    | None -> None
+    | Some f -> Some (f.f_site, f.f_remaining)
+
+  let fired m = m.faults_fired
+
+  let site_to_string = function
+    | Mk -> "mk"
+    | Cache_probe -> "probe"
+    | Gc -> "gc"
+    | Step -> "step"
+
+  let site_of_string = function
+    | "mk" -> Some Mk
+    | "probe" -> Some Cache_probe
+    | "gc" -> Some Gc
+    | "step" -> Some Step
+    | _ -> None
 end
 
 let pp ppf f =

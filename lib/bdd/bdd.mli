@@ -417,6 +417,53 @@ module Limits : sig
   (** One-line rendering, e.g. ["timeout after 1.02s (limit 1s)"]. *)
 end
 
+(** {1 Deterministic fault injection}
+
+    Chaos-testing support: arm a manager to fail at the Nth visit to a
+    chosen site, so every recovery path (retry ladders, worker respawn,
+    breach handling) is exercisable in CI deterministically rather than
+    only under real memory pressure.  A fault is {e one-shot}: it
+    disarms itself at the moment it fires, so the attempt that retries
+    after recovery runs clean.  Disarmed cost is a single field
+    load-and-branch per site visit — unmeasurable (bench E12 tracks
+    it).
+
+    Sites [Mk] / [Cache_probe] / [Gc] raise [Out_of_memory] when they
+    fire — the same exception genuine allocation pressure at that site
+    would surface, so recovery code cannot distinguish injected from
+    real faults.  Site [Step] instead trips the attached deadline: the
+    Nth {!Limits.step} raises {!Limits.Exhausted} with a [Deadline]
+    breach carrying the usual stats snapshot and partial progress. *)
+
+module Fault : sig
+  type site =
+    | Mk           (** node construction (the unique-table insert path) *)
+    | Cache_probe  (** operation-cache lookup *)
+    | Gc           (** entry to {!gc} *)
+    | Step         (** fixpoint-iteration charge ({!Limits.step}) *)
+
+  val arm : man -> site:site -> after:int -> unit
+  (** [arm m ~site ~after:n] makes the [n]-th subsequent visit to
+      [site] fail ([n >= 1]; raises [Invalid_argument] otherwise).
+      Re-arming replaces any previously armed fault — at most one is
+      armed per manager. *)
+
+  val disarm : man -> unit
+  (** Remove the armed fault, if any. *)
+
+  val armed : man -> (site * int) option
+  (** The armed site and its remaining countdown, if any. *)
+
+  val fired : man -> int
+  (** How many injected faults this manager has fired so far. *)
+
+  val site_to_string : site -> string
+  (** ["mk"] / ["probe"] / ["gc"] / ["step"] — the [--inject] spelling. *)
+
+  val site_of_string : string -> site option
+  (** Inverse of {!site_to_string}; [None] on unknown names. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Structural summary printer (id, root variable, node count). *)
 

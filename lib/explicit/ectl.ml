@@ -98,15 +98,17 @@ let mask_and a b = Array.map2 ( && ) a b
 let mask_or a b = Array.map2 ( || ) a b
 let mask_not a = Array.map not a
 
-let sat_gen (g : Egraph.t) ~atom ~fair formula =
+let sat_gen (g : Egraph.t) ~atom ~pred ~fair formula =
   let top = Array.make g.nstates true in
   let fair_mask = match fair with Some mask -> mask | None -> top in
   let rec go = function
     | Ctl.True -> top
     | Ctl.False -> Array.make g.nstates false
     | Ctl.Atom name -> atom name
-    | Ctl.Pred _ ->
-      invalid_arg "Ectl.sat: Pred has no explicit-state meaning"
+    | Ctl.Pred p -> (
+      match pred with
+      | Some resolve -> resolve p
+      | None -> invalid_arg "Ectl.sat: Pred has no explicit-state meaning")
     | Ctl.Not f -> mask_not (go f)
     | Ctl.And (a, b) -> mask_and (go a) (go b)
     | Ctl.Or (a, b) -> mask_or (go a) (go b)
@@ -122,14 +124,16 @@ let sat_gen (g : Egraph.t) ~atom ~fair formula =
   in
   go (Ctl.enf formula)
 
-let sat g ~atom formula = sat_gen g ~atom ~fair:None formula
+let sat g ~atom ?pred formula = sat_gen g ~atom ~pred ~fair:None formula
 
-let sat_fair g ~atom formula =
-  sat_gen g ~atom ~fair:(Some (fair_states g)) formula
+let sat_fair g ~atom ?pred formula =
+  sat_gen g ~atom ~pred ~fair:(Some (fair_states g)) formula
 
-let holds_with sat_fn g ~atom formula =
-  let result = sat_fn g ~atom formula in
+let holds_with sat_fn g ~atom ?pred formula =
+  let result = sat_fn g ~atom ?pred formula in
   List.for_all (fun v -> result.(v)) g.Egraph.init
 
-let holds g ~atom formula = holds_with sat g ~atom formula
-let holds_fair g ~atom formula = holds_with sat_fair g ~atom formula
+let holds g ~atom ?pred formula = holds_with sat g ~atom ?pred formula
+
+let holds_fair g ~atom ?pred formula =
+  holds_with sat_fair g ~atom ?pred formula

@@ -19,15 +19,37 @@ val fair_states : Egraph.t -> bool array
 (** [fair_eg true]. *)
 
 val sat :
-  Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool array
+  Egraph.t ->
+  atom:(string -> bool array) ->
+  ?pred:(Bdd.t -> bool array) ->
+  Ctl.t ->
+  bool array
 (** Evaluate a CTL formula, resolving atoms with [atom] (which should
-    raise for unknown names).  No fairness. *)
+    raise for unknown names).  [pred] resolves symbolic [Ctl.Pred]
+    leaves to state masks (e.g. the mask function of
+    {!Bridge.of_kripke}, when the formula was compiled against the
+    symbolic model the graph was extracted from); without it a [Pred]
+    raises [Invalid_argument].  No fairness. *)
 
 val sat_fair :
-  Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool array
+  Egraph.t ->
+  atom:(string -> bool array) ->
+  ?pred:(Bdd.t -> bool array) ->
+  Ctl.t ->
+  bool array
 (** Evaluate over fair paths (the graph's fairness constraints). *)
 
-val holds : Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool
+val holds :
+  Egraph.t ->
+  atom:(string -> bool array) ->
+  ?pred:(Bdd.t -> bool array) ->
+  Ctl.t ->
+  bool
 (** All initial states satisfy the formula (no fairness). *)
 
-val holds_fair : Egraph.t -> atom:(string -> bool array) -> Ctl.t -> bool
+val holds_fair :
+  Egraph.t ->
+  atom:(string -> bool array) ->
+  ?pred:(Bdd.t -> bool array) ->
+  Ctl.t ->
+  bool

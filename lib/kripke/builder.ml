@@ -6,6 +6,9 @@ type b = {
   mutable init : Bdd.t;
   mutable trans_conjs : Bdd.t list;  (* reversed *)
   mutable trans_cases : Bdd.t list;
+  (* memoized disjunction of trans_cases, so repeated [clusters] calls
+     (build, then the compiler exposing them) cost no extra BDD work *)
+  mutable cases_disj : Bdd.t option;
   mutable fairness : Bdd.t list;
   mutable labels : (string * Bdd.t) list;
 }
@@ -20,6 +23,7 @@ let create ?man () =
     init = Bdd.one bman;
     trans_conjs = [];
     trans_cases = [];
+    cases_disj = None;
     fairness = [];
     labels = [];
   }
@@ -116,7 +120,9 @@ let keep_all_but b changing =
 let add_space b f = b.space <- Bdd.and_ b.bman b.space f
 let add_init b f = b.init <- Bdd.and_ b.bman b.init f
 let add_trans b f = b.trans_conjs <- f :: b.trans_conjs
-let add_trans_case b f = b.trans_cases <- f :: b.trans_cases
+let add_trans_case b f =
+  b.trans_cases <- f :: b.trans_cases;
+  b.cases_disj <- None
 let add_fairness b f = b.fairness <- b.fairness @ [ f ]
 let add_label b name f = b.labels <- (name, f) :: b.labels
 
@@ -134,7 +140,16 @@ let clusters b =
   let conjs = List.rev b.trans_conjs in
   match b.trans_cases with
   | [] -> conjs
-  | cases -> conjs @ [ Bdd.disj b.bman cases ]
+  | cases ->
+    let d =
+      match b.cases_disj with
+      | Some d -> d
+      | None ->
+        let d = Bdd.disj b.bman cases in
+        b.cases_disj <- Some d;
+        d
+    in
+    conjs @ [ d ]
 
 let build b =
   let trans = Bdd.conj b.bman (clusters b) in

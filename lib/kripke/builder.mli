@@ -86,6 +86,14 @@ val add_label : b -> string -> Bdd.t -> unit
 val label_all_bools : b -> unit
 (** Add a label for every declared boolean variable, named after it. *)
 
+val clusters : b -> Bdd.t list
+(** The accumulated transition clusters: every {!add_trans} conjunct
+    plus (when any case was added) the disjunction of the
+    {!add_trans_case}s as one more cluster.  Their conjunction is the
+    monolithic relation {!build} installs; handing them to
+    {!Model.with_partition} later (e.g. when a recovery ladder degrades
+    to a partitioned relation) avoids re-deriving them. *)
+
 val build : b -> Model.t
 (** Seal the model.  The builder can keep being used afterwards (e.g.
     to build a variant), but this is rarely useful. *)

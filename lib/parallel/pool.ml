@@ -1,10 +1,19 @@
 (* Fixed-size domain pool: a mutex-and-condition protected FIFO of
-   thunks, n worker domains looping pop-run-repeat, and one condition
+   tasks, n worker domains looping pop-run-repeat, and one condition
    per future for the await side.  No spinning anywhere: workers block
    on [nonempty] when the queue is dry, awaiters block on the future's
-   own condition until the worker fills it. *)
+   own condition until the worker fills it.
 
-type task = unit -> unit
+   A task carries both its [run] thunk and an [abort] continuation so
+   that a worker dying *between* dequeue and completion can still fail
+   the task's future — otherwise an awaiter would block forever on a
+   task no surviving worker holds.  Workers that die (only via the
+   chaos hook today; the [run] wrapper built by [submit] cannot raise)
+   are respawned so the pool keeps its configured width. *)
+
+exception Worker_crashed
+
+type task = { run : unit -> unit; abort : exn -> unit }
 
 type t = {
   queue : task Queue.t;
@@ -12,6 +21,13 @@ type t = {
   nonempty : Condition.t;  (* signalled on submit and on shutdown *)
   mutable closed : bool;
   mutable domains : unit Domain.t list;
+      (* every domain ever spawned, dead ones included: shutdown joins
+         them all (a dead domain joins instantly) *)
+  workers : int;  (* configured width *)
+  mutable chaos_countdown : int;
+      (* > 0: the countdown-th dequeue kills its worker (deterministic
+         crash injection); <= 0: disarmed *)
+  mutable respawned : int;
 }
 
 type 'a state = Pending | Done of 'a | Failed of exn
@@ -23,11 +39,24 @@ type 'a future = {
 }
 
 (* Pop the next task, blocking while the queue is empty and the pool
-   open; [None] means shutdown with an empty queue, i.e. exit. *)
+   open; [None] means shutdown with an empty queue, i.e. exit.  The
+   boolean is the chaos verdict: [true] tells the worker to die with
+   this task (decided here, under the mutex, so exactly one worker
+   crashes no matter how dequeues interleave). *)
 let next_task pool =
   Mutex.lock pool.mutex;
   let rec go () =
-    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    if not (Queue.is_empty pool.queue) then begin
+      let job = Queue.pop pool.queue in
+      let crash =
+        pool.chaos_countdown > 0
+        && begin
+             pool.chaos_countdown <- pool.chaos_countdown - 1;
+             pool.chaos_countdown = 0
+           end
+      in
+      Some (job, crash)
+    end
     else if pool.closed then None
     else begin
       Condition.wait pool.nonempty pool.mutex;
@@ -41,11 +70,35 @@ let next_task pool =
 let rec worker_loop pool =
   match next_task pool with
   | None -> ()
-  | Some job ->
-    (* [job] is a [submit] wrapper and cannot raise; the guard is
+  | Some (job, crash) ->
+    if crash then begin
+      (* Fail the dequeued task's future first — its awaiter must see
+         the crash, not block forever — then die for real so the
+         respawn path is exercised end to end. *)
+      job.abort Worker_crashed;
+      raise Worker_crashed
+    end;
+    (* [job.run] is a [submit] wrapper and cannot raise; the guard is
        belt-and-braces so a worker never dies silently. *)
-    (try job () with _ -> ());
+    (try job.run () with _ -> ());
     worker_loop pool
+
+(* The spawn wrapper: a worker whose loop escapes with an exception is
+   replaced, keeping the pool at its configured width so queued tasks
+   still drain.  [closed] is read under the pool mutex — shutdown sets
+   it under the same mutex, so a dying worker either respawns before
+   shutdown snapshots the domain list or sees [closed] and stays down;
+   either way no replacement outlives the join loop. *)
+let rec spawn_worker pool =
+  Domain.spawn (fun () ->
+      try worker_loop pool
+      with _ ->
+        Mutex.lock pool.mutex;
+        if not pool.closed then begin
+          pool.respawned <- pool.respawned + 1;
+          pool.domains <- spawn_worker pool :: pool.domains
+        end;
+        Mutex.unlock pool.mutex)
 
 let create n =
   if n < 1 then invalid_arg "Parallel.Pool.create: need at least one worker";
@@ -56,24 +109,46 @@ let create n =
       nonempty = Condition.create ();
       closed = false;
       domains = [];
+      workers = n;
+      chaos_countdown = 0;
+      respawned = 0;
     }
   in
-  pool.domains <-
-    List.init n (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool.domains <- List.init n (fun _ -> spawn_worker pool);
   pool
 
-let size pool = List.length pool.domains
+let size pool = pool.workers
+
+let respawns pool =
+  Mutex.lock pool.mutex;
+  let r = pool.respawned in
+  Mutex.unlock pool.mutex;
+  r
+
+let chaos_crash_after pool n =
+  if n < 1 then
+    invalid_arg "Parallel.Pool.chaos_crash_after: non-positive count";
+  Mutex.lock pool.mutex;
+  pool.chaos_countdown <- n;
+  Mutex.unlock pool.mutex
 
 let submit pool f =
   let fut = { fmutex = Mutex.create (); fcond = Condition.create ();
               state = Pending }
   in
-  let task () =
-    let outcome = match f () with v -> Done v | exception e -> Failed e in
+  let fill outcome =
     Mutex.lock fut.fmutex;
     fut.state <- outcome;
     Condition.broadcast fut.fcond;
     Mutex.unlock fut.fmutex
+  in
+  let task =
+    {
+      run =
+        (fun () ->
+          fill (match f () with v -> Done v | exception e -> Failed e));
+      abort = (fun e -> fill (Failed e));
+    }
   in
   Mutex.lock pool.mutex;
   if pool.closed then begin

@@ -16,7 +16,20 @@
     The pool itself holds no domain-unsafe state beyond its own queue;
     whether the {e tasks} are safe to run concurrently is the caller's
     contract.  The intended discipline is shared-nothing: each worker
-    touches only state it created itself (see [Check]). *)
+    touches only state it created itself (see [Check]).
+
+    Workers that die are {e respawned}: a domain whose loop escapes with
+    an exception fails the task it held (its awaiter sees
+    {!Worker_crashed} rather than blocking forever) and is replaced, so
+    the pool keeps its configured width and queued tasks still drain.
+    The only way to kill a worker today is the deterministic
+    {!chaos_crash_after} hook — the submit wrapper confines ordinary
+    task exceptions to the future — which is exactly what lets CI
+    exercise the respawn path on demand. *)
+
+exception Worker_crashed
+(** Carried by the future of a task whose worker domain died while
+    holding it. *)
 
 type t
 
@@ -30,7 +43,18 @@ val create : int -> t
     {!shutdown}. *)
 
 val size : t -> int
-(** Number of worker domains. *)
+(** Configured number of worker domains (stable across respawns). *)
+
+val respawns : t -> int
+(** How many crashed workers have been replaced so far. *)
+
+val chaos_crash_after : t -> int -> unit
+(** [chaos_crash_after pool n] arms deterministic crash injection: the
+    [n]-th subsequently dequeued task ([n >= 1]; raises
+    [Invalid_argument] otherwise) kills the worker that picked it up —
+    the task's future fails with {!Worker_crashed} and the domain dies
+    and is respawned.  One-shot: the countdown disarms as it fires.
+    Chaos testing only. *)
 
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  Raises [Invalid_argument] if the pool has been

@@ -6,7 +6,7 @@ exception Cancelled
    never pays for a clone.  The key is created per [map] call, so pools
    from successive calls cannot see each other's state. *)
 
-let map ~jobs ?cancel ?on_result ~f (m : Kripke.t) specs =
+let map ~jobs ?cancel ?chaos_crash ?on_result ~f (m : Kripke.t) specs =
   let n = Array.length specs in
   let jobs = max 1 (min jobs n) in
   (* Worker managers are registered here as they are created; the list
@@ -33,6 +33,9 @@ let map ~jobs ?cancel ?on_result ~f (m : Kripke.t) specs =
     f wm spec i
   in
   let pool = Pool.create jobs in
+  (match chaos_crash with
+  | Some n -> Pool.chaos_crash_after pool n
+  | None -> ());
   let results =
     Fun.protect
       ~finally:(fun () -> Pool.shutdown pool)

@@ -28,6 +28,7 @@ exception Cancelled
 val map :
   jobs:int ->
   ?cancel:bool Atomic.t ->
+  ?chaos_crash:int ->
   ?on_result:(int -> ('r, exn) result -> unit) ->
   f:(Kripke.t -> Ctl.t -> int -> 'r) ->
   Kripke.t ->
@@ -47,6 +48,11 @@ val map :
     handler, another domain, or a breach policy) and queued tasks skip;
     to also interrupt tasks already running, share the same flag with
     the [Bdd.Limits] bundles [f] attaches (see [Bdd.Limits.create]).
+
+    [chaos_crash] arms [Pool.chaos_crash_after] on the freshly created
+    pool: the n-th dequeued task's worker dies, its result becomes
+    [Error Pool.Worker_crashed], and the worker is respawned — the CI
+    handle for exercising crash recovery deterministically.
 
     [on_result] is invoked in the calling domain, in specification
     order, as each result becomes available — the hook for printing a

@@ -4,6 +4,7 @@ type compiled = {
   model : Kripke.t;
   specs : (string * Ctl.t) list;
   defines : (string * Ast.expr) list;
+  clusters : Bdd.t list;
 }
 
 let err ?pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
@@ -489,6 +490,7 @@ let compile ?(partitioned = false) (program : Ast.program) =
     model;
     specs = List.rev !specs;
     defines = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.defines [];
+    clusters = Kripke.Builder.clusters builder;
   }
 
 let compile_expr compiled source =

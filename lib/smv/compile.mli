@@ -22,6 +22,11 @@ type compiled = {
       (** each [SPEC], with its source-like rendering *)
   defines : (string * Ast.expr) list;
       (** the [DEFINE] macros, for {!compile_expr} *)
+  clusters : Bdd.t list;
+      (** the transition clusters ({!Kripke.Builder.clusters}), kept so
+          a later degraded retry can install a partitioned relation
+          ({!Kripke.with_partition}) without recompiling.  Callers that
+          hold a [compiled] across a [Bdd.gc] must root them. *)
 }
 
 val compile : ?partitioned:bool -> Ast.program -> compiled

@@ -95,6 +95,80 @@ let test_exit_input_errors () =
     (contains ~needle:"SECS must be positive" out2);
   Alcotest.(check int) "--node-limit 0: exit 3" 3 code3
 
+let test_recovery_flags_validated () =
+  let path = temp_model all_true_model in
+  (* the = form: a bare "-1" would be eaten by cmdliner's own option
+     parsing before our validation sees it *)
+  let code, out = run [ path; "--retries=-1" ] in
+  Alcotest.(check int) "--retries -1: exit 3" 3 code;
+  Alcotest.(check bool) "--retries message" true
+    (contains ~needle:"N must be >= 0" out);
+  let code, out = run [ path; "--retry-budget-factor"; "0.5" ] in
+  Alcotest.(check int) "--retry-budget-factor 0.5: exit 3" 3 code;
+  Alcotest.(check bool) "factor message" true
+    (contains ~needle:"F must be >= 1.0" out);
+  let code, _ = run [ path; "--inject"; "bogus" ] in
+  Alcotest.(check int) "--inject without a colon: exit 3" 3 code;
+  let code, out = run [ path; "--inject"; "quantum:3" ] in
+  Alcotest.(check int) "--inject unknown site: exit 3" 3 code;
+  Alcotest.(check bool) "unknown-site message" true
+    (contains ~needle:"unknown site" out);
+  let code, _ = run [ path; "--inject"; "mk:0" ] in
+  Alcotest.(check int) "--inject zero count: exit 3" 3 code;
+  let code, out = run [ path; "--inject"; "worker:1" ] in
+  Alcotest.(check int) "--inject worker without --jobs: exit 3" 3 code;
+  Alcotest.(check bool) "worker-inject message" true
+    (contains ~needle:"requires a parallel run" out);
+  Sys.remove path
+
+(* --retries must decide the budget-starved counter12 spec that the
+   plain path leaves UNDETERMINED, annotate the recovery, certify the
+   trace, and exit 0; --retries 0 keeps the old contract. *)
+let test_retries_recover_starved_spec () =
+  let code, out =
+    run [ model_path "counter12.smv"; "--step-limit"; "3"; "-q" ]
+  in
+  Alcotest.(check int) "flat-fail exits 2" 2 code;
+  Alcotest.(check bool) "flat-fail is UNDETERMINED" true
+    (contains ~needle:"UNDETERMINED (step budget" out);
+  let code, out =
+    run
+      [ model_path "counter12.smv"; "--step-limit"; "3"; "--retries"; "2";
+        "-q" ]
+  in
+  Alcotest.(check int) "recovered run exits 0" 0 code;
+  Alcotest.(check bool) "recovery annotated" true
+    (contains ~needle:"(recovered: attempt" out);
+  Alcotest.(check bool) "recovered trace certified" true
+    (contains ~needle:"certificate: trace independently validated" out)
+
+(* --certify on a clean run: every emitted trace re-validates, the
+   exit code is unchanged. *)
+let test_certify_clean_run () =
+  let code, out = run [ model_path "mutex.smv"; "--certify" ] in
+  Alcotest.(check int) "certified mutex still exits 1" 1 code;
+  Alcotest.(check bool) "counterexample certified" true
+    (contains ~needle:"certificate: trace independently validated" out);
+  Alcotest.(check bool) "no certification failure" true
+    (not (contains ~needle:"CERTIFICATION FAILED" out))
+
+let test_inject_contained_and_recovered () =
+  (* Without retries the injected fault surfaces as UNDETERMINED. *)
+  let code, out =
+    run [ model_path "mutex.smv"; "--inject"; "mk:20"; "-q" ]
+  in
+  Alcotest.(check int) "unladdered fault exits 2" 2 code;
+  Alcotest.(check bool) "fault reported as internal" true
+    (contains ~needle:"UNDETERMINED (internal error" out);
+  (* With retries the same run recovers to the fault-free exit code. *)
+  let code, out =
+    run
+      [ model_path "mutex.smv"; "--inject"; "mk:20"; "--retries"; "1"; "-q" ]
+  in
+  Alcotest.(check int) "recovered fault exits 1" 1 code;
+  Alcotest.(check bool) "no undetermined left" true
+    (not (contains ~needle:"UNDETERMINED" out))
+
 let test_simulate_runs () =
   let path = temp_model all_true_model in
   let code, out = run [ path; "--simulate"; "4"; "--seed"; "7"; "-q" ] in
@@ -115,6 +189,14 @@ let suite =
       test_timeout_trips;
     Alcotest.test_case "exit 3 on input errors" `Quick
       test_exit_input_errors;
+    Alcotest.test_case "recovery flags validated" `Quick
+      test_recovery_flags_validated;
+    Alcotest.test_case "--retries recovers a starved spec" `Slow
+      test_retries_recover_starved_spec;
+    Alcotest.test_case "--certify on a clean run" `Quick
+      test_certify_clean_run;
+    Alcotest.test_case "--inject contained and recovered" `Quick
+      test_inject_contained_and_recovered;
     Alcotest.test_case "--simulate walks symbolically" `Quick
       test_simulate_runs;
   ]

@@ -16,5 +16,8 @@ let () =
       ("limits", Test_limits.suite);
       ("parallel", Test_parallel.suite);
       ("frontend_fuzz", Test_frontend_fuzz.suite);
+      ("validate", Test_validate.suite);
+      ("robust", Test_robust.suite);
+      ("chaos", Test_chaos.suite);
       ("cli", Test_cli.suite);
     ]
