@@ -24,6 +24,7 @@ let experiments =
     ("E10", Exp_govern.run, Exp_govern.bechamel);
     ("E11", Exp_parallel.run, Exp_parallel.bechamel);
     ("E12", Exp_recover.run, Exp_recover.bechamel);
+    ("E13", Exp_reorder.run, Exp_reorder.bechamel);
   ]
 
 let run_raw () =

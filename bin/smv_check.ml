@@ -36,6 +36,8 @@ type options = {
   certify : bool;
   inject : string option;
   debug : bool;
+  reorder : [ `None | `Once | `Auto ];
+  reorder_threshold : int;
 }
 
 (* Per-spec verdicts; [Undetermined] covers resource breaches and
@@ -83,7 +85,11 @@ let mk_limits opts =
     ?step_budget:opts.step_limit ~cancel:cancel_flag ()
 
 let load opts =
-  match Smv.load_file ~partitioned:opts.partitioned opts.file with
+  match
+    Smv.load_file ~partitioned:opts.partitioned
+      ~static_order:(opts.reorder <> `None)
+      opts.file
+  with
   | compiled -> Ok compiled
   | exception Sys_error msg -> Error msg
   | exception Smv.Lexer.Error (msg, pos) ->
@@ -137,8 +143,8 @@ let parse_inject ~seed = function
         | None ->
           Error
             (Printf.sprintf
-               "--inject: unknown site %S (expected mk, probe, gc, step or \
-                worker)"
+               "--inject: unknown site %S (expected mk, probe, gc, step, \
+                reorder or worker)"
                site)))
 
 let print_model_stats ?limits m =
@@ -329,9 +335,13 @@ let check_one ppf m ~opts ~clusters ?inject ?prior (name, spec) =
         ?step_budget:(backoff k opts.step_limit) ~cancel:cancel_flag ()
   in
   let run_symbolic model limits =
+    (* Checkpoints on: the verdict phase runs only rooted fixpoints, so
+       a pending auto-reorder may fire between iterations.  Witness and
+       certification phases below never enable them. *)
     Bdd.Limits.with_attached model.Kripke.man limits (fun () ->
-        if opts.fair then Ctl.Fair.holds ~limits model spec
-        else Ctl.Check.holds ~limits model spec)
+        Bdd.Reorder.with_checkpoints model.Kripke.man (fun () ->
+            if opts.fair then Ctl.Fair.holds ~limits model spec
+            else Ctl.Check.holds ~limits model spec))
   in
   (* The degraded representation, built once per spec: partitioned
      transition relation (from the compiler's clusters) when the model
@@ -361,6 +371,15 @@ let check_one ppf m ~opts ~clusters ?inject ?prior (name, spec) =
       (* Reclaim the breached computation's intermediate nodes and drop
          the op-caches, then re-run plainly under backed-off budgets. *)
       ignore (Bdd.gc man);
+      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
+        ar_fallback = None }
+    | Robust.Ladder.Reorder ->
+      (* Shrink the tables with a sifting sweep before giving up any
+         fidelity.  The sweep runs under this attempt's limits, so a
+         deadline aborts it at a swap boundary; a failure inside it
+         (including an injected reorder fault) is classified by the
+         ladder like any other and climbs to the next rung. *)
+      Bdd.Limits.with_attached man limits (fun () -> Bdd.reorder man);
       { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
         ar_fallback = None }
     | Robust.Ladder.Degraded ->
@@ -580,6 +599,11 @@ let validate opts =
     if opts.retries < 0 then Error "--retries: N must be >= 0" else Ok ()
   in
   let* () =
+    if opts.reorder_threshold <= 0 then
+      Error "--reorder-threshold: N must be positive"
+    else Ok ()
+  in
+  let* () =
     if opts.retry_factor < 1.0 then
       Error "--retry-budget-factor: F must be >= 1.0"
     else Ok ()
@@ -609,6 +633,22 @@ let run opts =
   let site_inject =
     match inject with Some (Inject_site (s, n)) -> Some (s, n) | _ -> None
   in
+  (* Dynamic reordering: `once sifts the freshly built model now (on
+     top of the static proximity order both non-none modes seed at
+     compile time); `auto arms the live-node trigger, consumed at the
+     fixpoint checkpoints inside each spec's verdict phase. *)
+  (match opts.reorder with
+  | `None -> ()
+  | `Once -> (
+    match Bdd.reorder m.Kripke.man with
+    | () -> ()
+    | exception Out_of_memory ->
+      (* Reordering is an optimisation: a failed sweep (real pressure
+         or an injected reorder fault) leaves a consistent manager, so
+         warn and check unsifted. *)
+      Format.eprintf "warning: initial reordering failed; continuing@.")
+  | `Auto ->
+    Bdd.Reorder.set_auto m.Kripke.man (Some opts.reorder_threshold));
   (match opts.cache_limit with
   | Some _ as limit -> Bdd.set_cache_limit m.Kripke.man limit
   | None -> ());
@@ -642,6 +682,15 @@ let run opts =
       let names = Array.of_list (List.map fst specs) in
       let formulas = Array.of_list (List.map snd specs) in
       let f wm spec i =
+        (* Worker managers reorder independently: [Kripke.clone_into]
+           replicated the coordinator's order and pair grouping, and
+           the order-independent [Bdd.transfer] bridges whatever order
+           each side later sifts to. *)
+        (match opts.reorder with
+        | `Auto ->
+          if Bdd.Reorder.auto_threshold wm.Kripke.man = None then
+            Bdd.Reorder.set_auto wm.Kripke.man (Some opts.reorder_threshold)
+        | `None | `Once -> ());
         let buf = Buffer.create 512 in
         let ppf = Format.formatter_of_buffer buf in
         let clusters () =
@@ -872,11 +921,12 @@ let retries_arg =
         ~doc:
           "Re-attempt a breached, out-of-memory or crashed \
            specification up to N times with escalating remediation: \
-           garbage collection, a degraded (partitioned, tight-cache) \
-           representation, then an explicit-state fallback when the \
-           state space is small enough.  Recovered verdicts are \
-           annotated and their traces always certified.  Default 0: \
-           no recovery, behaviour identical to earlier versions.")
+           garbage collection, a variable-reordering sweep, a degraded \
+           (partitioned, tight-cache) representation, then an \
+           explicit-state fallback when the state space is small \
+           enough.  Recovered verdicts are annotated and their traces \
+           always certified.  Default 0: no recovery, behaviour \
+           identical to earlier versions.")
 
 let retry_factor_arg =
   Arg.(
@@ -906,11 +956,35 @@ let inject_arg =
     & info [ "inject" ] ~docv:"SITE:COUNT"
         ~doc:
           "Chaos testing: deterministically fail the COUNT-th visit to \
-           SITE (mk, probe, gc or step — raising the same errors real \
-           resource exhaustion would) or kill the worker domain that \
-           picks up the COUNT-th task (worker, needs --jobs >= 2).  \
-           COUNT may be 'rand' (seeded by --seed).  Combine with \
-           --retries to exercise the recovery ladder.")
+           SITE (mk, probe, gc, step or reorder — raising the same \
+           errors real resource exhaustion would) or kill the worker \
+           domain that picks up the COUNT-th task (worker, needs \
+           --jobs >= 2).  COUNT may be 'rand' (seeded by --seed).  \
+           Combine with --retries to exercise the recovery ladder.")
+
+let reorder_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("once", `Once); ("auto", `Auto) ]) `None
+    & info [ "reorder" ] ~docv:"MODE"
+        ~doc:
+          "BDD variable-order optimisation.  $(b,none) (default) keeps \
+           declaration order and is byte-identical to earlier versions; \
+           $(b,once) seeds a dependency-proximity static order at \
+           compile time and runs one Rudell sifting sweep on the built \
+           model; $(b,auto) additionally re-sifts whenever live nodes \
+           grow past --reorder-threshold (the threshold doubles after \
+           each sweep).  Verdicts, traces and exit codes are unchanged \
+           by any mode.")
+
+let reorder_threshold_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "reorder-threshold" ] ~docv:"N"
+        ~doc:
+          "Live-node trigger for --reorder auto: a sifting sweep is \
+           scheduled when the manager grows past N live nodes (then \
+           past max(2 * live, N) after each sweep).")
 
 let debug_arg =
   Arg.(
@@ -923,12 +997,13 @@ let debug_arg =
 
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
     simulate seed timeout node_limit step_limit jobs retries retry_factor
-    certify inject debug =
+    certify inject reorder reorder_threshold debug =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
       partitioned; cache_limit; simulate; seed; timeout; node_limit;
       step_limit; jobs; retries; retry_factor; certify; inject; debug;
+      reorder; reorder_threshold;
     }
   in
   Printexc.record_backtrace debug;
@@ -973,6 +1048,12 @@ let cmd =
          $(b,--inject) plants deterministic faults to exercise every \
          rung in CI.";
       `P
+        "Variable order: $(b,--reorder once) seeds a dependency-aware \
+         static order and sifts the built model once; $(b,--reorder \
+         auto) keeps sifting as the tables grow (Rudell's algorithm, \
+         current/next bit pairs moved as blocks).  Orders only change \
+         sizes and times — never verdicts, traces or exit codes.";
+      `P
         "Parallelism: $(b,--jobs N) checks specifications on N worker \
          domains, each with a private clone of the model in its own \
          BDD manager (shared-nothing, no locks on the BDD hot paths).  \
@@ -1005,6 +1086,6 @@ let cmd =
       $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
       $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
       $ jobs_arg $ retries_arg $ retry_factor_arg $ certify_arg
-      $ inject_arg $ debug_arg)
+      $ inject_arg $ reorder_arg $ reorder_threshold_arg $ debug_arg)
 
 let () = exit (Cmd.eval' cmd)

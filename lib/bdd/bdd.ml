@@ -1,21 +1,32 @@
-(* Reduced ordered BDDs with hash-consing and memoised operations.
+(* Reduced ordered BDDs with hash-consing, memoised operations, and
+   dynamic variable reordering.
 
    Invariants maintained by [mk]:
-   - ordering: on every path from the root, variable indices strictly
-     increase;
-   - reduction: no node has [low == high], and no two distinct nodes have
-     the same (var, low, high) triple (unique table).
+   - ordering: on every path from the root, variable *levels* strictly
+     increase (the manager holds a mutable var <-> level bijection;
+     with the default identity order, levels coincide with variable
+     indices);
+   - reduction: no node has [low == high], and no two distinct nodes
+     of the same variable have the same (low, high) pair (per-variable
+     unique subtables).
 
    Under these invariants structural identity is semantic equivalence,
-   so [equal] is constant-time and operation caches can be keyed by node
-   ids. *)
+   so [equal] is constant-time and operation caches can be keyed by
+   node ids.
+
+   Reordering works by adjacent-level swap: a node of the upper
+   variable that depends on the lower one is rewritten *in place*
+   (mutable [var]/[low]/[high]) to denote the same boolean function
+   with the two variables exchanged, so external handles survive —
+   only the two affected unique subtables are touched.  See the
+   [Reorder] section below for the full invariant story. *)
 
 type t =
   | False
   | True
   | Node of node
 
-and node = { nid : int; var : int; low : t; high : t }
+and node = { nid : int; mutable var : int; mutable low : t; mutable high : t }
 
 (* Per-operation counters, updated in place on the hot path. *)
 type opstat = {
@@ -42,6 +53,9 @@ type stats = {
   cache_evictions : int;
   gc_runs : int;
   gc_collected : int;
+  reorders : int;
+  reorder_ms : float;
+  reorder_saved : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -96,12 +110,22 @@ type limits = {
    same injection.  Defined before [man] because the manager carries
    the armed fault. *)
 
-type fault_site = Mk | Cache_probe | Gc | Step
+type fault_site = Mk | Cache_probe | Gc | Step | Reorder
 
 type fault = { f_site : fault_site; mutable f_remaining : int }
 
 type man = {
-  unique : (int * int * int, t) Hashtbl.t;
+  (* Unique tables, one per variable, keyed by (low id, high id).
+     Splitting the table per variable is what makes an adjacent-level
+     swap touch only the two affected subtables. *)
+  mutable subtables : (int * int, t) Hashtbl.t array;
+  mutable nvars : int;         (* variables ever mentioned *)
+  mutable var2lvl : int array; (* variable -> level, a permutation *)
+  mutable lvl2var : int array; (* level -> variable, its inverse *)
+  mutable pair_with : int array;
+      (* grouped-sifting partner of each variable, or -1; pairs are
+         kept level-adjacent by [Reorder.sift] *)
+  mutable live : int;          (* total nodes across the subtables *)
   mutable next_id : int;
   ite_cache : (int * int * int, t) Hashtbl.t;
   exists_cache : (int * int, t) Hashtbl.t;
@@ -128,6 +152,18 @@ type man = {
   mutable fault : fault option;
       (* armed fault injection, if any (chaos testing only) *)
   mutable faults_fired : int;
+  (* --- dynamic reordering state --- *)
+  mutable in_reorder : bool;   (* a swap/sift is running *)
+  mutable reorder_pending : bool;
+      (* [mk] crossed the auto threshold; serviced at checkpoints *)
+  mutable auto_ok : bool;
+      (* checkpoints may run a pending sift: true only inside regions
+         whose live intermediates are all reachable from GC roots *)
+  mutable reorder_threshold : int;  (* live nodes; [max_int] = auto off *)
+  mutable reorder_threshold0 : int; (* initial threshold (doubling floor) *)
+  mutable reorders : int;
+  mutable reorder_ms : float;
+  mutable reorder_saved : int;      (* nodes reclaimed by reordering *)
 }
 
 (* How many cache probes between full limit checks (wall-clock read +
@@ -136,8 +172,14 @@ type man = {
 let poll_interval = 4096
 
 let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
+  ignore unique_size;
   {
-    unique = Hashtbl.create unique_size;
+    subtables = Array.init 64 (fun _ -> Hashtbl.create 16);
+    nvars = 0;
+    var2lvl = Array.make 64 (-1);
+    lvl2var = Array.make 64 (-1);
+    pair_with = Array.make 64 (-1);
+    live = 0;
     next_id = 2;
     ite_cache = Hashtbl.create cache_size;
     exists_cache = Hashtbl.create cache_size;
@@ -160,7 +202,47 @@ let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
     poll_countdown = poll_interval;
     fault = None;
     faults_fired = 0;
+    in_reorder = false;
+    reorder_pending = false;
+    auto_ok = false;
+    reorder_threshold = max_int;
+    reorder_threshold0 = max_int;
+    reorders = 0;
+    reorder_ms = 0.0;
+    reorder_saved = 0;
   }
+
+(* Grow the variable universe to include [v].  New variables enter at
+   the bottom of the order (level = index), which extends any existing
+   permutation consistently: levels [nvars..v] are necessarily free. *)
+let ensure_var m v =
+  if v >= m.nvars then begin
+    let n = v + 1 in
+    let cap = Array.length m.subtables in
+    if n > cap then begin
+      let newcap = max n (2 * cap) in
+      let st =
+        Array.init newcap (fun i ->
+            if i < cap then m.subtables.(i) else Hashtbl.create 16)
+      in
+      let grow a =
+        let a' = Array.make newcap (-1) in
+        Array.blit a 0 a' 0 m.nvars;
+        a'
+      in
+      let v2l = grow m.var2lvl and l2v = grow m.lvl2var in
+      let pw = grow m.pair_with in
+      m.subtables <- st;
+      m.var2lvl <- v2l;
+      m.lvl2var <- l2v;
+      m.pair_with <- pw
+    end;
+    for i = m.nvars to n - 1 do
+      m.var2lvl.(i) <- i;
+      m.lvl2var.(i) <- i
+    done;
+    m.nvars <- n
+  end
 
 let set_cache_limit m limit =
   (match limit with
@@ -171,7 +253,7 @@ let set_cache_limit m limit =
 let cache_limit m = if m.cache_limit = max_int then None else Some m.cache_limit
 
 let count_nodes m = m.next_id - 2
-let live_nodes m = Hashtbl.length m.unique
+let live_nodes m = m.live
 
 let snapshot_op (s : opstat) =
   { calls = s.calls; hits = s.hits; misses = s.misses }
@@ -189,6 +271,9 @@ let stats m =
     cache_evictions = m.evictions;
     gc_runs = m.gc_runs;
     gc_collected = m.gc_collected;
+    reorders = m.reorders;
+    reorder_ms = m.reorder_ms;
+    reorder_saved = m.reorder_saved;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -321,21 +406,38 @@ let high = function
   | Node n -> n.high
   | False | True -> invalid_arg "Bdd.high: constant"
 
+(* Root level, treating constants as deeper than everything.  With the
+   default identity order this is the root variable index, so every
+   level comparison below reproduces the historic var comparison
+   bit-for-bit. *)
+let lvl m = function
+  | False | True -> max_int
+  | Node n -> m.var2lvl.(n.var)
+
 (* The only node constructor: reduces and hash-conses. *)
 let mk m v lo hi =
   fault_tick m Mk;
   if equal lo hi then lo
-  else
-    let key = (v, id lo, id hi) in
-    match Hashtbl.find_opt m.unique key with
+  else begin
+    ensure_var m v;
+    let tbl = m.subtables.(v) in
+    let key = (id lo, id hi) in
+    match Hashtbl.find_opt tbl key with
     | Some n -> n
     | None ->
       let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
       m.next_id <- m.next_id + 1;
-      Hashtbl.add m.unique key n;
-      let live = Hashtbl.length m.unique in
-      if live > m.peak_nodes then m.peak_nodes <- live;
+      Hashtbl.add tbl key n;
+      m.live <- m.live + 1;
+      if m.live > m.peak_nodes then m.peak_nodes <- m.live;
+      (* Auto-reorder trigger: note the threshold crossing; the sift
+         itself runs only at an explicit checkpoint (a safe point where
+         every live intermediate is root-reachable), never here in the
+         middle of an operation's recursion. *)
+      if m.live > m.reorder_threshold && not m.in_reorder then
+        m.reorder_pending <- true;
       n
+  end
 
 let var m v =
   if v < 0 then invalid_arg "Bdd.var: negative variable";
@@ -344,11 +446,6 @@ let var m v =
 let nvar m v =
   if v < 0 then invalid_arg "Bdd.nvar: negative variable";
   mk m v True False
-
-(* Root variable treating constants as deeper than everything. *)
-let level = function
-  | False | True -> max_int
-  | Node n -> n.var
 
 (* Cofactors with respect to a variable at or above the root. *)
 let cofactors f v =
@@ -369,7 +466,8 @@ let rec ite m f g h =
       match cache_find m m.ite_stat m.ite_cache key with
       | Some r -> r
       | None ->
-        let v = min (level f) (min (level g) (level h)) in
+        let l = min (lvl m f) (min (lvl m g) (lvl m h)) in
+        let v = m.lvl2var.(l) in
         let f0, f1 = cofactors f v
         and g0, g1 = cofactors g v
         and h0, h1 = cofactors h v in
@@ -389,23 +487,40 @@ let conj m fs = List.fold_left (and_ m) True fs
 let disj m fs = List.fold_left (or_ m) False fs
 let subset m f g = is_zero (diff m f g)
 
-let rec restrict m f v b =
-  match f with
-  | False | True -> f
-  | Node n ->
-    if n.var > v then f
-    else if n.var = v then if b then n.high else n.low
-    else mk m n.var (restrict m n.low v b) (restrict m n.high v b)
+let restrict m f v b =
+  if v < 0 then invalid_arg "Bdd.restrict: negative variable";
+  ensure_var m v;
+  let vl = m.var2lvl.(v) in
+  let rec go f =
+    match f with
+    | False | True -> f
+    | Node n ->
+      if m.var2lvl.(n.var) > vl then f
+      else if n.var = v then if b then n.high else n.low
+      else mk m n.var (go n.low) (go n.high)
+  in
+  go f
 
 let cube m vs =
   let sorted = List.sort_uniq Stdlib.compare vs in
-  List.fold_right (fun v acc -> mk m v False acc) sorted True
+  List.iter
+    (fun v ->
+      if v < 0 then invalid_arg "Bdd.cube: negative variable";
+      ensure_var m v)
+    sorted;
+  (* Build bottom-up in *level* order, deepest variable innermost. *)
+  let by_level =
+    List.stable_sort
+      (fun a b -> Stdlib.compare m.var2lvl.(a) m.var2lvl.(b))
+      sorted
+  in
+  List.fold_right (fun v acc -> mk m v False acc) by_level True
 
-(* Skip cube variables above the level [v] (they do not occur in the
+(* Skip cube variables above level [l] (they do not occur in the
    operand, so quantifying them is a no-op for that branch). *)
-let rec cube_from c v =
+let rec cube_from m c l =
   match c with
-  | Node n when n.var < v -> cube_from n.high v
+  | Node n when m.var2lvl.(n.var) < l -> cube_from m n.high l
   | False | True | Node _ -> c
 
 let rec exists m c f =
@@ -414,7 +529,7 @@ let rec exists m c f =
   | (False | True), _ -> f
   | _, (True | False) -> f
   | Node nf, Node _ -> (
-    let c = cube_from c nf.var in
+    let c = cube_from m c m.var2lvl.(nf.var) in
     match c with
     | True | False -> f
     | Node nc ->
@@ -436,7 +551,7 @@ let rec forall m c f =
   | (False | True), _ -> f
   | _, (True | False) -> f
   | Node nf, Node _ -> (
-    let c = cube_from c nf.var in
+    let c = cube_from m c m.var2lvl.(nf.var) in
     match c with
     | True | False -> f
     | Node nc ->
@@ -463,8 +578,9 @@ let rec and_exists m c f g =
     match c with
     | True | False -> and_ m f g
     | Node _ -> (
-      let v = min (level f) (level g) in
-      let c = cube_from c v in
+      let l = min (lvl m f) (lvl m g) in
+      let v = m.lvl2var.(l) in
+      let c = cube_from m c l in
       match c with
       | True | False -> and_ m f g
       | Node nc ->
@@ -502,7 +618,8 @@ let rec constrain m f c =
         (match cache_find m m.constrain_stat m.constrain_cache key with
         | Some r -> r
         | None ->
-          let v = min (level f) (level c) in
+          let l = min (lvl m f) (lvl m c) in
+          let v = m.lvl2var.(l) in
           let f0, f1 = cofactors f v and c0, c1 = cofactors c v in
           let r =
             if is_zero c1 then constrain m f0 c0
@@ -536,8 +653,10 @@ let rename m f perm =
       end
   in
   check f;
-  (* Rebuild bottom-up through ITE so that non-monotone permutations are
-     handled correctly; memoised per call. *)
+  (* Rebuild bottom-up through ITE so that non-monotone permutations
+     (in the *order* sense: the source walk needs no relation to the
+     manager's current levels) are handled correctly; memoised per
+     call. *)
   let memo = Hashtbl.create 1024 in
   let rec go f =
     match f with
@@ -589,9 +708,27 @@ let rec eval f env =
   | True -> true
   | Node n -> if env n.var then eval n.high env else eval n.low env
 
-let sat_count f n =
-  (* Weighted count: a node at variable v counts assignments over the
-     variables v..n-1; crossing a gap of k levels multiplies by 2^k. *)
+let sat_count m f n =
+  if List.exists (fun v -> v >= n) (support f) then
+    invalid_arg "Bdd.sat_count: support exceeds variable universe";
+  if n > m.nvars then ensure_var m (n - 1);
+  (* Weighted count over the n-variable universe, order-aware: crossing
+     a gap of k universe variables (counted by level) multiplies by 2^k.
+     [rank.(l)] counts universe variables at levels strictly below l;
+     with the identity order rank.(l) = min l n, which reproduces the
+     historic var-index arithmetic exactly. *)
+  let nl = m.nvars in
+  let rank = Array.make (nl + 1) 0 in
+  for v = 0 to min n m.nvars - 1 do
+    rank.(m.var2lvl.(v) + 1) <- rank.(m.var2lvl.(v) + 1) + 1
+  done;
+  for l = 1 to nl do
+    rank.(l) <- rank.(l) + rank.(l - 1)
+  done;
+  let rank_of = function
+    | False | True -> n
+    | Node nd -> rank.(m.var2lvl.(nd.var))
+  in
   let memo = Hashtbl.create 256 in
   let rec go f =
     match f with
@@ -601,31 +738,31 @@ let sat_count f n =
       match Hashtbl.find_opt memo nd.nid with
       | Some c -> c
       | None ->
+        let here = rank.(m.var2lvl.(nd.var)) in
         let weight branch =
           let sub = go branch in
-          let lvl = level branch in
-          let gap = (if lvl = max_int then n else lvl) - nd.var - 1 in
+          let gap = rank_of branch - here - 1 in
           sub *. Float.pow 2.0 (float_of_int gap)
         in
         let c = weight nd.low +. weight nd.high in
         Hashtbl.add memo nd.nid c;
         c)
   in
-  if List.exists (fun v -> v >= n) (support f) then
-    invalid_arg "Bdd.sat_count: support exceeds variable universe";
-  let top_gap = min (level f) n in
-  go f *. Float.pow 2.0 (float_of_int top_gap)
+  go f *. Float.pow 2.0 (float_of_int (rank_of f))
 
 let any_sat f =
   let rec go acc = function
     | False -> raise Not_found
-    | True -> List.rev acc
+    | True -> acc
     | Node n -> (
       match n.low with
       | False -> go ((n.var, true) :: acc) n.high
       | True | Node _ -> go ((n.var, false) :: acc) n.low)
   in
-  go [] f
+  (* The diagram walk visits variables in level order; return the cube
+     sorted by variable index so callers see an order-independent
+     result (identical to the historic one under the identity order). *)
+  go [] f |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
 let any_sat_total f ~vars =
   let partial = any_sat f in
@@ -646,30 +783,46 @@ let any_sat_total f ~vars =
     partial;
   assignment
 
-let fold_sat f vars ~init ~f:k =
-  let vars = Array.of_list vars in
-  let nv = Array.length vars in
+let fold_sat m f vars ~init ~f:k =
+  let vars_a = Array.of_list vars in
+  let nv = Array.length vars_a in
+  Array.iter
+    (fun v ->
+      if v < 0 then invalid_arg "Bdd.fold_sat: negative variable";
+      ensure_var m v)
+    vars_a;
   let pos = Hashtbl.create (2 * nv) in
-  Array.iteri (fun i v -> Hashtbl.replace pos v i) vars;
+  Array.iteri (fun i v -> Hashtbl.replace pos v i) vars_a;
+  (* Walk the given variables in *level* order (the diagram's own walk
+     order); [order.(j)] is the position, in the caller's list, of the
+     j-th variable by level.  Under the identity order this enumerates
+     assignments exactly as the historic index-order walk did. *)
+  let order = Array.init nv (fun i -> i) in
+  let order =
+    Array.of_list
+      (List.stable_sort
+         (fun i j ->
+           Stdlib.compare m.var2lvl.(vars_a.(i)) m.var2lvl.(vars_a.(j)))
+         (Array.to_list order))
+  in
   let assign = Array.make nv false in
-  (* Walk variables in index order; the diagram's support is a subset of
-     [vars], so at step i the residual diagram's root is >= vars.(i). *)
-  let rec go acc i f =
+  let rec go acc j f =
     match f with
     | False -> acc
     | True | Node _ ->
-      if i = nv then (match f with True -> k acc assign | False | Node _ -> acc)
+      if j = nv then (match f with True -> k acc assign | False | Node _ -> acc)
       else
-        let v = vars.(i) in
+        let i = order.(j) in
+        let v = vars_a.(i) in
         let f0, f1 =
           match f with
           | Node n when n.var = v -> (n.low, n.high)
           | False | True | Node _ -> (f, f)
         in
         assign.(i) <- false;
-        let acc = go acc (i + 1) f0 in
+        let acc = go acc (j + 1) f0 in
         assign.(i) <- true;
-        let acc = go acc (i + 1) f1 in
+        let acc = go acc (j + 1) f1 in
         assign.(i) <- false;
         acc
   in
@@ -687,32 +840,59 @@ let clear_caches m =
   Hashtbl.reset m.forall_cache;
   Hashtbl.reset m.relprod_cache
 
-(* Cross-manager copy.  A reduced ordered diagram copied node by node
-   (same variables, same shape) through [mk] is again reduced and
-   ordered, so the result is [dst]'s canonical diagram for the same
-   boolean function — no [ite] rebuilding needed, one [mk] per source
-   node.  Only the immutable node structure of [f] is read, never its
-   manager's tables, which is what makes the copy safe to run from a
-   domain other than the one that built [f] (the source manager must
-   merely be quiescent; concurrent transfers out of the same diagram
-   are fine).  Recursion depth is bounded by the number of distinct
-   variables on a path, not by diagram size. *)
+(* Cross-manager copy, order-independent.  The fast path copies node
+   by node through [mk]: valid whenever the destination order agrees
+   with the source structure (every parent sits above both children in
+   [dst]'s order), which is checked per node — one array read per
+   edge.  The copy is then [dst]'s canonical diagram for the same
+   function (copying is injective on structure, so reduction is
+   preserved).  When the orders disagree the copy falls back to a
+   memoised bottom-up ITE rebuild keyed by source var *ids*, which
+   re-canonicalises in [dst]'s order — this is what lets parallel
+   workers hold different orders than the coordinator.  Only the
+   immutable-for-the-duration node structure of [f] is read, never the
+   source manager's tables, so transfers may run from another domain
+   (the source manager must be quiescent: no operations and no
+   reordering while a transfer reads it). *)
+exception Transfer_order
+
 let transfer ~dst f =
   let memo : (int, t) Hashtbl.t = Hashtbl.create 1024 in
-  let rec go f =
-    match f with
-    | False | True -> f
-    | Node n -> (
-      match Hashtbl.find_opt memo n.nid with
-      | Some r -> r
-      | None ->
-        let lo = go n.low in
-        let hi = go n.high in
-        let r = mk dst n.var lo hi in
-        Hashtbl.add memo n.nid r;
-        r)
+  let structural () =
+    let rec go f =
+      match f with
+      | False | True -> f
+      | Node n -> (
+        match Hashtbl.find_opt memo n.nid with
+        | Some r -> r
+        | None ->
+          let lo = go n.low in
+          let hi = go n.high in
+          ensure_var dst n.var;
+          let lp = dst.var2lvl.(n.var) in
+          if lp >= lvl dst lo || lp >= lvl dst hi then raise Transfer_order;
+          let r = mk dst n.var lo hi in
+          Hashtbl.add memo n.nid r;
+          r)
+    in
+    go f
   in
-  go f
+  match structural () with
+  | r -> r
+  | exception Transfer_order ->
+    Hashtbl.reset memo;
+    let rec go f =
+      match f with
+      | False | True -> f
+      | Node n -> (
+        match Hashtbl.find_opt memo n.nid with
+        | Some r -> r
+        | None ->
+          let r = ite dst (var dst n.var) (go n.high) (go n.low) in
+          Hashtbl.add memo n.nid r;
+          r)
+    in
+    go f
 
 (* ------------------------------------------------------------------ *)
 (* Statistics.                                                         *)
@@ -748,6 +928,9 @@ let merge_stats a b =
     cache_evictions = a.cache_evictions + b.cache_evictions;
     gc_runs = a.gc_runs + b.gc_runs;
     gc_collected = a.gc_collected + b.gc_collected;
+    reorders = a.reorders + b.reorders;
+    reorder_ms = a.reorder_ms +. b.reorder_ms;
+    reorder_saved = a.reorder_saved + b.reorder_saved;
   }
 
 let reset_stats m =
@@ -764,7 +947,10 @@ let reset_stats m =
   m.evictions <- 0;
   m.gc_runs <- 0;
   m.gc_collected <- 0;
-  m.peak_nodes <- live_nodes m
+  m.peak_nodes <- live_nodes m;
+  m.reorders <- 0;
+  m.reorder_ms <- 0.0;
+  m.reorder_saved <- 0
 
 let pp_stats ppf s =
   let op name (o : op_stats) =
@@ -779,8 +965,14 @@ let pp_stats ppf s =
   op "relprod" s.relprod;
   op "constrain" s.constrain;
   Format.fprintf ppf
-    "  cache hits %d  misses %d  evictions %d@,  gc runs %d (collected %d nodes)@]"
-    (cache_hits s) (cache_misses s) s.cache_evictions s.gc_runs s.gc_collected
+    "  cache hits %d  misses %d  evictions %d@,  gc runs %d (collected %d nodes)"
+    (cache_hits s) (cache_misses s) s.cache_evictions s.gc_runs s.gc_collected;
+  (* Printed only when reordering actually ran, so a --reorder none run
+     reports byte-identically to managers that predate reordering. *)
+  if s.reorders > 0 then
+    Format.fprintf ppf "@,  reorders %d (saved %d nodes, %.1f ms)" s.reorders
+      s.reorder_saved s.reorder_ms;
+  Format.fprintf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
 (* Explicit roots and mark-and-sweep garbage collection.               *)
@@ -799,9 +991,11 @@ let with_root m f k =
   let r = add_root m f in
   Fun.protect ~finally:(fun () -> remove_root m r) k
 
+let iter_nodes m f = Array.iter (fun tbl -> Hashtbl.iter (fun _ n -> f n) tbl) m.subtables
+
 let gc m =
   fault_tick m Gc;
-  let marked = Hashtbl.create (max 64 (Hashtbl.length m.unique)) in
+  let marked = Hashtbl.create (max 64 m.live) in
   let rec mark = function
     | False | True -> ()
     | Node n ->
@@ -812,21 +1006,477 @@ let gc m =
       end
   in
   Hashtbl.iter (fun _ provider -> List.iter mark (provider ())) m.roots;
-  let before = Hashtbl.length m.unique in
-  Hashtbl.filter_map_inplace
-    (fun _ n ->
-      match n with
-      | Node nd -> if Hashtbl.mem marked nd.nid then Some n else None
-      | False | True -> Some n)
-    m.unique;
+  let before = m.live in
+  Array.iter
+    (fun tbl ->
+      Hashtbl.filter_map_inplace
+        (fun _ n ->
+          match n with
+          | Node nd -> if Hashtbl.mem marked nd.nid then Some n else None
+          | False | True -> Some n)
+        tbl)
+    m.subtables;
+  m.live <-
+    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 m.subtables;
   (* The operation caches may hold (and keep alive) nodes just swept
      from the unique table; returning one later would break canonicity,
      so they must go too. *)
   clear_caches m;
-  let collected = before - Hashtbl.length m.unique in
+  let collected = before - m.live in
   m.gc_runs <- m.gc_runs + 1;
   m.gc_collected <- m.gc_collected + collected;
   collected
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic variable reordering (Rudell sifting).
+
+   The primitive is the adjacent-level swap.  Let x be the variable at
+   level l and y at level l+1.  Every x-node n = (x, f0, f1) with at
+   least one child rooted at y is rewritten in place to
+
+       n := (y, mk(x, f00, f10), mk(x, f01, f11))
+
+   where fij is the y=j cofactor of fi — the same boolean function
+   with the two levels exchanged.  The rewrite mutates n's fields, so
+   n's id (and every external [t] handle to it) survives; only
+   subtable x (n's old entry leaves) and subtable y (its new entry
+   arrives) change.  x-nodes not depending on y, and all other levels,
+   are untouched.  No unique-table collisions can occur: a collision
+   would exhibit two distinct nodes for one function *before* the
+   swap, contradicting canonicity.
+
+   Children orphaned by rewrites (the old f0/f1 and, recursively,
+   their descendants) are reclaimed by local reference counting so
+   the sifting size metric is exact.  Protection rules: a node that
+   had no in-table parent when the reorder started (a client-held
+   result top, or garbage we must not touch because clients may hold
+   it) and every root-provider top is never reclaimed; everything
+   else dies when its last in-table parent drops it.  This gives
+   reordering the same contract as [gc]: diagrams whose roots are
+   registered (or simply held as handles) survive with identities and
+   meaning intact; resurrecting an *interior* node of an unrooted
+   diagram afterwards is unsound.
+
+   The operation caches are structurally still correct after a swap
+   (every node keeps its function) but may reference reclaimed nodes,
+   so they are flushed when the reorder finishes — also on an abort:
+   [Limits] is polled between block exchanges, and each swap is
+   atomic, so a deadline abort mid-sift leaves a consistent manager
+   with whatever order the sift had reached. *)
+
+let reorder_mk m parents v lo hi =
+  if equal lo hi then lo
+  else begin
+    let tbl = m.subtables.(v) in
+    let key = (id lo, id hi) in
+    match Hashtbl.find_opt tbl key with
+    | Some n -> n
+    | None ->
+      let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add tbl key n;
+      m.live <- m.live + 1;
+      if m.live > m.peak_nodes then m.peak_nodes <- m.live;
+      (* Creation edges: the new node's children gain one parent. *)
+      (match lo with
+      | Node c ->
+        Hashtbl.replace parents c.nid
+          (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
+      | False | True -> ());
+      (match hi with
+      | Node c ->
+        Hashtbl.replace parents c.nid
+          (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
+      | False | True -> ());
+      n
+  end
+
+(* Reclaim the unreferenced, unprotected nodes queued by a swap,
+   cascading through their children. *)
+let reorder_reap m parents protect queue =
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some ch ->
+      (match ch with
+      | Node c
+        when Hashtbl.find_opt parents c.nid = Some 0
+             && not (Hashtbl.mem protect c.nid) -> (
+        let tbl = m.subtables.(c.var) in
+        let key = (id c.low, id c.high) in
+        match Hashtbl.find_opt tbl key with
+        | Some (Node c') when c'.nid = c.nid ->
+          Hashtbl.remove tbl key;
+          m.live <- m.live - 1;
+          Hashtbl.remove parents c.nid;
+          let drop ch' =
+            match ch' with
+            | Node g ->
+              (match Hashtbl.find_opt parents g.nid with
+              | Some r ->
+                Hashtbl.replace parents g.nid (r - 1);
+                if r - 1 = 0 then Queue.add ch' queue
+              | None -> ())
+            | False | True -> ()
+          in
+          drop c.low;
+          drop c.high
+        | Some _ | None -> ())
+      | Node _ | False | True -> ());
+      drain ()
+  in
+  drain ()
+
+(* Exchange levels l and l+1.  Atomic: no limit polls, no fault hooks,
+   so an exception can only enter between swaps and the manager is
+   always consistent. *)
+let swap_levels m parents protect l =
+  let x = m.lvl2var.(l) and y = m.lvl2var.(l + 1) in
+  let xt = m.subtables.(x) and yt = m.subtables.(y) in
+  let depends_on_y = function
+    | Node c -> c.var = y
+    | False | True -> false
+  in
+  let moving =
+    Hashtbl.fold
+      (fun _ n acc ->
+        match n with
+        | Node nd when depends_on_y nd.low || depends_on_y nd.high ->
+          nd :: acc
+        | Node _ | False | True -> acc)
+      xt []
+  in
+  let queue = Queue.create () in
+  let decr ch =
+    match ch with
+    | Node c -> (
+      match Hashtbl.find_opt parents c.nid with
+      | Some r ->
+        Hashtbl.replace parents c.nid (r - 1);
+        if r - 1 = 0 && not (Hashtbl.mem protect c.nid) then
+          Queue.add ch queue
+      | None -> ())
+    | False | True -> ()
+  in
+  let incr ch =
+    match ch with
+    | Node c ->
+      Hashtbl.replace parents c.nid
+        (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
+    | False | True -> ()
+  in
+  List.iter
+    (fun nd ->
+      let f0 = nd.low and f1 = nd.high in
+      let c_y f =
+        match f with
+        | Node c when c.var = y -> (c.low, c.high)
+        | False | True | Node _ -> (f, f)
+      in
+      let f00, f01 = c_y f0 and f10, f11 = c_y f1 in
+      (* New cofactor nodes first (they may share the old children, so
+         build before dropping edges). *)
+      let new_lo = reorder_mk m parents x f00 f10 in
+      let new_hi = reorder_mk m parents x f01 f11 in
+      incr new_lo;
+      incr new_hi;
+      Hashtbl.remove xt (id f0, id f1);
+      decr f0;
+      decr f1;
+      nd.var <- y;
+      nd.low <- new_lo;
+      nd.high <- new_hi;
+      let key = (id new_lo, id new_hi) in
+      assert (not (Hashtbl.mem yt key));
+      Hashtbl.add yt key (Node nd))
+    moving;
+  reorder_reap m parents protect queue;
+  m.lvl2var.(l) <- y;
+  m.lvl2var.(l + 1) <- x;
+  m.var2lvl.(x) <- l + 1;
+  m.var2lvl.(y) <- l
+
+(* Prologue shared by every reordering entry point: build the in-table
+   parent counts and the protection set (parentless tops + registered
+   roots), run the body with [in_reorder] set, and on any exit flush
+   the caches, clear the pending flag, advance the auto threshold and
+   account the stats. *)
+let with_reorder m body =
+  if m.in_reorder then invalid_arg "Bdd.reorder: reentrant reorder";
+  fault_tick m Reorder;
+  let t0 = Unix.gettimeofday () in
+  let before = m.live in
+  m.in_reorder <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      m.in_reorder <- false;
+      m.reorder_pending <- false;
+      clear_caches m;
+      if m.reorder_threshold <> max_int then
+        m.reorder_threshold <- max (2 * m.live) m.reorder_threshold0;
+      m.reorders <- m.reorders + 1;
+      m.reorder_ms <- m.reorder_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+      m.reorder_saved <- m.reorder_saved + (before - m.live))
+    (fun () ->
+      let parents = Hashtbl.create (max 64 m.live) in
+      let incr ch =
+        match ch with
+        | Node c ->
+          Hashtbl.replace parents c.nid
+            (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
+        | False | True -> ()
+      in
+      iter_nodes m (fun n ->
+          match n with
+          | Node nd ->
+            incr nd.low;
+            incr nd.high
+          | False | True -> ());
+      let protect = Hashtbl.create 256 in
+      iter_nodes m (fun n ->
+          match n with
+          | Node nd ->
+            if not (Hashtbl.mem parents nd.nid) then begin
+              Hashtbl.replace parents nd.nid 0;
+              Hashtbl.replace protect nd.nid ()
+            end
+          | False | True -> ());
+      Hashtbl.iter
+        (fun _ provider ->
+          List.iter
+            (fun f ->
+              match f with
+              | Node nd -> Hashtbl.replace protect nd.nid ()
+              | False | True -> ())
+            (provider ()))
+        m.roots;
+      body parents protect)
+
+(* Poll attached limits between block exchanges so a deadline or node
+   budget can abort a sift at a swap boundary. *)
+let reorder_poll m =
+  match m.limits with Some l -> limits_check_now m l | None -> ()
+
+(* Bubble partners adjacent (top-down), so sifting can treat each
+   current/next pair as one block. *)
+let normalize_pairs m parents protect =
+  let l = ref 0 in
+  while !l < m.nvars - 1 do
+    let v = m.lvl2var.(!l) in
+    let p = m.pair_with.(v) in
+    if p >= 0 then begin
+      let pl = m.var2lvl.(p) in
+      for k = pl - 1 downto !l + 1 do
+        swap_levels m parents protect k
+      done;
+      l := !l + 2
+    end
+    else incr l
+  done
+
+(* The blocks (pairs + singletons) in level order. *)
+let build_blocks m =
+  let acc = ref [] and l = ref 0 in
+  while !l < m.nvars do
+    let v = m.lvl2var.(!l) in
+    let p = m.pair_with.(v) in
+    if p >= 0 && m.var2lvl.(p) = !l + 1 then begin
+      acc := [| v; p |] :: !acc;
+      l := !l + 2
+    end
+    else begin
+      acc := [| v |] :: !acc;
+      incr l
+    end
+  done;
+  Array.of_list (List.rev !acc)
+
+(* Exchange adjacent blocks i and i+1 (a block exchange of widths p,q
+   is p*q adjacent-level swaps). *)
+let exchange_blocks m parents protect blocks i =
+  let bi = blocks.(i) and bj = blocks.(i + 1) in
+  let p = Array.length bi in
+  let base = m.var2lvl.(bi.(0)) in
+  Array.iteri
+    (fun k _ ->
+      let cur = base + p + k in
+      for l = cur - 1 downto base + k do
+        swap_levels m parents protect l
+      done)
+    bj;
+  blocks.(i) <- bj;
+  blocks.(i + 1) <- bi;
+  reorder_poll m
+
+(* Rudell sifting over blocks: move each block (largest first) to both
+   ends of the order, tracking total live nodes, and park it at the
+   best position seen.  A scan direction is abandoned when the table
+   grows past maxgrowth (1.2x), except while retreating through
+   already-visited territory. *)
+let do_sift m parents protect =
+  if m.nvars > 1 then begin
+    normalize_pairs m parents protect;
+    let blocks = build_blocks m in
+    let nb = Array.length blocks in
+    let bsize b =
+      Array.fold_left (fun acc v -> acc + Hashtbl.length m.subtables.(v)) 0 b
+    in
+    let order =
+      List.stable_sort
+        (fun (sa, ia, _) (sb, ib, _) ->
+          if sa <> sb then Stdlib.compare sb sa else Stdlib.compare ia ib)
+        (List.mapi (fun i b -> (bsize b, i, b)) (Array.to_list blocks))
+      |> List.map (fun (_, _, b) -> b)
+    in
+    let index_of b =
+      let r = ref (-1) in
+      Array.iteri (fun i b' -> if b' == b then r := i) blocks;
+      !r
+    in
+    List.iter
+      (fun b ->
+        let i0 = index_of b in
+        let start_live = m.live in
+        let limit = start_live + (start_live / 5) + 64 in
+        let best = ref m.live and bestpos = ref i0 and pos = ref i0 in
+        let down () =
+          while !pos < nb - 1 && (!pos < i0 || m.live <= limit) do
+            exchange_blocks m parents protect blocks !pos;
+            incr pos;
+            if m.live < !best then begin
+              best := m.live;
+              bestpos := !pos
+            end
+          done
+        in
+        let up () =
+          while !pos > 0 && (!pos > i0 || m.live <= limit) do
+            exchange_blocks m parents protect blocks (!pos - 1);
+            decr pos;
+            if m.live < !best then begin
+              best := m.live;
+              bestpos := !pos
+            end
+          done
+        in
+        if i0 >= nb / 2 then begin
+          down ();
+          up ()
+        end
+        else begin
+          up ();
+          down ()
+        end;
+        while !pos > !bestpos do
+          exchange_blocks m parents protect blocks (!pos - 1);
+          decr pos
+        done;
+        while !pos < !bestpos do
+          exchange_blocks m parents protect blocks !pos;
+          incr pos
+        done)
+      order
+  end
+
+let reorder m = with_reorder m (do_sift m)
+
+module Reorder = struct
+  let nvars m = m.nvars
+  let level_of_var m v =
+    if v < 0 || v >= m.nvars then invalid_arg "Bdd.Reorder.level_of_var";
+    m.var2lvl.(v)
+  let var_at_level m l =
+    if l < 0 || l >= m.nvars then invalid_arg "Bdd.Reorder.var_at_level";
+    m.lvl2var.(l)
+  let order m = Array.sub m.lvl2var 0 m.nvars
+
+  let sift = reorder
+
+  let swap m l =
+    if l < 0 || l >= m.nvars - 1 then invalid_arg "Bdd.Reorder.swap: bad level";
+    with_reorder m (fun parents protect -> swap_levels m parents protect l)
+
+  let set_order m ord =
+    let n = Array.length ord in
+    if n < m.nvars then
+      invalid_arg "Bdd.Reorder.set_order: order shorter than variable count";
+    let seen = Array.make n false in
+    Array.iter
+      (fun v ->
+        if v < 0 || v >= n || seen.(v) then
+          invalid_arg "Bdd.Reorder.set_order: not a permutation";
+        seen.(v) <- true)
+      ord;
+    if n > 0 then ensure_var m (n - 1);
+    if m.live = 0 then begin
+      (* Empty manager: install directly. *)
+      Array.iteri
+        (fun l v ->
+          m.lvl2var.(l) <- v;
+          m.var2lvl.(v) <- l)
+        ord;
+      clear_caches m
+    end
+    else
+      with_reorder m (fun parents protect ->
+          (* Selection by bubbling: settle each target level in turn. *)
+          for target = 0 to n - 1 do
+            let v = ord.(target) in
+            for l = m.var2lvl.(v) - 1 downto target do
+              swap_levels m parents protect l
+            done;
+            reorder_poll m
+          done)
+
+  let set_pairs m pairs =
+    List.iter
+      (fun (a, b) ->
+        if a < 0 || b < 0 || a = b then
+          invalid_arg "Bdd.Reorder.set_pairs: bad pair";
+        ensure_var m (max a b))
+      pairs;
+    Array.fill m.pair_with 0 (Array.length m.pair_with) (-1);
+    List.iter
+      (fun (a, b) ->
+        if m.pair_with.(a) >= 0 || m.pair_with.(b) >= 0 then
+          invalid_arg "Bdd.Reorder.set_pairs: variable in two pairs";
+        m.pair_with.(a) <- b;
+        m.pair_with.(b) <- a)
+      pairs
+
+  let pairs m =
+    let acc = ref [] in
+    for v = m.nvars - 1 downto 0 do
+      let p = m.pair_with.(v) in
+      if p > v then acc := (v, p) :: !acc
+    done;
+    !acc
+
+  let set_auto m threshold =
+    match threshold with
+    | None ->
+      m.reorder_threshold <- max_int;
+      m.reorder_threshold0 <- max_int;
+      m.reorder_pending <- false
+    | Some n ->
+      if n <= 0 then invalid_arg "Bdd.Reorder.set_auto: non-positive threshold";
+      m.reorder_threshold <- n;
+      m.reorder_threshold0 <- n;
+      if m.live > n then m.reorder_pending <- true
+
+  let auto_threshold m =
+    if m.reorder_threshold = max_int then None else Some m.reorder_threshold
+
+  let pending m = m.reorder_pending
+
+  let with_checkpoints m k =
+    let prev = m.auto_ok in
+    m.auto_ok <- true;
+    Fun.protect ~finally:(fun () -> m.auto_ok <- prev) k
+
+  let checkpoint m =
+    if m.reorder_pending && m.auto_ok && not m.in_reorder then reorder m
+end
 
 (* ------------------------------------------------------------------ *)
 (* Resource governance, public face.  The record type and the checker
@@ -952,11 +1602,11 @@ end
 (* ------------------------------------------------------------------ *)
 (* Deterministic fault injection, public face.  The hooks themselves
    live on the hot paths above ([fault_tick] in [mk] / [cache_find] /
-   [gc], [fault_step_tick] in [Limits.step]); this module only arms and
-   disarms them. *)
+   [gc] / [with_reorder], [fault_step_tick] in [Limits.step]); this
+   module only arms and disarms them. *)
 
 module Fault = struct
-  type site = fault_site = Mk | Cache_probe | Gc | Step
+  type site = fault_site = Mk | Cache_probe | Gc | Step | Reorder
 
   let arm m ~site ~after =
     if after <= 0 then invalid_arg "Bdd.Fault.arm: non-positive count";
@@ -976,12 +1626,14 @@ module Fault = struct
     | Cache_probe -> "probe"
     | Gc -> "gc"
     | Step -> "step"
+    | Reorder -> "reorder"
 
   let site_of_string = function
     | "mk" -> Some Mk
     | "probe" -> Some Cache_probe
     | "gc" -> Some Gc
     | "step" -> Some Step
+    | "reorder" -> Some Reorder
     | _ -> None
 end
 

@@ -8,10 +8,15 @@
     [exists cube (f /\ g)], variable renaming, and satisfying-assignment
     extraction.
 
-    Variables are non-negative integers ordered by [<]: smaller variable
-    indices appear closer to the root on every path.  All operations on
-    diagrams from the same manager are pure; diagrams are immutable and
-    maximally shared. *)
+    Variables are non-negative integers.  Their placement on paths is
+    governed by a mutable manager order (a var <-> level bijection):
+    every path from a root visits variables in strictly increasing
+    {e level}.  A fresh manager uses the identity order (level =
+    variable index), under which behaviour is bit-for-bit the historic
+    var-indexed one; {!Reorder} changes the order dynamically (Rudell
+    sifting) while preserving every external handle and its meaning.
+    All operations on diagrams from the same manager are semantically
+    pure; diagrams are maximally shared. *)
 
 type man
 (** A BDD manager: owns the unique table and the operation caches.
@@ -74,7 +79,9 @@ val compare : t -> t -> int
 val hash : t -> int
 
 val topvar : t -> int
-(** Root variable of a non-constant diagram.
+(** Root variable of a non-constant diagram (the variable at the
+    diagram's top {e level}; a {!Reorder} sweep can change which
+    variable that is for the same handle).
     Raises [Invalid_argument] on constants. *)
 
 val low : t -> t
@@ -139,22 +146,25 @@ val constrain : man -> t -> t -> t
 
 val transfer : dst:man -> t -> t
 (** [transfer ~dst f] — the canonical diagram of [dst] computing the
-    same boolean function as [f] (over the same variable indices),
-    built by a memoised structural copy: one node-constructor call per
-    distinct node of [f], no [ite] recursion.  Copying a reduced
-    ordered diagram node by node preserves reduction and ordering, so
-    [size] is preserved exactly and semantic properties ([eval],
-    [sat_count], [support]) coincide.
+    same boolean function as [f], mapped by variable {e id} (never by
+    level), so the two managers may hold entirely different orders.
+    When [dst]'s order agrees with the structure of [f] the copy is a
+    memoised structural one — one node-constructor call per distinct
+    node of [f], [size] preserved exactly; otherwise it transparently
+    falls back to a memoised bottom-up ITE rebuild that
+    re-canonicalises in [dst]'s order.  Either way semantic properties
+    ([eval], [sat_count], [support]) coincide with [f]'s.
 
-    The copy reads only the immutable node structure of [f] — never the
-    source manager's tables — so it is safe to call from a different
-    domain than the one that owns the source manager, as long as no
-    domain is mutating the source diagram's manager concurrently.  This
-    is the bridge that lets each worker domain of a parallel run build
-    a private copy of shared state in its own single-domain manager
-    ([Kripke.clone_into] is built on it).  Transferring into the source
-    manager itself returns [f] (hash-consing finds the existing
-    nodes). *)
+    The copy reads only the node structure of [f] — never the source
+    manager's tables — so it is safe to call from a different domain
+    than the one that owns the source manager, as long as the source
+    manager is quiescent (no operations and no reordering) for the
+    duration.  This is the bridge that lets each worker domain of a
+    parallel run build a private copy of shared state in its own
+    single-domain manager ([Kripke.clone_into] is built on it), even
+    when coordinator and workers have sifted to different orders.
+    Transferring into the source manager itself returns [f]
+    (hash-consing finds the existing nodes). *)
 
 (** {1 Renaming} *)
 
@@ -176,16 +186,17 @@ val size : t -> int
 val eval : t -> (int -> bool) -> bool
 (** Evaluate under an assignment. *)
 
-val sat_count : t -> int -> float
-(** [sat_count f n] is the number of satisfying assignments over the
+val sat_count : man -> t -> int -> float
+(** [sat_count m f n] is the number of satisfying assignments over the
     variable universe [{0, ..., n-1}], as a float (state spaces beyond
     2^62 still get a meaningful answer).  Every variable in the support
-    of [f] must be < [n]. *)
+    of [f] must be < [n].  Takes the manager because the gap weighting
+    walks the current variable order. *)
 
 val any_sat : t -> (int * bool) list
-(** One satisfying {e partial} assignment (the lexicographically least
-    cube, preferring [false] branches), as (variable, value) pairs
-    sorted by variable.  Variables on which the cube does not depend
+(** One satisfying {e partial} assignment (the least cube in the
+    manager's current order, preferring [false] branches), as
+    (variable, value) pairs sorted by variable.  Variables on which the cube does not depend
     (don't-cares) are {e omitted}: any completion of the returned pairs
     satisfies the diagram.  Callers that need one concrete point must
     pin the don't-cares themselves or use {!any_sat_total}.  Raises
@@ -199,12 +210,15 @@ val any_sat_total : t -> vars:int list -> (int * bool) list
     [Invalid_argument] otherwise and [Not_found] on the constant
     false. *)
 
-val fold_sat : t -> int list -> init:'a -> f:('a -> bool array -> 'a) -> 'a
-(** [fold_sat f vars ~init ~f:k] folds [k] over every total assignment
-    to [vars] (given as the positions of a bool array parallel to
-    [vars]) that satisfies the diagram.  The support of the diagram must
-    be contained in [vars].  Assignments are enumerated in
-    lexicographic order with [false] < [true]. *)
+val fold_sat :
+  man -> t -> int list -> init:'a -> f:('a -> bool array -> 'a) -> 'a
+(** [fold_sat m f vars ~init ~f:k] folds [k] over every total
+    assignment to [vars] (given as the positions of a bool array
+    parallel to [vars]) that satisfies the diagram.  The support of the
+    diagram must be contained in [vars].  Assignments are enumerated in
+    lexicographic order of the variables {e as ranked by the manager's
+    current order} (with [false] < [true]); under the identity order
+    that is lexicographic in the given list. *)
 
 val count_nodes : man -> int
 (** Number of nodes ever created in the manager (allocation counter;
@@ -237,6 +251,9 @@ type stats = {
   cache_evictions : int;  (** size-triggered whole-cache drops *)
   gc_runs : int;
   gc_collected : int;     (** nodes swept across all {!gc} runs *)
+  reorders : int;         (** reordering sweeps ({!reorder} and friends) *)
+  reorder_ms : float;     (** wall-clock milliseconds spent reordering *)
+  reorder_saved : int;    (** net live-node reduction across all sweeps *)
 }
 (** A snapshot of the manager's counters. *)
 
@@ -296,6 +313,98 @@ val gc : man -> int
 (** Mark from every registered root and sweep unreachable nodes out of
     the unique table; the operation caches are dropped (they may hold
     swept nodes).  Returns the number of nodes collected. *)
+
+(** {1 Dynamic variable reordering}
+
+    The manager's variable order is mutable: {!reorder} runs a Rudell
+    sifting sweep, {!Reorder} exposes finer-grained control.  A sweep
+    is a sequence of adjacent-level exchanges, each of which mutates
+    the nodes at the upper level in place — node ids, and therefore
+    every external {!t} handle and the boolean function it denotes,
+    are preserved; only [size] and the shape below a handle change.
+    Reordering drops the operation caches and, like {!gc}, reclaims
+    nodes that become unreachable from the registered roots and the
+    handles live at the start of the sweep, so the root discipline
+    required for {!gc} is exactly the discipline required here.
+
+    Reordering polls any attached {!Limits} between exchanges: a
+    deadline or cancellation aborts the sweep mid-way, leaving the
+    manager consistent (canonical, reduced) in whatever order the
+    completed exchanges produced. *)
+
+val reorder : man -> unit
+(** One full sifting sweep: each variable block (see
+    {!Reorder.set_pairs}) is moved through all levels and settled at
+    the position minimising live nodes, largest blocks first, with a
+    1.2x growth abort per block.  No-op on managers with fewer than
+    two levels. *)
+
+module Reorder : sig
+  val nvars : man -> int
+  (** Number of levels (= distinct variables ever created). *)
+
+  val level_of_var : man -> int -> int
+  (** Current level of a variable.  Raises [Invalid_argument] if the
+      variable has never been created in this manager. *)
+
+  val var_at_level : man -> int -> int
+  (** Inverse of {!level_of_var}. *)
+
+  val order : man -> int array
+  (** The current order as the array of variables from level 0 down;
+      a fresh copy, safe to mutate. *)
+
+  val set_order : man -> int array -> unit
+  (** [set_order m ord] installs [ord] (a permutation of
+      [0..nvars-1]; a longer array is allowed and pre-creates the
+      extra variables).  On an empty manager this is free; otherwise
+      it is implemented as a sequence of adjacent exchanges.  Raises
+      [Invalid_argument] if [ord] is not a permutation or is too
+      short. *)
+
+  val swap : man -> int -> unit
+  (** Exchange levels [l] and [l+1].  The primitive every other
+      entry point is built from; exposed chiefly for tests. *)
+
+  val sift : man -> unit
+  (** Alias of {!Bdd.reorder}. *)
+
+  val set_pairs : man -> (int * int) list -> unit
+  (** Declare variable pairs (e.g. current/next state bits) that
+      sifting must keep adjacent and move as one block.  Replaces any
+      previous pairing.  Raises [Invalid_argument] on self-pairing,
+      double-pairing, or negative variables. *)
+
+  val pairs : man -> (int * int) list
+  (** The declared pairs, each as [(v, partner)] with [v < partner]. *)
+
+  val set_auto : man -> int option -> unit
+  (** [set_auto m (Some n)] arms automatic reordering: whenever live
+      nodes exceed the threshold (initially [n]), the manager marks a
+      reorder as pending; the next {!checkpoint} inside a
+      {!with_checkpoints} region runs the sweep, after which the
+      threshold becomes [max (2 * live) n].  [set_auto m None]
+      disarms.  Raises [Invalid_argument] on [Some n] with [n <= 0]. *)
+
+  val auto_threshold : man -> int option
+  (** The current automatic threshold, if armed. *)
+
+  val pending : man -> bool
+  (** Whether an automatic reorder is pending. *)
+
+  val with_checkpoints : man -> (unit -> 'a) -> 'a
+  (** Run a computation with {!checkpoint} enabled.  Checkpoints are
+      opt-in per region because a sweep reclaims unrooted nodes:
+      enable them only where every needed diagram is rooted (fixpoint
+      engines root their frontiers; witness construction does not
+      enable them). *)
+
+  val checkpoint : man -> unit
+  (** If a reorder is pending, automatic reordering is armed, and the
+      current region has checkpoints enabled, run {!Bdd.reorder}.
+      Cheap no-op otherwise; safe to call from operation tick
+      sites. *)
+end
 
 (** {1 Resource governance}
 
@@ -441,6 +550,7 @@ module Fault : sig
     | Cache_probe  (** operation-cache lookup *)
     | Gc           (** entry to {!gc} *)
     | Step         (** fixpoint-iteration charge ({!Limits.step}) *)
+    | Reorder      (** entry to {!reorder} / {!Reorder.swap} *)
 
   val arm : man -> site:site -> after:int -> unit
   (** [arm m ~site ~after:n] makes the [n]-th subsequent visit to
@@ -458,7 +568,8 @@ module Fault : sig
   (** How many injected faults this manager has fired so far. *)
 
   val site_to_string : site -> string
-  (** ["mk"] / ["probe"] / ["gc"] / ["step"] — the [--inject] spelling. *)
+  (** ["mk"] / ["probe"] / ["gc"] / ["step"] / ["reorder"] — the
+      [--inject] spelling. *)
 
   val site_of_string : string -> site option
   (** Inverse of {!site_to_string}; [None] on unknown names. *)

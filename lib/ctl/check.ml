@@ -28,8 +28,13 @@ let reset_fixpoint_stats () =
   Atomic.set rings_built 0
 
 (* Charge one fixpoint iteration against the optional resource limits
-   (shared by every fixpoint loop below). *)
-let tick (m : Kripke.t) = function
+   (shared by every fixpoint loop below).  Also a reorder checkpoint:
+   every loop roots its frontier, so a pending auto-reorder may run
+   here safely — and only does when the driver opted the region in via
+   [Bdd.Reorder.with_checkpoints]. *)
+let tick (m : Kripke.t) limits =
+  Bdd.Reorder.checkpoint m.Kripke.man;
+  match limits with
   | None -> ()
   | Some l -> Bdd.Limits.step m.Kripke.man l
 
@@ -101,24 +106,43 @@ let sat_with ~ex ~eu ~eg (m : Kripke.t) formula =
     | set -> Bdd.and_ bman set space
     | exception Not_found -> raise (Unknown_atom name)
   in
-  let rec go = function
-    | Syntax.True -> space
-    | Syntax.False -> Bdd.zero bman
-    | Syntax.Atom name -> atom_set name
-    | Syntax.Pred set -> Bdd.and_ bman set space
-    | Syntax.Not f -> Bdd.diff bman space (go f)
-    | Syntax.And (a, b) -> Bdd.and_ bman (go a) (go b)
-    | Syntax.Or (a, b) -> Bdd.or_ bman (go a) (go b)
-    | Syntax.EX f -> ex m (go f)
-    | Syntax.EU (a, b) -> eu m (go a) (go b)
-    | Syntax.EG f -> eg m (go f)
-    | (Syntax.Imp _ | Syntax.Iff _ | Syntax.EF _ | Syntax.AX _ | Syntax.AF _
-      | Syntax.AG _ | Syntax.AU _) as f ->
-      (* [enf] leaves none of these behind. *)
-      ignore f;
-      assert false
-  in
-  go (Syntax.enf formula)
+  (* Root every subformula's satisfaction set for the duration of the
+     traversal: a sibling subtree's fixpoint may hit a reorder
+     checkpoint (which, like gc, reclaims unrooted diagrams) while an
+     earlier result is only held in this recursion's frames. *)
+  let keep = ref [] in
+  Bdd.with_root bman
+    (fun () -> !keep)
+    (fun () ->
+      let rec go f =
+        let r =
+          match f with
+          | Syntax.True -> space
+          | Syntax.False -> Bdd.zero bman
+          | Syntax.Atom name -> atom_set name
+          | Syntax.Pred set -> Bdd.and_ bman set space
+          | Syntax.Not f -> Bdd.diff bman space (go f)
+          | Syntax.And (a, b) ->
+            let sa = go a in
+            Bdd.and_ bman sa (go b)
+          | Syntax.Or (a, b) ->
+            let sa = go a in
+            Bdd.or_ bman sa (go b)
+          | Syntax.EX f -> ex m (go f)
+          | Syntax.EU (a, b) ->
+            let sa = go a in
+            eu m sa (go b)
+          | Syntax.EG f -> eg m (go f)
+          | (Syntax.Imp _ | Syntax.Iff _ | Syntax.EF _ | Syntax.AX _
+            | Syntax.AF _ | Syntax.AG _ | Syntax.AU _) as f ->
+            (* [enf] leaves none of these behind. *)
+            ignore f;
+            assert false
+        in
+        keep := r :: !keep;
+        r
+      in
+      go (Syntax.enf formula))
 
 let sat ?limits m formula =
   sat_with ~ex ~eu:(eu ?limits) ~eg:(eg ?limits) m formula

@@ -29,11 +29,15 @@ let constraints (m : Kripke.t) =
   | hs -> hs
 
 (* One step of the outer greatest fixpoint:
-   z |-> f /\ /\_k EX (E[f U (z /\ h_k)]). *)
-let eg_step ?limits m f hs z =
+   z |-> f /\ /\_k EX (E[f U (z /\ h_k)]).
+   [scratch] roots the fold's running conjunction and [z] across the
+   nested EU sweeps, whose reorder checkpoints reclaim unrooted
+   diagrams. *)
+let eg_step ?limits m f hs ~scratch z =
   let bman = m.Kripke.man in
   List.fold_left
     (fun acc h ->
+      scratch := [ acc; z ];
       let target = Bdd.and_ bman z h in
       let reach = Check.eu ?limits m f target in
       Bdd.and_ bman acc (Check.ex m reach))
@@ -44,15 +48,17 @@ let eg ?limits (m : Kripke.t) f =
   let hs = constraints m in
   let f = Bdd.and_ bman f m.Kripke.space in
   let frontier = ref f in
+  let scratch = ref [] in
   Bdd.with_root bman
-    (fun () -> f :: !frontier :: hs)
+    (fun () -> (f :: !frontier :: hs) @ !scratch)
     (fun () ->
       let rec go z =
         Atomic.incr outer_iters;
+        Bdd.Reorder.checkpoint bman;
         (match limits with
         | Some l -> Bdd.Limits.step bman l
         | None -> ());
-        let z' = eg_step ?limits m f hs z in
+        let z' = eg_step ?limits m f hs ~scratch z in
         if Bdd.equal z z' then z
         else begin
           frontier := z';
@@ -77,11 +83,19 @@ let eg_with_rings ?limits (m : Kripke.t) f =
       in
       (z, List.map ring (constraints m)))
 
-(* Memoising [fair] per model would need physical-identity caching of
-   models; the computation is a fixpoint over fixpoints but models are
-   checked many formulas at a time, so callers that care (the checker
-   below) compute it once per [sat]. *)
-let fair_states ?limits (m : Kripke.t) = eg ?limits m m.Kripke.space
+(* The fair-states set depends only on (model, fairness), and models
+   are checked many formulas at a time, so the fixpoint-over-fixpoints
+   is cached on the model itself: [Kripke.with_fairness] resets the
+   slot, [Kripke.roots] keeps the cached diagram alive across gc and
+   reordering, and [Kripke.clone_into] transfers it to worker
+   managers. *)
+let fair_states ?limits (m : Kripke.t) =
+  match Kripke.fair_memo m with
+  | Some z -> z
+  | None ->
+    let z = eg ?limits m m.Kripke.space in
+    Kripke.set_fair_memo m (Some z);
+    z
 
 let ex_with ~fair m f = Check.ex m (Bdd.and_ m.Kripke.man f fair)
 

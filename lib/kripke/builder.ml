@@ -50,6 +50,32 @@ let range_var b name lo hi =
   if lo > hi then invalid_arg "Builder.range_var: empty range";
   declare b name (Model.Range (lo, hi))
 
+(* Install a static variable order: the given model variables' bits in
+   sequence, each state bit contributing its interleaved
+   (current, next) BDD-variable pair.  Meant to be called after all
+   declarations and before any constraint is added — on the still-empty
+   manager the installation is free. *)
+let seed_order b vars_in_order =
+  let nbits =
+    List.fold_left
+      (fun acc v -> acc + Array.length v.Model.bits)
+      0 vars_in_order
+  in
+  if nbits <> b.nbits then
+    invalid_arg "Builder.seed_order: order does not cover the declared variables";
+  let ord = Array.make (2 * b.nbits) (-1) in
+  let l = ref 0 in
+  List.iter
+    (fun v ->
+      Array.iter
+        (fun k ->
+          ord.(!l) <- 2 * k;
+          ord.(!l + 1) <- (2 * k) + 1;
+          l := !l + 2)
+        v.Model.bits)
+    vars_in_order;
+  Bdd.Reorder.set_order b.bman ord
+
 let bit_cur b k = Bdd.var b.bman (2 * k)
 let bit_nxt b k = Bdd.var b.bman ((2 * k) + 1)
 

@@ -28,6 +28,15 @@ val range_var : b -> string -> int -> int -> Model.var
 (** [range_var b name lo hi] declares an integer variable over
     [lo..hi]; requires [lo <= hi]. *)
 
+val seed_order : b -> Model.var list -> unit
+(** [seed_order b vars] installs a static BDD-variable order: the bits
+    of [vars] in the given sequence, each state bit contributing its
+    interleaved (current, next) pair — so related model variables end
+    up adjacent regardless of declaration order.  [vars] must be a
+    permutation of the declared variables ([Invalid_argument]
+    otherwise).  Call after all declarations and before any constraint
+    is added: on the still-empty manager installation is free. *)
+
 (** {1 Predicates}
 
     Functions suffixed with ['] ({!is'}, {!v'}, ...) talk about the

@@ -32,6 +32,10 @@ type t = {
   post_schedule : schedule_step list option;
   fairness : Bdd.t list;
   labels : (string * Bdd.t) list;
+  (* Cached fair-EG greatest fixpoint (Ctl.Fair.fair_states): computed
+     once per (model, fairness) and reused across specs.  Owned here so
+     it is rooted with the rest of the model's diagrams. *)
+  mutable fair_memo : Bdd.t option;
 }
 
 (* Every BDD a model owns, for GC root registration: as long as the
@@ -47,6 +51,7 @@ let roots m =
   @ List.map snd m.labels
   @ schedule_roots m.pre_schedule
   @ schedule_roots m.post_schedule
+  @ Option.to_list m.fair_memo
 
 let register_roots m =
   ignore (Bdd.add_root m.man (fun () -> roots m) : Bdd.root);
@@ -70,7 +75,12 @@ let mk_var ~name ~vtype ~first_bit =
 
 let with_fairness m fairness =
   register_roots
-    { m with fairness = List.map (Bdd.and_ m.man m.space) fairness }
+    { m with
+      fairness = List.map (Bdd.and_ m.man m.space) fairness;
+      fair_memo = None }
+
+let fair_memo m = m.fair_memo
+let set_fair_memo m f = m.fair_memo <- f
 
 let cur_bit m b = Bdd.var m.man (2 * b)
 let nxt_bit m b = Bdd.var m.man ((2 * b) + 1)
@@ -125,11 +135,15 @@ let make ~man ~vars ~nbits ?space ~init ~trans ?(fairness = []) ?(labels = [])
   let trans = Bdd.conj man [ trans; space; space' ] in
   let init = Bdd.and_ man init space in
   let fairness = List.map (Bdd.and_ man space) fairness in
+  (* Each state bit owns a (current, next) BDD-variable pair; declare
+     them so dynamic reordering sifts the pair as one block and never
+     separates the interleaved copies. *)
+  Bdd.Reorder.set_pairs man (List.init nbits (fun b -> (2 * b, (2 * b) + 1)));
   register_roots
     {
       man; vars; nbits; space; init; trans;
       pre_schedule = None; post_schedule = None;
-      fairness; labels;
+      fairness; labels; fair_memo = None;
     }
 
 (* Eliminate variables cluster by cluster: each step conjoins its
@@ -216,6 +230,16 @@ let partitioned m = m.pre_schedule <> None
    produces bit-identical verdicts and traces to the original. *)
 let clone_into dst m =
   if dst == m.man then invalid_arg "Kripke.clone_into: same manager";
+  (* Replicate ordering metadata before copying any diagram: installing
+     the source's variable order on the (typically empty) destination
+     keeps [Bdd.transfer] on its structural fast path, and the pair
+     grouping must survive so the clone's own reorders stay grouped.
+     Identity orders are skipped — [set_order] is then pure overhead. *)
+  let src_order = Bdd.Reorder.order m.man in
+  let identity = ref true in
+  Array.iteri (fun l v -> if l <> v then identity := false) src_order;
+  if not !identity then Bdd.Reorder.set_order dst src_order;
+  Bdd.Reorder.set_pairs dst (Bdd.Reorder.pairs m.man);
   let t b = Bdd.transfer ~dst b in
   let clone_steps =
     List.map (fun s -> { cluster = t s.cluster; quant = t s.quant })
@@ -232,6 +256,7 @@ let clone_into dst m =
       post_schedule = Option.map clone_steps m.post_schedule;
       fairness = List.map t m.fairness;
       labels = List.map (fun (name, b) -> (name, t b)) m.labels;
+      fair_memo = Option.map t m.fair_memo;
     }
 
 let pre m s =
@@ -248,10 +273,13 @@ let post m s =
     let img = Bdd.and_exists m.man (cur_cube m) m.trans s in
     unprime m img
 
-(* Charge one fixpoint iteration against the optional limits. *)
-let tick m = function
-  | None -> ()
-  | Some l -> Bdd.Limits.step m.man l
+(* Charge one fixpoint iteration against the optional limits.  Also a
+   reorder checkpoint: the fixpoint engines root their frontiers, so a
+   pending auto-reorder may safely run between iterations (it only
+   does when the caller opted in via [Bdd.Reorder.with_checkpoints]). *)
+let tick m limits =
+  Bdd.Reorder.checkpoint m.man;
+  match limits with None -> () | Some l -> Bdd.Limits.step m.man l
 
 let reachable ?limits m =
   (* Root the frontier so a GC triggered mid-fixpoint cannot sweep the
@@ -274,7 +302,8 @@ let reachable ?limits m =
 let deadlocks m =
   Bdd.diff m.man m.space (pre m m.space)
 
-let count_states m set = Bdd.sat_count set (2 * m.nbits) /. Float.pow 2.0 (float_of_int m.nbits)
+let count_states m set =
+  Bdd.sat_count m.man set (2 * m.nbits) /. Float.pow 2.0 (float_of_int m.nbits)
 
 let var_by_name m name =
   match Array.find_opt (fun v -> String.equal v.var_name name) m.vars with
@@ -343,8 +372,12 @@ let pick_random_state m ~rng set =
       let v = 2 * b in
       let f0 = Bdd.restrict m.man !cur v false in
       let f1 = Bdd.restrict m.man !cur v true in
-      let w0 = if Bdd.is_zero f0 then 0.0 else Bdd.sat_count f0 (2 * m.nbits) in
-      let w1 = if Bdd.is_zero f1 then 0.0 else Bdd.sat_count f1 (2 * m.nbits) in
+      let w0 =
+        if Bdd.is_zero f0 then 0.0 else Bdd.sat_count m.man f0 (2 * m.nbits)
+      in
+      let w1 =
+        if Bdd.is_zero f1 then 0.0 else Bdd.sat_count m.man f1 (2 * m.nbits)
+      in
       let take_true =
         if w1 = 0.0 then false
         else if w0 = 0.0 then true
@@ -367,7 +400,7 @@ let pick_successor m st target =
 let states_in m set =
   let set = Bdd.and_ m.man set m.space in
   let bdd_vars = List.init m.nbits (fun b -> 2 * b) in
-  Bdd.fold_sat set bdd_vars ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
+  Bdd.fold_sat m.man set bdd_vars ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
   |> List.rev
 
 let eval_in_state m set (st : state) =

@@ -50,6 +50,8 @@ type t = private {
   post_schedule : schedule_step list option;
   fairness : Bdd.t list;  (** fairness constraints, as state sets *)
   labels : (string * Bdd.t) list;  (** named atomic propositions *)
+  mutable fair_memo : Bdd.t option;
+      (** cached fair-EG fixpoint; see {!fair_memo} *)
 }
 (** A symbolic Kripke structure.  Use {!make} (or [Builder]) to obtain
     one; the constructor enforces the [space] invariants. *)
@@ -107,7 +109,19 @@ val clone_into : Bdd.man -> t -> t
 val with_fairness : t -> Bdd.t list -> t
 (** The same model under different fairness constraints (cheap: all
     BDDs are shared).  Used by the CTL* witness machinery, which turns
-    [GF p] conjuncts into fairness constraints (Section 7). *)
+    [GF p] conjuncts into fairness constraints (Section 7).  The
+    fair-states cache is reset — it depends on the constraints. *)
+
+val fair_memo : t -> Bdd.t option
+(** The cached set of fair states ([Ctl.Fair.fair_states] computes and
+    stores it), valid for this model's current fairness constraints.
+    Rooted with the model's other diagrams, so it survives [Bdd.gc]
+    and reordering. *)
+
+val set_fair_memo : t -> Bdd.t option -> unit
+(** Store (or clear) the fair-states cache.  Intended for the fair
+    checking layer; the cached diagram must live in the model's own
+    manager. *)
 
 val mk_var : name:string -> vtype:vtype -> first_bit:int -> var
 (** Lay out a variable starting at bit [first_bit]; used by frontends

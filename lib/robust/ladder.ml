@@ -1,4 +1,10 @@
-type strategy = Direct | Gc_retry | Degraded | Explicit_state | Main_domain
+type strategy =
+  | Direct
+  | Gc_retry
+  | Reorder
+  | Degraded
+  | Explicit_state
+  | Main_domain
 
 type failure =
   | Breach of Bdd.Limits.info
@@ -16,6 +22,7 @@ type attempt = {
 let strategy_name = function
   | Direct -> "direct"
   | Gc_retry -> "gc-retry"
+  | Reorder -> "reorder"
   | Degraded -> "degraded"
   | Explicit_state -> "explicit-state"
   | Main_domain -> "main-domain"
@@ -45,10 +52,11 @@ let classify = function
   | _ -> None
 
 (* Which rung handles attempt [index]?  Crashes re-run plainly in the
-   calling domain; resource failures climb gc-retry → degraded, with
-   the explicit bridge reserved for the final attempt (it abandons the
-   symbolic representation entirely, so it is the rung of last
-   resort). *)
+   calling domain; resource failures climb gc-retry → reorder →
+   degraded (a sifted order often shrinks the tables enough that no
+   fidelity need be given up), with the explicit bridge reserved for
+   the final attempt (it abandons the symbolic representation
+   entirely, so it is the rung of last resort). *)
 let pick_strategy ~index ~is_last ~fits_explicit ~prev_failure =
   match prev_failure with
   | None -> Direct
@@ -56,6 +64,7 @@ let pick_strategy ~index ~is_last ~fits_explicit ~prev_failure =
   | Some (Breach _ | Oom) ->
     if is_last && fits_explicit () then Explicit_state
     else if index = 2 then Gc_retry
+    else if index = 3 then Reorder
     else Degraded
 
 let run ~retries ~cancelled ~fits_explicit ~live_nodes ?(prior = [])

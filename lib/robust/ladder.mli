@@ -16,6 +16,9 @@
        ladder);}
     {- [Gc_retry] — same algorithm after a full [Bdd.gc] and op-cache
        purge, with backed-off budgets;}
+    {- [Reorder] — same algorithm after a sifting sweep
+       ([Bdd.reorder]) shrinks the tables, before any fidelity is
+       given up;}
     {- [Degraded] — tightened cache limit plus a partitioned
        transition relation;}
     {- [Explicit_state] — the final attempt, taken only when the state
@@ -28,6 +31,7 @@
 type strategy =
   | Direct          (** plain symbolic attempt *)
   | Gc_retry        (** after [Bdd.gc] + op-cache purge *)
+  | Reorder         (** after a [Bdd.reorder] sifting sweep *)
   | Degraded        (** tightened cache limit + partitioned relation *)
   | Explicit_state  (** explicit-state fallback via the bridge *)
   | Main_domain     (** re-run of a crashed worker's spec locally *)
@@ -46,8 +50,8 @@ type attempt = {
 }
 
 val strategy_name : strategy -> string
-(** ["direct"] / ["gc-retry"] / ["degraded"] / ["explicit-state"] /
-    ["main-domain"]. *)
+(** ["direct"] / ["gc-retry"] / ["reorder"] / ["degraded"] /
+    ["explicit-state"] / ["main-domain"]. *)
 
 val failure_name : failure -> string
 (** Short tag: ["deadline"], ["node-budget"], ["step-budget"],

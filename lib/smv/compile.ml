@@ -341,6 +341,144 @@ let declare_defines env decls =
         ())
     decls
 
+(* ------------------------------------------------------------------ *)
+(* Static variable ordering: a dependency-graph proximity heuristic.
+   Every constraint (assignment, TRANS, INVAR, INIT, FAIRNESS) yields
+   the set of model variables it mentions (DEFINEs expanded); variables
+   co-occurring in small constraints attract each other with weight
+   1/(k-1) for a k-variable set, and a greedy max-adjacency placement
+   turns the weighted graph into an order.  Interleaving of each
+   variable's current/next bit pairs is [Kripke.Builder.seed_order]'s
+   job; this chooses only the relative order of the model variables. *)
+
+let expr_var_names env (e : Ast.expr) =
+  let hits = Hashtbl.create 8 in
+  let expanding = Hashtbl.create 8 in
+  let rec go (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Eident name -> (
+      if Hashtbl.mem env.vars name then Hashtbl.replace hits name ()
+      else
+        match Hashtbl.find_opt env.defines name with
+        | Some body ->
+          if not (Hashtbl.mem expanding name) then begin
+            Hashtbl.replace expanding name ();
+            go body
+          end
+        | None -> ())
+    | Ast.Etrue | Ast.Efalse | Ast.Eint _ -> ()
+    | Ast.Enext a | Ast.Enot a
+    | Ast.Eex a | Ast.Eef a | Ast.Eeg a
+    | Ast.Eax a | Ast.Eaf a | Ast.Eag a ->
+      go a
+    | Ast.Eand (a, b) | Ast.Eor (a, b) | Ast.Eimp (a, b) | Ast.Eiff (a, b)
+    | Ast.Eeq (a, b) | Ast.Eneq (a, b) | Ast.Elt (a, b) | Ast.Ele (a, b)
+    | Ast.Egt (a, b) | Ast.Ege (a, b) | Ast.Ein (a, b)
+    | Ast.Eadd (a, b) | Ast.Esub (a, b) | Ast.Emod (a, b)
+    | Ast.Eeu (a, b) | Ast.Eau (a, b) ->
+      go a;
+      go b
+    | Ast.Ecase branches ->
+      List.iter
+        (fun (g, v) ->
+          go g;
+          go v)
+        branches
+    | Ast.Eset elems -> List.iter go elems
+  in
+  go e;
+  Hashtbl.fold (fun name () acc -> name :: acc) hits []
+
+(* Variable sets contributing proximity, one per constraint. *)
+let proximity_sets env decls =
+  let sets = ref [] in
+  let add_expr ?with_target e =
+    let names = expr_var_names env e in
+    let names =
+      match with_target with
+      | Some t when not (List.mem t names) -> t :: names
+      | Some _ | None -> names
+    in
+    if List.length names >= 2 then sets := names :: !sets
+  in
+  List.iter
+    (function
+      | Ast.Dassign assigns ->
+        List.iter
+          (fun (_kind, name, rhs, _pos) -> add_expr ~with_target:name rhs)
+          assigns
+      | Ast.Dinit e | Ast.Dtrans e | Ast.Dinvar e | Ast.Dfairness e ->
+        add_expr e
+      | Ast.Dvar _ | Ast.Ddefine _ | Ast.Dspec _ -> ())
+    decls;
+  !sets
+
+(* Greedy max-adjacency placement over the declared variables
+   (declaration order breaks every tie, so the heuristic is
+   deterministic and degrades to declaration order on an empty
+   dependency graph). *)
+let proximity_order env decls =
+  let declared =
+    Hashtbl.fold (fun _ v acc -> v :: acc) env.vars []
+    |> List.sort (fun a b ->
+           Stdlib.compare a.Kripke.bits.(0) b.Kripke.bits.(0))
+  in
+  let n = List.length declared in
+  if n <= 2 then declared
+  else begin
+    let names = Array.of_list (List.map (fun v -> v.Kripke.var_name) declared) in
+    let index = Hashtbl.create n in
+    Array.iteri (fun i name -> Hashtbl.replace index name i) names;
+    let adj = Array.make_matrix n n 0.0 in
+    List.iter
+      (fun set ->
+        let is =
+          List.filter_map (Hashtbl.find_opt index) set
+          |> List.sort_uniq Stdlib.compare
+        in
+        let k = List.length is in
+        (* Huge constraints say little about proximity; skip them. *)
+        if k >= 2 && k <= 20 then begin
+          let w = 1.0 /. float_of_int (k - 1) in
+          List.iter
+            (fun i ->
+              List.iter
+                (fun j ->
+                  if i <> j then adj.(i).(j) <- adj.(i).(j) +. w)
+                is)
+            is
+        end)
+      (proximity_sets env decls);
+    let placed = Array.make n false in
+    (* Attraction of each unplaced variable to the placed prefix,
+       maintained incrementally. *)
+    let pull = Array.make n 0.0 in
+    let totals =
+      Array.init n (fun i -> Array.fold_left ( +. ) 0.0 adj.(i))
+    in
+    let best score =
+      let bi = ref (-1) in
+      for i = n - 1 downto 0 do
+        if not placed.(i) && (!bi < 0 || score i >= score !bi -. 1e-12) then
+          bi := i
+      done;
+      !bi
+    in
+    let order = ref [] in
+    let place i =
+      placed.(i) <- true;
+      order := i :: !order;
+      for j = 0 to n - 1 do
+        if not placed.(j) then pull.(j) <- pull.(j) +. adj.(i).(j)
+      done
+    in
+    place (best (fun i -> totals.(i)));
+    for _ = 2 to n do
+      place (best (fun i -> pull.(i)))
+    done;
+    List.rev_map (fun i -> List.nth declared i) !order
+  end
+
 (* The name of the scheduler variable of process semantics, and the
    enumeration constant naming a unit. *)
 let selector = "_process"
@@ -352,7 +490,8 @@ let running_name (u : Flatten.unit_decls) =
   if String.equal u.Flatten.upath "" then "running"
   else u.Flatten.upath ^ ".running"
 
-let compile ?(partitioned = false) (program : Ast.program) =
+let compile ?(partitioned = false) ?(static_order = false)
+    (program : Ast.program) =
   let units = Flatten.flatten_units program in
   let with_processes = List.length units > 1 in
   let decls = List.concat_map (fun u -> u.Flatten.udecls) units in
@@ -389,6 +528,11 @@ let compile ?(partitioned = false) (program : Ast.program) =
   end;
   declare_vars env decls;
   declare_defines env decls;
+  (* All variables and macros are known and no constraint has built a
+     BDD yet: the manager is still empty, so seeding the static order
+     is a free permutation install. *)
+  if static_order then
+    Kripke.Builder.seed_order builder (proximity_order env decls);
   let assigned : (string * Ast.assign_kind, Ast.pos) Hashtbl.t =
     Hashtbl.create 16
   in

@@ -29,11 +29,19 @@ type compiled = {
           hold a [compiled] across a [Bdd.gc] must root them. *)
 }
 
-val compile : ?partitioned:bool -> Ast.program -> compiled
+val compile : ?partitioned:bool -> ?static_order:bool -> Ast.program -> compiled
 (** With [~partitioned:true] the model uses a conjunctively partitioned
     transition relation with early quantification (one cluster per
     [next] assignment / [TRANS] constraint) — see
-    {!Kripke.with_partition}. *)
+    {!Kripke.with_partition}.
+
+    With [~static_order:true] the BDD variable order is seeded by a
+    dependency-graph proximity heuristic instead of declaration order:
+    variables co-occurring in small constraints are placed adjacently
+    (greedy max-adjacency over co-occurrence weights [1/(k-1)]),
+    current/next bit pairs stay interleaved
+    ({!Kripke.Builder.seed_order}).  Off by default — the default
+    output stays bit-identical to declaration order. *)
 
 val compile_expr : compiled -> string -> Ctl.t
 (** Parse and compile an additional specification against a compiled

@@ -144,16 +144,16 @@ let test_exists_unit () =
 let test_sat_count_unit () =
   let f = Bdd.or_ man (Bdd.var man 0) (Bdd.var man 1) in
   Alcotest.(check (float 1e-9)) "sat_count x0\\/x1 over 3 vars" 6.0
-    (Bdd.sat_count f 3);
+    (Bdd.sat_count man f 3);
   Alcotest.(check (float 1e-9)) "sat_count true" 8.0
-    (Bdd.sat_count (Bdd.one man) 3);
+    (Bdd.sat_count man (Bdd.one man) 3);
   Alcotest.(check (float 1e-9)) "sat_count false" 0.0
-    (Bdd.sat_count (Bdd.zero man) 3)
+    (Bdd.sat_count man (Bdd.zero man) 3)
 
 let test_sat_count_bad_universe () =
   Alcotest.check_raises "support exceeds universe"
     (Invalid_argument "Bdd.sat_count: support exceeds variable universe")
-    (fun () -> ignore (Bdd.sat_count (Bdd.var man 5) 3))
+    (fun () -> ignore (Bdd.sat_count man (Bdd.var man 5) 3))
 
 let test_any_sat () =
   let f = Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 2) in
@@ -165,7 +165,7 @@ let test_any_sat () =
 let test_fold_sat () =
   let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
   let sols =
-    Bdd.fold_sat f [ 0; 1 ] ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
+    Bdd.fold_sat man f [ 0; 1 ] ~init:[] ~f:(fun acc a -> Array.copy a :: acc)
     |> List.rev
   in
   Alcotest.(check int) "two solutions" 2 (List.length sols);
@@ -283,7 +283,7 @@ let prop_sat_count =
       for bits = 0 to (1 lsl nvars) - 1 do
         if eval_expr (env_of_bits bits) e then incr count
       done;
-      Float.abs (Bdd.sat_count f nvars -. float_of_int !count) < 1e-9)
+      Float.abs (Bdd.sat_count man f nvars -. float_of_int !count) < 1e-9)
 
 let prop_any_sat =
   prop "any_sat returns a satisfying cube" expr_gen (fun e ->
@@ -299,10 +299,10 @@ let prop_fold_sat_count =
       let f = bdd_of_expr e in
       let vars = List.init nvars Fun.id in
       let n =
-        Bdd.fold_sat f vars ~init:0 ~f:(fun acc a ->
+        Bdd.fold_sat man f vars ~init:0 ~f:(fun acc a ->
             if eval_expr (fun v -> a.(v)) e then acc + 1 else acc - 1000)
       in
-      Float.abs (float_of_int n -. Bdd.sat_count f nvars) < 1e-9)
+      Float.abs (float_of_int n -. Bdd.sat_count man f nvars) < 1e-9)
 
 let prop_subset =
   prop "subset is implication"

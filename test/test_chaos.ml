@@ -33,6 +33,9 @@ let check_with_ladder m ~fair ~retries f =
       | Robust.Ladder.Gc_retry ->
         ignore (Bdd.gc m.Kripke.man);
         verdict m ~fair f
+      | Robust.Ladder.Reorder ->
+        Bdd.reorder m.Kripke.man;
+        verdict m ~fair f
       | Robust.Ladder.Direct | Robust.Ladder.Degraded
       | Robust.Ladder.Main_domain ->
         verdict m ~fair f)
@@ -52,7 +55,14 @@ let assert_manager_integrity man =
     (Bdd.equal x (Bdd.not_ man (Bdd.not_ man x)));
   Alcotest.(check bool) "manager alive" true (Bdd.live_nodes man > 0)
 
-let sites = [ Bdd.Fault.Mk; Bdd.Fault.Cache_probe; Bdd.Fault.Gc; Bdd.Fault.Step ]
+let sites =
+  [
+    Bdd.Fault.Mk;
+    Bdd.Fault.Cache_probe;
+    Bdd.Fault.Gc;
+    Bdd.Fault.Step;
+    Bdd.Fault.Reorder;
+  ]
 
 (* Sweep injection points: for each site and a spread of trigger
    counts, the recovered verdict must equal the clean one and the

@@ -62,7 +62,7 @@ let transfer_props =
         let dst = Bdd.create () in
         let g = Bdd.transfer ~dst f in
         Bdd.size g = Bdd.size f
-        && Bdd.sat_count g nvars = Bdd.sat_count f nvars
+        && Bdd.sat_count dst g nvars = Bdd.sat_count src f nvars
         &&
         let ok = ref true in
         for bits = 0 to (1 lsl nvars) - 1 do

@@ -55,7 +55,7 @@ let test_rung_order () =
     Alcotest.(check int) "four attempts logged" 4 (List.length log)
   | Error _ -> Alcotest.fail "breach misclassified");
   Alcotest.(check (list string))
-    "rung escalation" [ "direct"; "gc-retry"; "degraded"; "degraded" ]
+    "rung escalation" [ "direct"; "gc-retry"; "reorder"; "degraded" ]
     (List.rev_map Robust.Ladder.strategy_name !seen)
 
 let test_explicit_rung_is_last_and_gated () =
