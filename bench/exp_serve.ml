@@ -1,0 +1,136 @@
+(* E14 — check-server warm-manager reuse: cold vs warm request latency.
+
+   The --serve daemon keeps a pool of compiled models keyed by source
+   digest; a repeat request for the same model skips parsing, BDD
+   construction, variable ordering, and — via the memoised reachable
+   set — the whole forward fixpoint, and starts from hot op-caches.
+   This experiment measures what that buys on the two families the
+   smoke tests use: the arbiter (order-sensitive, reordering pays) and
+   the binary counter (deep fixpoint, the reachable-set memo pays).
+
+   Three request shapes per workload, driven through the same
+   Server.Cache the daemon uses (in-process, so the numbers isolate
+   manager reuse from protocol and scheduling overhead):
+
+     cold       first request: compile + reach + check every spec;
+     warm       identical repeat request: cached everything;
+     warm+spec  same model, a previously unseen spec: reuses the
+                compiled model, order and reachable set, but must do
+                real fixpoint work for the new property.
+
+   Verdicts must be identical between cold and warm runs — reuse may
+   only move time and node counts. *)
+
+(* One daemon-shaped request against a shared cache: acquire the
+   entry, compile on a miss, reach, check, release.  Returns verdicts
+   and the per-request node delta (Bdd.diff_stats over the request
+   window — the same accounting the server reports per reply). *)
+let request cache ~source ?extra_spec () =
+  let key =
+    Server.Cache.digest ~source ~partitioned:false ~static_order:false
+  in
+  let entry, warm = Server.Cache.acquire cache ~key in
+  Fun.protect ~finally:(fun () -> Server.Cache.release cache entry)
+  @@ fun () ->
+  let compiled =
+    match entry.Server.Cache.compiled with
+    | Some c -> c
+    | None ->
+      let c = Smv.load_string source in
+      entry.Server.Cache.compiled <- Some c;
+      c
+  in
+  let m = compiled.Smv.Compile.model in
+  let before = Bdd.stats m.Kripke.man in
+  ignore (Kripke.reachable m);
+  let specs =
+    compiled.Smv.Compile.specs
+    @
+    match extra_spec with
+    | None -> []
+    | Some text -> [ (text, Smv.Compile.compile_expr compiled text) ]
+  in
+  let verdicts = List.map (fun (_, f) -> Ctl.Check.holds m f) specs in
+  let after = Bdd.stats m.Kripke.man in
+  (verdicts, warm, (Bdd.diff_stats after before).Bdd.total_nodes)
+
+let sweep ~workload ~extra_spec src rows =
+  let cache = Server.Cache.create ~capacity:4 in
+  let run ?extra_spec () =
+    Harness.time_once (fun () -> request cache ~source:src ?extra_spec ())
+  in
+  let (cold_verdicts, cold_warm, cold_nodes), t_cold = run () in
+  let (warm_verdicts, warm_warm, warm_nodes), t_warm = run () in
+  let (_, _, spec_nodes), t_spec = run ~extra_spec () in
+  if cold_warm then failwith ("E14: first request claimed warm on " ^ workload);
+  if not warm_warm then
+    failwith ("E14: repeat request stayed cold on " ^ workload);
+  if cold_verdicts <> warm_verdicts then
+    failwith ("E14: warm reuse changed a verdict on " ^ workload);
+  let speedup = t_cold /. Float.max 1e-9 t_warm in
+  Harness.emit_json ~experiment:"E14"
+    [
+      ("workload", Harness.String workload);
+      ("cold_s", Harness.Float t_cold);
+      ("warm_s", Harness.Float t_warm);
+      ("warm_new_spec_s", Harness.Float t_spec);
+      ("speedup", Harness.Float speedup);
+      ("cold_nodes", Harness.Int cold_nodes);
+      ("warm_nodes", Harness.Int warm_nodes);
+      ("warm_new_spec_nodes", Harness.Int spec_nodes);
+    ];
+  rows
+  @ [
+      [
+        workload;
+        Harness.seconds_string t_cold;
+        Harness.seconds_string t_warm;
+        Printf.sprintf "%.0fx" speedup;
+        Harness.seconds_string t_spec;
+        string_of_int cold_nodes;
+        string_of_int warm_nodes;
+      ];
+    ]
+
+let run ~full =
+  let arb_users = if full then 10 else 8 in
+  let ctr_bits = if full then 14 else 12 in
+  let rows =
+    sweep
+      ~workload:(Printf.sprintf "arbiter%d" arb_users)
+      ~extra_spec:"AG (req2 -> AF ack2)"
+      (Exp_reorder.arbiter_smv arb_users)
+      []
+  in
+  let rows =
+    sweep
+      ~workload:(Printf.sprintf "counter%d" ctr_bits)
+      ~extra_spec:"AG EF (!b0 & !b1)"
+      (Exp_reorder.counter_smv ctr_bits)
+      rows
+  in
+  Harness.print_table
+    ~title:
+      "E14: check-server manager reuse — cold vs warm request latency \
+       (identical verdicts enforced)"
+    ~header:
+      [ "workload"; "cold"; "warm"; "speedup"; "warm+spec"; "nodes cold";
+        "nodes warm" ]
+    rows;
+  Harness.note
+    "cold: compile + reachable fixpoint + all specs on a fresh manager —";
+  Harness.note
+    "what every one-shot CLI run pays.  warm: the identical repeat request";
+  Harness.note
+    "against the server's cache — hot op-caches and the memoised reachable";
+  Harness.note
+    "set leave (near) zero new nodes.  warm+spec: same model, new property —";
+  Harness.note
+    "the reachable set and order are reused, only the new spec's fixpoints run."
+
+let bechamel =
+  let cache = lazy (Server.Cache.create ~capacity:2) in
+  let src = lazy (Exp_reorder.arbiter_smv 6) in
+  Bechamel.Test.make ~name:"e14-arbiter6-warm-request"
+    (Bechamel.Staged.stage (fun () ->
+         request (Lazy.force cache) ~source:(Lazy.force src) ()))

@@ -25,6 +25,7 @@ let experiments =
     ("E11", Exp_parallel.run, Exp_parallel.bechamel);
     ("E12", Exp_recover.run, Exp_recover.bechamel);
     ("E13", Exp_reorder.run, Exp_reorder.bechamel);
+    ("E14", Exp_serve.run, Exp_serve.bechamel);
   ]
 
 let run_raw () =

@@ -13,12 +13,17 @@
    Robust.Ladder rungs (gc-retry, degraded representation,
    explicit-state fallback), each attempt under exponentially
    backed-off budgets; with --retries 0 (the default) behaviour —
-   output bytes included — is identical to the pre-recovery checker. *)
+   output bytes included — is identical to the pre-recovery checker.
+
+   The per-spec checking code itself lives in Server.Engine, shared
+   with the --serve request loop so both print the same bytes. *)
+
+module Engine = Server.Engine
 
 let ( let* ) = Result.bind
 
 type options = {
-  file : string;
+  file : string option;
   extra_specs : string list;
   fair : bool;
   traces : bool;
@@ -38,29 +43,28 @@ type options = {
   debug : bool;
   reorder : [ `None | `Once | `Auto ];
   reorder_threshold : int;
+  serve : bool;
+  socket : string option;
+  cache_models : int;
 }
-
-(* Per-spec verdicts; [Undetermined] covers resource breaches and
-   (without --debug) unexpected exceptions, so one bad specification
-   never takes down the rest of the run. *)
-type verdict = Holds | Fails | Undetermined of string
-
-(* What check_one hands back: the verdict plus whether a produced trace
-   failed certification (which forces exit code 3). *)
-type report = { verdict : verdict; cert_failed : bool }
 
 (* A parsed --inject specification. *)
 type inject = Inject_site of Bdd.Fault.site * int | Inject_worker of int
 
 (* --------------------------------------------------------------- *)
-(* SIGINT: set the shared cancel flag.  Every per-spec Limits bundle —
-   sequential or on a worker domain — is created with this flag, so one
-   atomic store cancels them all: the next poll point inside each
-   running BDD operation raises, the in-flight specs are reported
-   UNDETERMINED, queued specs are skipped, and the run exits cleanly
-   with code 2.  The recovery ladder checks the same flag between
-   attempts, so Ctrl-C also means "no more retries".  [interrupted] is
-   only ever touched from the main domain (handler + aggregation). *)
+(* SIGINT (one-shot mode): set the shared cancel flag.  Every per-spec
+   Limits bundle — sequential or on a worker domain — is created with
+   this flag, so one atomic store cancels them all: the next poll point
+   inside each running BDD operation raises, the in-flight specs are
+   reported UNDETERMINED, queued specs are skipped, and the run exits
+   cleanly with code 2.  The recovery ladder checks the same flag
+   between attempts, so Ctrl-C also means "no more retries".
+   [interrupted] is only ever touched from the main domain (handler +
+   aggregation).
+
+   Serve mode deliberately does NOT use this flag: there SIGINT means
+   "drain and exit" and each request has a private cancel atomic
+   (Server.Daemon installs its own handlers). *)
 
 let interrupted = ref false
 let cancel_flag : bool Atomic.t = Atomic.make false
@@ -78,24 +82,35 @@ let install_sigint () =
     (* no signal support on this platform: run ungoverned *)
     ()
 
-(* A fresh budget bundle for one specification, cancellable through the
-   shared flag. *)
-let mk_limits opts =
-  Bdd.Limits.create ?timeout:opts.timeout ?node_budget:opts.node_limit
-    ?step_budget:opts.step_limit ~cancel:cancel_flag ()
+(* The engine's view of the flags: one-shot runs are cancelled through
+   the process-wide SIGINT flag. *)
+let engine_opts opts =
+  {
+    Engine.fair = opts.fair;
+    traces = opts.traces;
+    stats = opts.stats;
+    certify = opts.certify;
+    debug = opts.debug;
+    timeout = opts.timeout;
+    node_limit = opts.node_limit;
+    step_limit = opts.step_limit;
+    retries = opts.retries;
+    retry_factor = opts.retry_factor;
+    cancel = cancel_flag;
+  }
 
-let load opts =
+let load opts file =
   match
     Smv.load_file ~partitioned:opts.partitioned
       ~static_order:(opts.reorder <> `None)
-      opts.file
+      file
   with
   | compiled -> Ok compiled
   | exception Sys_error msg -> Error msg
   | exception Smv.Lexer.Error (msg, pos) ->
-    Error (Format.asprintf "%s: lexical error at %a: %s" opts.file Smv.Ast.pp_pos pos msg)
+    Error (Format.asprintf "%s: lexical error at %a: %s" file Smv.Ast.pp_pos pos msg)
   | exception Smv.Parser.Error (msg, pos) ->
-    Error (Format.asprintf "%s: syntax error at %a: %s" opts.file Smv.Ast.pp_pos pos msg)
+    Error (Format.asprintf "%s: syntax error at %a: %s" file Smv.Ast.pp_pos pos msg)
   | exception (Smv.Compile.Error (msg, pos) | Smv.Flatten.Error (msg, pos))
     ->
     let where =
@@ -103,7 +118,7 @@ let load opts =
       | Some p -> Format.asprintf " at %a" Smv.Ast.pp_pos p
       | None -> ""
     in
-    Error (Printf.sprintf "%s: error%s: %s" opts.file where msg)
+    Error (Printf.sprintf "%s: error%s: %s" file where msg)
 
 let compile_extra compiled text =
   match Smv.Compile.compile_expr compiled text with
@@ -177,378 +192,6 @@ let print_run_stats ?(extra = []) m =
     "fair fixpoints: %d outer iterations, %d ring layers saved@."
     f.Ctl.Fair.outer_iterations f.Ctl.Fair.ring_layers
 
-(* The paper: a true existential specification gets a witness, a false
-   universal one gets a counterexample. *)
-let rec existential = function
-  | Ctl.EX _ | Ctl.EF _ | Ctl.EG _ | Ctl.EU _ -> true
-  | Ctl.Not f -> not (existential f)
-  | Ctl.True | Ctl.False | Ctl.Atom _ | Ctl.Pred _ | Ctl.And _ | Ctl.Or _
-  | Ctl.Imp _ | Ctl.Iff _ | Ctl.AX _ | Ctl.AF _ | Ctl.AG _ | Ctl.AU _ ->
-    false
-
-let describe_breach (info : Bdd.Limits.info) =
-  Format.asprintf "%a" Bdd.Limits.pp_breach info.Bdd.Limits.breach
-
-let print_breach_progress ppf (info : Bdd.Limits.info) =
-  let p = info.Bdd.Limits.progress in
-  Format.fprintf ppf
-    "--   progress before the limit: %d fixpoint iterations, %d ring segments%s@."
-    p.Bdd.Limits.iterations p.Bdd.Limits.rings
-    (match p.Bdd.Limits.witness_prefix with
-    | [] -> ""
-    | states -> Printf.sprintf ", %d witness states" (List.length states))
-
-(* Build — and, when [emit], print (byte-identical to the pre-recovery
-   checker) — the trace for a determined verdict.  A resource breach
-   here is reported as a note but keeps the verdict: the answer was
-   already computed, only its explanation ran out of budget.
-   [fallback] switches the source of the trace to the explicit-state
-   bridge (the ladder's last rung); the surrounding text stays the
-   same, so downstream tooling parses both alike. *)
-let trace_for ppf m ~limits ~emit ~holds ~fallback spec =
-  let emitf fmt =
-    if emit then Format.fprintf ppf fmt else Format.ifprintf ppf fmt
-  in
-  let show tr =
-    emitf "-- as demonstrated by the following execution sequence@.";
-    emitf "%a@." (Kripke.Trace.pp m) tr
-  in
-  let show_fail tr =
-    show tr;
-    emitf "-- trace length: %d states%s@." (Kripke.Trace.length tr)
-      (if Kripke.Trace.is_lasso tr then
-         Printf.sprintf " (cycle of length %d)"
-           (List.length tr.Kripke.Trace.cycle)
-       else "")
-  in
-  match fallback with
-  | Some fb ->
-    if holds then begin
-      if not (existential spec) then None
-      else
-        match Robust.Fallback.witness fb spec with
-        | Some tr ->
-          show tr;
-          Some tr
-        | None -> None
-    end
-    else begin
-      match Robust.Fallback.counterexample fb spec with
-      | Some tr ->
-        show_fail tr;
-        Some tr
-      | None ->
-        emitf "-- (no explicit-state trace for this formula shape)@.";
-        None
-    end
-  | None ->
-    if holds then begin
-      if not (existential spec) then None
-      else
-        match Counterex.Explain.witness ~limits m spec with
-        | Some tr ->
-          show tr;
-          Some tr
-        | None -> None
-        | exception Counterex.Explain.Cannot_explain _ -> None
-        | exception Bdd.Limits.Exhausted info ->
-          emitf "-- (witness construction hit a resource limit: %s)@."
-            (describe_breach info);
-          None
-    end
-    else begin
-      (* Counterexamples always use fair semantics when constraints are
-         declared, as SMV does. *)
-      match Counterex.Explain.counterexample ~limits m spec with
-      | Some tr ->
-        show_fail tr;
-        Some tr
-      | None ->
-        emitf
-          "-- (no initial-state counterexample: the formula fails only under plain semantics)@.";
-        None
-      | exception Counterex.Explain.Cannot_explain msg ->
-        emitf "-- (could not build a linear counterexample: %s)@." msg;
-        None
-      | exception Bdd.Limits.Exhausted info ->
-        emitf "-- (counterexample construction hit a resource limit: %s)@."
-          (describe_breach info);
-        None
-    end
-
-(* What one ladder attempt produced: the verdict, the model it was
-   decided on (the degraded rung may swap in a partitioned variant),
-   the budget bundle it ran under (trace construction keeps charging
-   it), and the explicit bridge when the verdict came from the
-   explicit-state rung. *)
-type attempt_result = {
-  ar_holds : bool;
-  ar_model : Kripke.t;
-  ar_limits : Bdd.Limits.t;
-  ar_fallback : Robust.Fallback.t option;
-}
-
-(* Check one specification.  Budgets are per-spec so one hard
-   specification cannot starve the rest; the bundle is also the SIGINT
-   cancellation point.  With --retries 0 this reduces to exactly one
-   Direct attempt whose behaviour (prints included) matches the
-   pre-recovery checker byte for byte.  All output goes to [ppf]: the
-   sequential path passes the standard formatter, the parallel path a
-   per-spec buffer replayed in spec order.
-
-   [clusters] supplies the transition clusters for the degraded rung
-   (a thunk: workers transfer them onto their own manager lazily);
-   [inject] arms the manager's fault before the first attempt;
-   [prior] carries a crashed worker attempt so the local re-run resumes
-   the ladder instead of restarting it. *)
-let check_one ppf m ~opts ~clusters ?inject ?prior (name, spec) =
-  let man = m.Kripke.man in
-  let spec_started = Unix.gettimeofday () in
-  let saved_cache_limit = Bdd.cache_limit man in
-  let max_attempts = opts.retries + 1 in
-  (* Exponential budget backoff: attempt 1 runs under exactly the base
-     budgets (the --retries 0 identity); retry k multiplies node/step
-     budgets by factor^(k-1) and gives the remaining share of a
-     (timeout * attempts)-sized wall-clock pool. *)
-  let backoff k = function
-    | None -> None
-    | Some n ->
-      let scaled = float_of_int n *. (opts.retry_factor ** float_of_int (k - 1)) in
-      Some (if scaled >= 1e18 then max_int else int_of_float scaled)
-  in
-  let timeout_for k =
-    match opts.timeout with
-    | None -> None
-    | Some t ->
-      if k = 1 then Some t
-      else
-        let total = t *. float_of_int max_attempts in
-        let elapsed = Unix.gettimeofday () -. spec_started in
-        let left = max 1 (max_attempts - k + 1) in
-        Some (Float.max 0.05 ((total -. elapsed) /. float_of_int left))
-  in
-  let limits_for k =
-    if k = 1 then mk_limits opts
-    else
-      Bdd.Limits.create ?timeout:(timeout_for k)
-        ?node_budget:(backoff k opts.node_limit)
-        ?step_budget:(backoff k opts.step_limit) ~cancel:cancel_flag ()
-  in
-  let run_symbolic model limits =
-    (* Checkpoints on: the verdict phase runs only rooted fixpoints, so
-       a pending auto-reorder may fire between iterations.  Witness and
-       certification phases below never enable them. *)
-    Bdd.Limits.with_attached model.Kripke.man limits (fun () ->
-        Bdd.Reorder.with_checkpoints model.Kripke.man (fun () ->
-            if opts.fair then Ctl.Fair.holds ~limits model spec
-            else Ctl.Check.holds ~limits model spec))
-  in
-  (* The degraded representation, built once per spec: partitioned
-     transition relation (from the compiler's clusters) when the model
-     is not already partitioned. *)
-  let dmodel = ref None in
-  let degraded_model () =
-    match !dmodel with
-    | Some dm -> dm
-    | None ->
-      let dm =
-        if Kripke.partitioned m then m
-        else
-          match clusters () with
-          | [] -> m
-          | cs -> ( try Kripke.with_partition m cs with Invalid_argument _ -> m)
-      in
-      dmodel := Some dm;
-      dm
-  in
-  let attempt_fn ~attempt strategy =
-    let limits = limits_for attempt in
-    match strategy with
-    | Robust.Ladder.Direct | Robust.Ladder.Main_domain ->
-      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
-        ar_fallback = None }
-    | Robust.Ladder.Gc_retry ->
-      (* Reclaim the breached computation's intermediate nodes and drop
-         the op-caches, then re-run plainly under backed-off budgets. *)
-      ignore (Bdd.gc man);
-      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
-        ar_fallback = None }
-    | Robust.Ladder.Reorder ->
-      (* Shrink the tables with a sifting sweep before giving up any
-         fidelity.  The sweep runs under this attempt's limits, so a
-         deadline aborts it at a swap boundary; a failure inside it
-         (including an injected reorder fault) is classified by the
-         ladder like any other and climbs to the next rung. *)
-      Bdd.Limits.with_attached man limits (fun () -> Bdd.reorder man);
-      { ar_holds = run_symbolic m limits; ar_model = m; ar_limits = limits;
-        ar_fallback = None }
-    | Robust.Ladder.Degraded ->
-      (* Trade speed for footprint: tight op-caches plus a partitioned
-         relation with early quantification. *)
-      let tightened =
-        match Bdd.cache_limit man with
-        | Some n -> min n 8192
-        | None -> 8192
-      in
-      Bdd.set_cache_limit man (Some tightened);
-      let dm = degraded_model () in
-      { ar_holds = run_symbolic dm limits; ar_model = dm;
-        ar_limits = limits; ar_fallback = None }
-    | Robust.Ladder.Explicit_state ->
-      (* Abandon the symbolic representation: enumerate the (small)
-         state space and decide explicitly.  Deadline and SIGINT still
-         apply (the enumeration's symbolic steps poll them); node/step
-         budgets do not — they measure symbolic work. *)
-      let limits =
-        Bdd.Limits.create ?timeout:(timeout_for attempt) ~cancel:cancel_flag ()
-      in
-      let fb =
-        Bdd.Limits.with_attached man limits (fun () ->
-            Robust.Fallback.build m)
-      in
-      {
-        ar_holds = Robust.Fallback.holds fb ~fair:opts.fair spec;
-        ar_model = m;
-        ar_limits = limits;
-        ar_fallback = Some fb;
-      }
-  in
-  (* Arm the injected fault (chaos testing) for this specification;
-     one-shot, and disarmed on every exit path so a fault armed for
-     spec k can never leak into spec k+1. *)
-  (match inject with
-  | Some (site, n) -> Bdd.Fault.arm man ~site ~after:n
-  | None -> ());
-  Fun.protect
-    ~finally:(fun () ->
-      Bdd.Fault.disarm man;
-      Bdd.set_cache_limit man saved_cache_limit)
-    (fun () ->
-      let outcome =
-        match
-          Robust.Ladder.run ~retries:opts.retries
-            ~cancelled:(fun () -> Atomic.get cancel_flag)
-            ~fits_explicit:(fun () -> Robust.Fallback.fits m)
-            ~live_nodes:(fun () -> Bdd.live_nodes man)
-            ?prior attempt_fn
-        with
-        | r -> r
-        | exception Bdd.Limits.Exhausted info ->
-          (* Only [Interrupted] breaches reach here (the ladder retries
-             the others): report like any breach and stop cleanly. *)
-          Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@."
-            name (describe_breach info);
-          print_breach_progress ppf info;
-          ignore (Bdd.gc man);
-          Error (Robust.Ladder.Breach info, [])
-        | exception e when not opts.debug ->
-          Format.fprintf ppf
-            "-- specification %s is UNDETERMINED (internal error: %s)@."
-            name (Printexc.to_string e);
-          Error
-            ( Robust.Ladder.Crashed (Printexc.to_string e),
-              [] )
-      in
-      let print_attempt_log log =
-        if opts.stats && List.length log > 1 then
-          List.iter
-            (fun a ->
-              Format.fprintf ppf "--   %a@." Robust.Ladder.pp_attempt a)
-            log
-      in
-      match outcome with
-      | Error (failure, log) ->
-        (* The ladder is out of rungs (or was never given any): report
-           the last failure.  For --retries 0 these prints are exactly
-           the pre-recovery checker's. *)
-        (match (failure, log) with
-        | Robust.Ladder.Breach info, _ :: _ ->
-          Format.fprintf ppf "-- specification %s is UNDETERMINED (%s)@."
-            name (describe_breach info);
-          print_breach_progress ppf info;
-          ignore (Bdd.gc man)
-        | Robust.Ladder.Oom, _ :: _ ->
-          if opts.debug && opts.retries = 0 then raise Out_of_memory;
-          Format.fprintf ppf
-            "-- specification %s is UNDETERMINED (internal error: %s)@." name
-            (Printexc.to_string Out_of_memory)
-        | Robust.Ladder.Crashed msg, _ :: _ ->
-          Format.fprintf ppf
-            "-- specification %s is UNDETERMINED (worker failed: %s)@." name
-            msg
-        | _, [] ->
-          (* the failure was already reported (interrupt / internal
-             error paths above) *)
-          ());
-        print_attempt_log log;
-        { verdict = Undetermined (Robust.Ladder.failure_name failure);
-          cert_failed = false }
-      | Ok (ar, log) ->
-        let holds = ar.ar_holds in
-        let final =
-          match List.rev log with a :: _ -> a | [] -> assert false
-        in
-        let recovered = final.Robust.Ladder.index > 1 in
-        Format.fprintf ppf "-- specification %s is %s%s@." name
-          (if holds then "true" else "false")
-          (if recovered then
-             Printf.sprintf " (recovered: attempt %d via %s)"
-               final.Robust.Ladder.index
-               (Robust.Ladder.strategy_name final.Robust.Ladder.strategy)
-           else "");
-        print_attempt_log log;
-        let need_cert = opts.certify || recovered in
-        let tr =
-          if opts.traces || need_cert then begin
-            match
-              Bdd.Limits.with_attached ar.ar_model.Kripke.man ar.ar_limits
-                (fun () ->
-                  trace_for ppf ar.ar_model ~limits:ar.ar_limits
-                    ~emit:opts.traces ~holds ~fallback:ar.ar_fallback spec)
-            with
-            | tr -> tr
-            | exception e when not opts.debug ->
-              Format.fprintf ppf "-- (trace construction failed: %s)@."
-                (Printexc.to_string e);
-              None
-          end
-          else None
-        in
-        let cert_failed =
-          match tr with
-          | Some tr when need_cert -> (
-            (* Certification runs uncapped but cancellable: the trace
-               is already in hand, only SIGINT may stop its
-               re-validation. *)
-            let climits = Bdd.Limits.create ~cancel:cancel_flag () in
-            let cert =
-              if holds then Robust.Certify.witness ~limits:climits m spec tr
-              else Robust.Certify.counterexample ~limits:climits m spec tr
-            in
-            match
-              Bdd.Limits.with_attached man climits (fun () -> cert)
-            with
-            | Ok () ->
-              Format.fprintf ppf
-                "-- certificate: trace independently validated (%d states)@."
-                (Kripke.Trace.length tr);
-              false
-            | Error msg ->
-              Format.fprintf ppf "-- CERTIFICATION FAILED: %s@." msg;
-              Format.fprintf ppf
-                "-- specification %s verdict withdrawn (uncertified trace)@."
-                name;
-              true
-            | exception Bdd.Limits.Exhausted info ->
-              Format.fprintf ppf "-- (certification interrupted: %s)@."
-                (describe_breach info);
-              false)
-          | Some _ | None -> false
-        in
-        if cert_failed then
-          { verdict = Undetermined "certification failed"; cert_failed = true }
-        else { verdict = (if holds then Holds else Fails); cert_failed = false })
-
 (* Random walk from a random initial state, choosing uniformly at each
    step with symbolic cofactor-weighted sampling — no state
    enumeration, so arbitrarily large models are safe to explore. *)
@@ -608,6 +251,11 @@ let validate opts =
       Error "--retry-budget-factor: F must be >= 1.0"
     else Ok ()
   in
+  let* () =
+    if opts.cache_models < 1 then
+      Error "--cache-models: N must be positive"
+    else Ok ()
+  in
   let* inj = parse_inject ~seed:opts.seed opts.inject in
   let* () =
     match inj with
@@ -619,10 +267,11 @@ let validate opts =
   else Ok ()
 
 (* Returns Ok (exit code) or Error message (input error, exit 3). *)
-let run opts =
+let run opts file =
   let* () = validate opts in
   let* inject = parse_inject ~seed:opts.seed opts.inject in
-  let* compiled = load opts in
+  let* compiled = load opts file in
+  let eopts = engine_opts opts in
   let m = compiled.Smv.Compile.model in
   let main_clusters = compiled.Smv.Compile.clusters in
   (* The clusters must survive any ladder-triggered gc between the
@@ -697,7 +346,7 @@ let run opts =
           List.map (Bdd.transfer ~dst:wm.Kripke.man) main_clusters
         in
         let r =
-          check_one ppf wm ~opts ~clusters ?inject:site_inject
+          Engine.check_one ppf wm ~opts:eopts ~clusters ?inject:site_inject
             (names.(i), spec)
         in
         Format.pp_print_flush ppf ();
@@ -707,9 +356,9 @@ let run opts =
          spec order: the crashed attempt seeds the ladder as attempt 1
          and the re-run climbs from Main_domain.  [overrides] keeps the
          recovered reports for final aggregation. *)
-      let overrides : (int, report) Hashtbl.t = Hashtbl.create 4 in
+      let overrides : (int, Engine.report) Hashtbl.t = Hashtbl.create 4 in
       let on_result i = function
-        | Ok ((_ : report), out) ->
+        | Ok ((_ : Engine.report), out) ->
           (* Bypass std_formatter for the replay: a multi-line string
              printed through %s corrupts Format's column tracking.  All
              Format output ends in @. (flush), so channel-level writes
@@ -734,7 +383,7 @@ let run opts =
           let buf = Buffer.create 512 in
           let ppf = Format.formatter_of_buffer buf in
           let r =
-            check_one ppf m ~opts
+            Engine.check_one ppf m ~opts:eopts
               ~clusters:(fun () -> main_clusters)
               ?inject:None ~prior
               (names.(i), formulas.(i))
@@ -768,7 +417,8 @@ let run opts =
                  | Error e ->
                    Some
                      {
-                       verdict = Undetermined (Printexc.to_string e);
+                       Engine.verdict =
+                         Engine.Undetermined (Printexc.to_string e);
                        cert_failed = false;
                      }))
              results)
@@ -784,7 +434,7 @@ let run opts =
             if !interrupted then None
             else
               Some
-                (check_one Format.std_formatter m ~opts
+                (Engine.check_one Format.std_formatter m ~opts:eopts
                    ~clusters:(fun () -> main_clusters)
                    ?inject:site_inject spec))
           specs,
@@ -795,26 +445,19 @@ let run opts =
     print_run_stats ~extra:worker_stats m
   end
   else if opts.stats then print_run_stats ~extra:worker_stats m;
-  let verdicts = List.map (fun r -> r.verdict) reports in
-  let some_cert_failed = List.exists (fun r -> r.cert_failed) reports in
-  let some_undetermined =
-    List.exists (function Undetermined _ -> true | _ -> false) verdicts
-  in
-  let some_false = List.exists (( = ) Fails) verdicts in
-  if some_cert_failed then Ok 3
-  else if !interrupted || some_undetermined then Ok 2
-  else if some_false then Ok 1
-  else Ok 0
+  Ok (Engine.exit_code ~interrupted:!interrupted reports)
 
 open Cmdliner
 
 (* [string], not [file]: a missing path must flow through our own
-   error reporting (exit 3), not cmdliner's argument-parse exit. *)
+   error reporting (exit 3), not cmdliner's argument-parse exit.
+   Optional because --serve runs without a model argument. *)
 let file_arg =
   Arg.(
-    required
+    value
     & pos 0 (some string) None
-    & info [] ~docv:"MODEL.smv" ~doc:"SMV model to check.")
+    & info [] ~docv:"MODEL.smv"
+        ~doc:"SMV model to check (required except with $(b,--serve)).")
 
 let spec_arg =
   Arg.(
@@ -912,7 +555,8 @@ let jobs_arg =
           "Check specifications on N worker domains in parallel (0 \
            means one per core).  Each worker clones the model into a \
            private BDD manager, so verdicts, traces and exit code are \
-           byte-identical to a sequential run.")
+           byte-identical to a sequential run.  With $(b,--serve): the \
+           number of request-processing workers.")
 
 let retries_arg =
   Arg.(
@@ -995,30 +639,84 @@ let debug_arg =
            unexpected exceptions crash with a full trace instead of \
            being condensed to one-line diagnostics.")
 
+let serve_arg =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run as a check server: accept framed JSON check requests on \
+           stdin/stdout (or $(b,--socket)) and keep compiled models \
+           warm between requests — hot operation caches, sifted \
+           variable orders and memoised reachable sets are reused when \
+           only the specification changes.  Each request runs under \
+           its own budgets and cancellation flag; SIGINT drains \
+           in-flight requests and exits.")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "With $(b,--serve): listen on a Unix-domain socket at PATH \
+           (accepting any number of concurrent client connections) \
+           instead of serving a single session on stdin/stdout.")
+
+let cache_models_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "cache-models" ] ~docv:"N"
+        ~doc:
+          "With $(b,--serve): keep up to N compiled models warm; the \
+           least recently used idle model is evicted beyond that.")
+
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
     simulate seed timeout node_limit step_limit jobs retries retry_factor
-    certify inject reorder reorder_threshold debug =
+    certify inject reorder reorder_threshold debug serve socket cache_models
+    =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
       partitioned; cache_limit; simulate; seed; timeout; node_limit;
       step_limit; jobs; retries; retry_factor; certify; inject; debug;
-      reorder; reorder_threshold;
+      reorder; reorder_threshold; serve; socket; cache_models;
     }
   in
   Printexc.record_backtrace debug;
-  install_sigint ();
-  match run opts with
-  | Ok code -> code
-  | Error msg ->
-    Format.eprintf "%s@." msg;
-    3
-  | exception e when not debug ->
-    (* Crash guard: anything unexpected outside the per-spec isolation
-       becomes a one-line diagnostic. *)
-    Format.eprintf "smv_check: internal error on %s: %s@." file
-      (Printexc.to_string e);
-    3
+  if serve then begin
+    if file <> None then
+      Format.eprintf "warning: MODEL.smv argument is ignored with --serve@.";
+    if cache_models < 1 then begin
+      Format.eprintf "--cache-models: N must be positive@.";
+      3
+    end
+    else
+      Server.Daemon.serve
+        {
+          Server.Daemon.socket;
+          jobs = (if jobs = 0 then Parallel.default_jobs () else max 1 jobs);
+          capacity = cache_models;
+          debug;
+        }
+  end
+  else
+    match file with
+    | None ->
+      Format.eprintf "smv_check: required MODEL.smv argument is missing@.";
+      3
+    | Some f -> (
+      install_sigint ();
+      match run opts f with
+      | Ok code -> code
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        3
+      | exception e when not debug ->
+        (* Crash guard: anything unexpected outside the per-spec
+           isolation becomes a one-line diagnostic. *)
+        Format.eprintf "smv_check: internal error on %s: %s@." f
+          (Printexc.to_string e);
+        3)
 
 let cmd =
   let doc = "symbolic CTL model checker with counterexample generation" in
@@ -1061,6 +759,16 @@ let cmd =
          a sequential run.  A crashed worker is respawned, and with \
          $(b,--retries) its specification is re-checked on the main \
          domain.";
+      `P
+        "Server mode: $(b,--serve) turns the checker into a long-lived \
+         daemon speaking length-prefixed JSON frames on stdin/stdout \
+         or a Unix socket ($(b,--socket)).  Compiled models stay warm \
+         in an LRU pool ($(b,--cache-models)), so repeat checks skip \
+         compilation, BDD construction and the reachability fixpoint.  \
+         Every reply carries the verdicts, the one-shot CLI's exact \
+         output text, and per-request statistics; a request that trips \
+         a budget or an injected fault is answered UNDETERMINED while \
+         the server and its other requests continue untouched.";
       `S Manpage.s_exit_status;
       `P "0 — every specification holds.";
       `P "1 — at least one specification is false (none undetermined).";
@@ -1077,6 +785,7 @@ let cmd =
       `P "smv_check --timeout 5 --node-limit 2000000 big_model.smv";
       `P "smv_check --step-limit 100 --retries 2 --certify counter.smv";
       `P "smv_check --inject mk:5000 --retries 1 --stats model.smv";
+      `P "smv_check --serve --socket /tmp/smv.sock --jobs 4";
     ]
   in
   Cmd.v
@@ -1086,6 +795,7 @@ let cmd =
       $ stats_arg $ partitioned_arg $ cache_limit_arg $ simulate_arg
       $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
       $ jobs_arg $ retries_arg $ retry_factor_arg $ certify_arg
-      $ inject_arg $ reorder_arg $ reorder_threshold_arg $ debug_arg)
+      $ inject_arg $ reorder_arg $ reorder_threshold_arg $ debug_arg
+      $ serve_arg $ socket_arg $ cache_models_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -37,6 +37,15 @@ type opstat = {
 
 let fresh_opstat () = { calls = 0; hits = 0; misses = 0 }
 
+(* The time base for every duration and deadline in the package.  The
+   monotonic clock cannot jump: an NTP step (or a sysadmin's date(1))
+   moves [Unix.gettimeofday] arbitrarily far in either direction, which
+   would spuriously breach — or silently extend — a wall-clock budget
+   measured against it.  Deadlines are *relative* quantities, so they
+   belong on CLOCK_MONOTONIC (the C stub falls back to the calendar
+   clock only on platforms without one). *)
+external now_monotonic : unit -> float = "bdd_monotonic_now"
+
 (* Public (immutable) snapshots of the counters; declared before [man]
    so the resource-governance exception below can carry one. *)
 type op_stats = { calls : int; hits : int; misses : int }
@@ -84,9 +93,9 @@ type limits_progress = {
 }
 
 type limits = {
-  started : float;            (* Unix.gettimeofday at creation *)
+  started : float;            (* [now_monotonic] at creation *)
   timeout : float option;     (* requested duration, seconds *)
-  deadline : float option;    (* absolute: started +. timeout *)
+  deadline : float option;    (* absolute monotonic: started +. timeout *)
   node_budget : int option;   (* max live (unique-table) nodes *)
   step_budget : int option;   (* max fixpoint + ring-descent steps *)
   mutable l_steps : int;      (* budgeted steps consumed *)
@@ -317,7 +326,7 @@ let limits_check_now m (l : limits) =
   | None -> ());
   match l.deadline with
   | Some d ->
-    let now = Unix.gettimeofday () in
+    let now = now_monotonic () in
     if now > d then
       limits_breach m l
         (Deadline
@@ -933,6 +942,37 @@ let merge_stats a b =
     reorder_saved = a.reorder_saved + b.reorder_saved;
   }
 
+(* The per-request counterpart of [merge_stats]: attribute the work of
+   one governed region of a long-lived (warm) manager by subtracting a
+   snapshot taken at region entry.  Monotone counters subtract;
+   [live_nodes] and [peak_nodes] are instantaneous readings, so the
+   later snapshot's values are kept (pair with [reset_peak] when the
+   region's own peak is wanted). *)
+let diff_stats after before =
+  let op (x : op_stats) (y : op_stats) =
+    { calls = x.calls - y.calls;
+      hits = x.hits - y.hits;
+      misses = x.misses - y.misses }
+  in
+  {
+    ite = op after.ite before.ite;
+    exists = op after.exists before.exists;
+    forall = op after.forall before.forall;
+    relprod = op after.relprod before.relprod;
+    constrain = op after.constrain before.constrain;
+    live_nodes = after.live_nodes;
+    peak_nodes = after.peak_nodes;
+    total_nodes = after.total_nodes - before.total_nodes;
+    cache_evictions = after.cache_evictions - before.cache_evictions;
+    gc_runs = after.gc_runs - before.gc_runs;
+    gc_collected = after.gc_collected - before.gc_collected;
+    reorders = after.reorders - before.reorders;
+    reorder_ms = after.reorder_ms -. before.reorder_ms;
+    reorder_saved = after.reorder_saved - before.reorder_saved;
+  }
+
+let reset_peak m = m.peak_nodes <- m.live
+
 let reset_stats m =
   let reset (s : opstat) =
     s.calls <- 0;
@@ -1204,7 +1244,7 @@ let swap_levels m parents protect l =
 let with_reorder m body =
   if m.in_reorder then invalid_arg "Bdd.reorder: reentrant reorder";
   fault_tick m Reorder;
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_monotonic () in
   let before = m.live in
   m.in_reorder <- true;
   Fun.protect
@@ -1215,7 +1255,7 @@ let with_reorder m body =
       if m.reorder_threshold <> max_int then
         m.reorder_threshold <- max (2 * m.live) m.reorder_threshold0;
       m.reorders <- m.reorders + 1;
-      m.reorder_ms <- m.reorder_ms +. ((Unix.gettimeofday () -. t0) *. 1000.0);
+      m.reorder_ms <- m.reorder_ms +. ((now_monotonic () -. t0) *. 1000.0);
       m.reorder_saved <- m.reorder_saved + (before - m.live))
     (fun () ->
       let parents = Hashtbl.create (max 64 m.live) in
@@ -1521,7 +1561,7 @@ module Limits = struct
     | Some n when n <= 0 ->
       invalid_arg "Bdd.Limits.create: non-positive step budget"
     | Some _ | None -> ());
-    let started = Unix.gettimeofday () in
+    let started = now_monotonic () in
     {
       started;
       timeout;
@@ -1539,7 +1579,7 @@ module Limits = struct
   let cancel l = Atomic.set l.cancelled true
   let cancelled l = Atomic.get l.cancelled
   let progress l = limits_progress_of l
-  let elapsed l = Unix.gettimeofday () -. l.started
+  let elapsed l = now_monotonic () -. l.started
 
   let attach m l =
     m.limits <- Some l;
@@ -1570,7 +1610,7 @@ module Limits = struct
           (Deadline
              {
                timeout = (match l.timeout with Some t -> t | None -> 0.0);
-               elapsed = Unix.gettimeofday () -. l.started;
+               elapsed = now_monotonic () -. l.started;
              })
       end
     | Some _ | None -> ()

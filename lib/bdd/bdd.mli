@@ -272,6 +272,30 @@ val merge_stats : stats -> stats -> stats
     summed too: for managers live at the same time that is an upper
     bound on the simultaneous footprint. *)
 
+val diff_stats : stats -> stats -> stats
+(** [diff_stats after before] — the work done between two snapshots of
+    the {e same} manager: monotone counters (calls, hits, misses,
+    evictions, gc, reorder, [total_nodes]) are subtracted, while the
+    instantaneous readings [live_nodes] and [peak_nodes] are taken from
+    [after].  This is how a long-lived (warm) manager attributes its
+    counters to exactly one request: snapshot on entry, diff on exit —
+    the inverse role of {!merge_stats}.  Combine with {!reset_peak}
+    when the region's own peak (rather than the manager's lifetime
+    peak) is wanted. *)
+
+val reset_peak : man -> unit
+(** Restart the [peak_nodes] high-water mark from the current
+    unique-table size, leaving every other counter untouched — so the
+    next {!stats} snapshot reports the peak {e since this call}. *)
+
+val now_monotonic : unit -> float
+(** Seconds on [CLOCK_MONOTONIC] (falling back to the calendar clock
+    only where the monotonic clock is unavailable).  All durations and
+    deadlines in this package — {!Limits} budgets, reordering times —
+    are measured on this clock, so an NTP step can neither spuriously
+    breach nor extend a budget.  Only differences between two readings
+    are meaningful. *)
+
 val reset_stats : man -> unit
 (** Zero every counter; [peak_nodes] restarts from the current
     unique-table size.  Root registrations and caches are untouched. *)
@@ -466,7 +490,9 @@ module Limits : sig
     unit ->
     t
   (** [create ()] makes a budget bundle; omitted budgets are unlimited.
-      [timeout] is in seconds, measured from [create] (wall clock).
+      [timeout] is in seconds, measured from [create] on the monotonic
+      clock ({!Bdd.now_monotonic}) — a calendar-clock step (NTP, a
+      sysadmin's date change) can neither breach nor extend it.
       [cancel] supplies the cancellation flag instead of a fresh one,
       so several bundles (e.g. one per worker-domain specification) can
       share a single flag: one [Atomic.set] cancels them all, which is

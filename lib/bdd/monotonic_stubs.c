@@ -1,0 +1,39 @@
+/* CLOCK_MONOTONIC for Bdd.now_monotonic: deadline arithmetic must not
+   move when the calendar clock steps (NTP, date(1)).  Returns seconds
+   as a double; falls back to the calendar clock only where no
+   monotonic clock exists. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+#else
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+CAMLprim value bdd_monotonic_now(value unit)
+{
+#if defined(_WIN32)
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+#elif defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  /* fall through to the calendar clock on failure */
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+#else
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+#endif
+}

@@ -36,6 +36,11 @@ type t = {
      once per (model, fairness) and reused across specs.  Owned here so
      it is rooted with the rest of the model's diagrams. *)
   mutable fair_memo : Bdd.t option;
+  (* Cached reachable-state fixpoint ([reachable]): depends only on
+     [init] and [trans], both immutable, so it is valid for the model's
+     whole life — a warm check server reuses it across requests.  Same
+     rooting story as [fair_memo]. *)
+  mutable reach_memo : Bdd.t option;
 }
 
 (* Every BDD a model owns, for GC root registration: as long as the
@@ -52,6 +57,7 @@ let roots m =
   @ schedule_roots m.pre_schedule
   @ schedule_roots m.post_schedule
   @ Option.to_list m.fair_memo
+  @ Option.to_list m.reach_memo
 
 let register_roots m =
   ignore (Bdd.add_root m.man (fun () -> roots m) : Bdd.root);
@@ -81,6 +87,8 @@ let with_fairness m fairness =
 
 let fair_memo m = m.fair_memo
 let set_fair_memo m f = m.fair_memo <- f
+let reach_memo m = m.reach_memo
+let set_reach_memo m r = m.reach_memo <- r
 
 let cur_bit m b = Bdd.var m.man (2 * b)
 let nxt_bit m b = Bdd.var m.man ((2 * b) + 1)
@@ -143,7 +151,7 @@ let make ~man ~vars ~nbits ?space ~init ~trans ?(fairness = []) ?(labels = [])
     {
       man; vars; nbits; space; init; trans;
       pre_schedule = None; post_schedule = None;
-      fairness; labels; fair_memo = None;
+      fairness; labels; fair_memo = None; reach_memo = None;
     }
 
 (* Eliminate variables cluster by cluster: each step conjoins its
@@ -257,6 +265,7 @@ let clone_into dst m =
       fairness = List.map t m.fairness;
       labels = List.map (fun (name, b) -> (name, t b)) m.labels;
       fair_memo = Option.map t m.fair_memo;
+      reach_memo = Option.map t m.reach_memo;
     }
 
 let pre m s =
@@ -282,22 +291,35 @@ let tick m limits =
   match limits with None -> () | Some l -> Bdd.Limits.step m.man l
 
 let reachable ?limits m =
-  (* Root the frontier so a GC triggered mid-fixpoint cannot sweep the
-     running approximation. *)
-  let frontier = ref m.init in
-  Bdd.with_root m.man
-    (fun () -> [ !frontier ])
-    (fun () ->
-      let rec go r =
-        tick m limits;
-        let r' = Bdd.or_ m.man r (post m r) in
-        if Bdd.equal r r' then r
-        else begin
-          frontier := r';
-          go r'
-        end
-      in
-      go m.init)
+  (* Memoised: the fixpoint depends only on the immutable [init] and
+     [trans], so once computed it is stored on the model (rooted with
+     its other diagrams) and every later call — any number of specs or
+     warm-server requests later — returns it outright.  The memo is
+     only written by a {e completed} fixpoint: a breach propagates
+     before the store, so a later, better-budgeted call recomputes. *)
+  match m.reach_memo with
+  | Some r -> r
+  | None ->
+    (* Root the frontier so a GC triggered mid-fixpoint cannot sweep
+       the running approximation. *)
+    let frontier = ref m.init in
+    let r =
+      Bdd.with_root m.man
+        (fun () -> [ !frontier ])
+        (fun () ->
+          let rec go r =
+            tick m limits;
+            let r' = Bdd.or_ m.man r (post m r) in
+            if Bdd.equal r r' then r
+            else begin
+              frontier := r';
+              go r'
+            end
+          in
+          go m.init)
+    in
+    m.reach_memo <- Some r;
+    r
 
 let deadlocks m =
   Bdd.diff m.man m.space (pre m m.space)

@@ -52,6 +52,8 @@ type t = private {
   labels : (string * Bdd.t) list;  (** named atomic propositions *)
   mutable fair_memo : Bdd.t option;
       (** cached fair-EG fixpoint; see {!fair_memo} *)
+  mutable reach_memo : Bdd.t option;
+      (** cached reachable-state fixpoint; see {!reach_memo} *)
 }
 (** A symbolic Kripke structure.  Use {!make} (or [Builder]) to obtain
     one; the constructor enforces the [space] invariants. *)
@@ -123,6 +125,19 @@ val set_fair_memo : t -> Bdd.t option -> unit
     checking layer; the cached diagram must live in the model's own
     manager. *)
 
+val reach_memo : t -> Bdd.t option
+(** The cached reachable-state set ({!reachable} computes and stores
+    it).  Unlike {!fair_memo} it depends on nothing mutable — only
+    [init] and [trans] — so it is never invalidated: {!with_fairness}
+    and {!with_partition} keep it, {!clone_into} transfers it, and a
+    warm check server reuses it across every request on the same
+    model.  Rooted with the model's other diagrams, so it survives
+    [Bdd.gc] and reordering. *)
+
+val set_reach_memo : t -> Bdd.t option -> unit
+(** Store (or clear) the reachability cache; the cached diagram must
+    live in the model's own manager. *)
+
 val mk_var : name:string -> vtype:vtype -> first_bit:int -> var
 (** Lay out a variable starting at bit [first_bit]; used by frontends
     that do their own bit allocation.  Raises [Invalid_argument] for an
@@ -164,7 +179,10 @@ val reachable : ?limits:Bdd.Limits.t -> t -> Bdd.t
 (** Least fixpoint of [post] from [init].  [limits] charges one step
     per frontier iteration and is polled inside the image computations
     (when attached to the manager); a breach raises
-    [Bdd.Limits.Exhausted]. *)
+    [Bdd.Limits.Exhausted].  Memoised on the model ({!reach_memo}):
+    only the first completed call computes; later calls — including
+    warm check-server requests on a cached model — return the stored
+    set without charging any steps. *)
 
 val deadlocks : t -> Bdd.t
 (** States of [space] with no successor.  CTL semantics (and the

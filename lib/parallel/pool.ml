@@ -67,38 +67,50 @@ let next_task pool =
   Mutex.unlock pool.mutex;
   job
 
-let rec worker_loop pool =
+(* Replace a dead (or dying) worker, keeping the pool at its
+   configured width so queued tasks still drain.  [closed] is read
+   under the pool mutex — shutdown sets it under the same mutex, so a
+   dying worker either respawns before shutdown snapshots the domain
+   list or sees [closed] and stays down; either way no replacement
+   outlives the join loop. *)
+let rec respawn pool =
+  Mutex.lock pool.mutex;
+  if not pool.closed then begin
+    pool.respawned <- pool.respawned + 1;
+    pool.domains <- spawn_worker pool :: pool.domains
+  end;
+  Mutex.unlock pool.mutex
+
+and worker_loop pool =
   match next_task pool with
   | None -> ()
   | Some (job, crash) ->
     if crash then begin
-      (* Fail the dequeued task's future first — its awaiter must see
-         the crash, not block forever — then die for real so the
-         respawn path is exercised end to end. *)
-      job.abort Worker_crashed;
-      raise Worker_crashed
-    end;
-    (* [job.run] is a [submit] wrapper and cannot raise; the guard is
-       belt-and-braces so a worker never dies silently. *)
-    (try job.run () with _ -> ());
-    worker_loop pool
+      (* Respawn bookkeeping *before* failing the future: the abort
+         wakes the awaiter, who may immediately [shutdown] the pool or
+         read [respawns] — both must find the replacement recorded.
+         (Failing the future first opened exactly that race: a fast
+         awaiter's shutdown flipped [closed] before this domain's
+         wrapper ran, and the respawn was silently skipped.)  The
+         domain then ends here — dying by return, with the replacement
+         already running, rather than by an exception the wrapper
+         below would double-count. *)
+      respawn pool;
+      job.abort Worker_crashed
+    end
+    else begin
+      (* [job.run] is a [submit] wrapper and cannot raise; the guard is
+         belt-and-braces so a worker never dies silently. *)
+      (try job.run () with _ -> ());
+      worker_loop pool
+    end
 
-(* The spawn wrapper: a worker whose loop escapes with an exception is
-   replaced, keeping the pool at its configured width so queued tasks
-   still drain.  [closed] is read under the pool mutex — shutdown sets
-   it under the same mutex, so a dying worker either respawns before
-   shutdown snapshots the domain list or sees [closed] and stays down;
-   either way no replacement outlives the join loop. *)
-let rec spawn_worker pool =
+(* The spawn wrapper: guards the loop against escapes that are not
+   chaos crashes (those respawn inline above) — nothing today, but a
+   worker must never die silently and leave the pool under width. *)
+and spawn_worker pool =
   Domain.spawn (fun () ->
-      try worker_loop pool
-      with _ ->
-        Mutex.lock pool.mutex;
-        if not pool.closed then begin
-          pool.respawned <- pool.respawned + 1;
-          pool.domains <- spawn_worker pool :: pool.domains
-        end;
-        Mutex.unlock pool.mutex)
+      try worker_loop pool with _ -> respawn pool)
 
 let create n =
   if n < 1 then invalid_arg "Parallel.Pool.create: need at least one worker";

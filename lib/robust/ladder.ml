@@ -78,7 +78,7 @@ let run ~retries ~cancelled ~fits_explicit ~live_nodes ?(prior = [])
       strategy;
       failure;
       live_nodes = live_nodes ();
-      duration = Unix.gettimeofday () -. t0;
+      duration = Bdd.now_monotonic () -. t0;
     }
   in
   let rec go index prev_failure =
@@ -90,7 +90,7 @@ let run ~retries ~cancelled ~fits_explicit ~live_nodes ?(prior = [])
         pick_strategy ~index ~is_last:(index >= max_attempts) ~fits_explicit
           ~prev_failure
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Bdd.now_monotonic () in
       match attempt_fn ~attempt:index strategy with
       | v ->
         log := record index strategy None t0 :: !log;

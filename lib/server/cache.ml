@@ -1,0 +1,82 @@
+(* Warm manager pool.  See the interface for the design; the
+   implementation is a mutex-guarded hashtable with LRU eviction of
+   idle entries. *)
+
+type entry = {
+  key : string;
+  lock : Mutex.t;
+  mutable compiled : Smv.Compile.compiled option;
+  mutable busy : int;
+  mutable uses : int;
+  mutable last_used : float;
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  pool_lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create 16; pool_lock = Mutex.create () }
+
+let digest ~source ~partitioned ~static_order =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%b|%b|%s" partitioned static_order source))
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* Under the pool lock: drop least-recently-used idle entries until we
+   are back at capacity.  Evicted managers are reclaimed by the GC —
+   nothing outside the entry references them once it leaves the
+   table. *)
+let evict_over_capacity t =
+  let excess = Hashtbl.length t.table - t.capacity in
+  if excess > 0 then begin
+    let idle =
+      Hashtbl.fold
+        (fun _ e acc -> if e.busy = 0 then e :: acc else acc)
+        t.table []
+      |> List.sort (fun a b -> Float.compare a.last_used b.last_used)
+    in
+    List.iteri
+      (fun i e -> if i < excess then Hashtbl.remove t.table e.key)
+      idle
+  end
+
+let acquire t ~key =
+  with_lock t.pool_lock @@ fun () ->
+  let entry, warm =
+    match Hashtbl.find_opt t.table key with
+    | Some e -> (e, e.compiled <> None)
+    | None ->
+      let e =
+        {
+          key;
+          lock = Mutex.create ();
+          compiled = None;
+          busy = 0;
+          uses = 0;
+          last_used = Bdd.now_monotonic ();
+        }
+      in
+      Hashtbl.replace t.table key e;
+      (e, false)
+  in
+  (* Mark busy *before* evicting: a fresh insert at capacity must evict
+     some idle entry, never the one being handed out. *)
+  entry.busy <- entry.busy + 1;
+  entry.uses <- entry.uses + 1;
+  evict_over_capacity t;
+  (entry, warm)
+
+let release t entry =
+  with_lock t.pool_lock @@ fun () ->
+  entry.busy <- max 0 (entry.busy - 1);
+  entry.last_used <- Bdd.now_monotonic ()
+
+let size t = with_lock t.pool_lock @@ fun () -> Hashtbl.length t.table

@@ -1,0 +1,61 @@
+(** The warm manager pool: compiled models keyed by source hash.
+
+    The whole point of serve mode is that the second request for a
+    model skips everything expensive: parsing and compilation, BDD
+    construction, the sifted variable order the first request paid
+    for, the hot operation caches, and — via [Kripke.reach_memo] —
+    the reachable-set fixpoint.  The pool maps a digest of
+    [(source, partitioned, static_order)] to a compiled model whose
+    manager carries all of that accumulated warmth.
+
+    Compilation options are part of the key because they change the
+    manager's contents: a partitioned compile builds different
+    transition structure, and a static-order compile seeds a
+    different variable order.  Keeping them distinct preserves the
+    byte-identity guarantee — a request with [reorder = none] must
+    see declaration order, never an order some earlier [reorder =
+    auto] request sifted to.
+
+    Concurrency: a BDD manager is single-domain (hash-consing is not
+    thread-safe), so each entry has a lock and requests for the same
+    model serialise on it; requests for different models proceed in
+    parallel on their own managers.  Entries are built {e under} the
+    entry lock, not the pool lock, so a slow compile of one model
+    never blocks requests for others.
+
+    Eviction is LRU over idle entries: when the pool exceeds its
+    capacity, the least-recently-released entries with no holder are
+    dropped (their managers become garbage).  Busy entries are never
+    evicted. *)
+
+type t
+
+type entry = {
+  key : string;
+  lock : Mutex.t;  (** hold while compiling into or checking on the entry *)
+  mutable compiled : Smv.Compile.compiled option;
+      (** [None] until the first holder builds it (or after a failed
+          build — the next holder simply retries) *)
+  mutable busy : int;       (** current holders (acquired, not released) *)
+  mutable uses : int;       (** total acquisitions, for the reply stats *)
+  mutable last_used : float; (** monotonic time of last release *)
+}
+
+val create : capacity:int -> t
+(** A pool evicting down to [capacity] idle entries
+    (raises [Invalid_argument] when [capacity < 1]). *)
+
+val digest : source:string -> partitioned:bool -> static_order:bool -> string
+(** The pool key for a check request. *)
+
+val acquire : t -> key:string -> entry * bool
+(** Find or insert the entry for [key]; the flag is [true] when the
+    entry already held a compiled model (a {e warm} hit).  Bumps the
+    holder count; the caller must lock [entry.lock] before touching
+    [compiled] and must {!release} when done. *)
+
+val release : t -> entry -> unit
+(** Drop the holder count and stamp [last_used]. *)
+
+val size : t -> int
+(** Entries currently pooled (busy or idle). *)

@@ -1,0 +1,415 @@
+(* The serve loop.  Structure:
+
+     main thread          reader threads           pool workers
+     ------------         --------------           ------------
+     bind + accept   -->  one per connection  -->  one task per check
+     (select tick)        Frame.read loop          Engine.check_one
+                          parse + dispatch         write reply frame
+
+   Stdio mode is the same picture minus accept: the main thread is the
+   single reader.  Replies are written by whoever produced them
+   (reader for ping/cancel, worker for checks) under a per-connection
+   write mutex, so frames never interleave.
+
+   Drain discipline: SIGINT / SIGTERM / the shutdown op set one [stop]
+   atomic.  Readers wake (signal-interrupted reads return through
+   [Frame.read]'s [should_stop]; socket readers are woken by a
+   [shutdown SHUTDOWN_RECEIVE] from the main loop), stop reading,
+   await their in-flight futures so every accepted request still gets
+   its reply, and exit.  Nothing sets the per-request cancel flags on
+   drain — that path is reserved for the cancel op and for client
+   disconnects. *)
+
+type config = {
+  socket : string option;
+  jobs : int;
+  capacity : int;
+  debug : bool;
+}
+
+(* One client connection: its fds, write lock, and the cancellation
+   flags of its in-flight checks (ids are client-chosen and scoped to
+   the connection). *)
+type conn = {
+  fd_in : Unix.file_descr;
+  fd_out : Unix.file_descr;
+  write_lock : Mutex.t;
+  inflight_lock : Mutex.t;
+  inflight : (string, bool Atomic.t) Hashtbl.t;
+  mutable futures : unit Parallel.Pool.future list;
+}
+
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+(* Best-effort reply: a client that vanished mid-check loses its reply
+   and nothing else. *)
+let send conn payload =
+  with_lock conn.write_lock @@ fun () ->
+  match Frame.write conn.fd_out payload with
+  | () -> ()
+  | exception Frame.Closed -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request processing (runs on a pool worker) *)
+
+let engine_opts (o : Protocol.options) ~cancel =
+  {
+    Engine.fair = o.Protocol.fair;
+    traces = o.Protocol.traces;
+    stats = o.Protocol.stats;
+    certify = o.Protocol.certify;
+    debug = false (* exceptions must become replies, never crashes *);
+    timeout = o.Protocol.timeout;
+    node_limit = o.Protocol.node_limit;
+    step_limit = o.Protocol.step_limit;
+    retries = o.Protocol.retries;
+    retry_factor = o.Protocol.retry_factor;
+    cancel;
+  }
+
+let describe_compile_error = function
+  | Smv.Lexer.Error (msg, pos) ->
+    Format.asprintf "model: lexical error at %a: %s" Smv.Ast.pp_pos pos msg
+  | Smv.Parser.Error (msg, pos) ->
+    Format.asprintf "model: syntax error at %a: %s" Smv.Ast.pp_pos pos msg
+  | Smv.Compile.Error (msg, pos) | Smv.Flatten.Error (msg, pos) ->
+    let where =
+      match pos with
+      | Some p -> Format.asprintf " at %a" Smv.Ast.pp_pos p
+      | None -> ""
+    in
+    Printf.sprintf "model: error%s: %s" where msg
+  | e -> raise e
+
+(* Compile into the (locked) cache entry; clusters are rooted for the
+   entry's whole life, exactly as the one-shot CLI roots them for the
+   run. *)
+let build_entry (entry : Cache.entry) ~partitioned ~static_order source =
+  match entry.Cache.compiled with
+  | Some c -> Ok (c, true)
+  | None -> (
+    match Smv.load_string ~partitioned ~static_order source with
+    | compiled ->
+      let m = compiled.Smv.Compile.model in
+      let (_ : Bdd.root) =
+        Bdd.add_root m.Kripke.man (fun () -> compiled.Smv.Compile.clusters)
+      in
+      entry.Cache.compiled <- Some compiled;
+      Ok (compiled, false)
+    | exception
+        (( Smv.Lexer.Error _ | Smv.Parser.Error _ | Smv.Compile.Error _
+         | Smv.Flatten.Error _ ) as e) ->
+      Error (describe_compile_error e))
+
+(* Check one request on its (locked) warm entry.  Returns the reply
+   payload; never raises. *)
+let process cache ~id ~model ~specs ~(options : Protocol.options) ~cancel =
+  let t0 = Bdd.now_monotonic () in
+  let static_order = options.Protocol.reorder <> `None in
+  let key =
+    Cache.digest ~source:model ~partitioned:options.Protocol.partitioned
+      ~static_order
+  in
+  let entry, _ = Cache.acquire cache ~key in
+  Fun.protect ~finally:(fun () -> Cache.release cache entry) @@ fun () ->
+  with_lock entry.Cache.lock @@ fun () ->
+  match
+    build_entry entry ~partitioned:options.Protocol.partitioned ~static_order
+      model
+  with
+  | Error msg -> Protocol.error_reply ~id msg
+  | Ok (compiled, warm) -> (
+    let m = compiled.Smv.Compile.model in
+    let man = m.Kripke.man in
+    let opts = engine_opts options ~cancel in
+    (* Request-scoped manager state: a previous request must leak
+       nothing into this one.  The engine already disarms its own
+       faults on every exit path; disarming again here is the
+       belt-and-braces for a worker that died mid-request. *)
+    Bdd.Fault.disarm man;
+    let fired_before = Bdd.Fault.fired man in
+    let stats_before = Bdd.stats man in
+    Bdd.reset_peak man;
+    (match options.Protocol.reorder with
+    | `None | `Once -> ()
+    | `Auto ->
+      Bdd.Reorder.set_auto man (Some options.Protocol.reorder_threshold));
+    Fun.protect ~finally:(fun () -> Bdd.Reorder.set_auto man None)
+    @@ fun () ->
+    match
+      (* An initial sweep for a cold `once entry; a warm one is
+         already sifted and a repeat sweep is a cheap no-op settle. *)
+      (match options.Protocol.reorder with
+      | `Once when not warm -> (
+        match Bdd.reorder man with () -> () | exception Out_of_memory -> ())
+      | _ -> ());
+      (* Warm the reachability memo (and observe whether it already
+         was): this is the fixpoint a spec-only change gets for free
+         on the next request.  Budgeted — a breach leaves the memo
+         unset and the specs still run. *)
+      let reach_reused = Kripke.reach_memo m <> None in
+      let reach_states =
+        let limits = Engine.mk_limits opts in
+        match
+          Bdd.Limits.with_attached man limits (fun () ->
+              Kripke.reachable ~limits m)
+        with
+        | reach -> Some (Kripke.count_states m reach)
+        | exception Bdd.Limits.Exhausted _ -> None
+      in
+      let extra =
+        List.map
+          (fun text ->
+            match Smv.Compile.compile_expr compiled text with
+            | f -> (text, f)
+            | exception
+                ( Smv.Lexer.Error (msg, _)
+                | Smv.Parser.Error (msg, _)
+                | Smv.Compile.Error (msg, _) ) ->
+              failwith (Printf.sprintf "spec %S: %s" text msg))
+          specs
+      in
+      let all_specs = compiled.Smv.Compile.specs @ extra in
+      let buf = Buffer.create 512 in
+      let ppf = Format.formatter_of_buffer buf in
+      let reports =
+        if all_specs = [] then begin
+          Format.fprintf ppf "no specifications to check@.";
+          []
+        end
+        else
+          List.filter_map
+            (fun spec ->
+              if Atomic.get cancel then None
+              else
+                Some
+                  (Protocol.
+                     {
+                       sv_name = fst spec;
+                       sv_report =
+                         Engine.check_one ppf m ~opts
+                           ~clusters:(fun () -> compiled.Smv.Compile.clusters)
+                           ?inject:options.Protocol.inject spec;
+                     }))
+            all_specs
+      in
+      Format.pp_print_flush ppf ();
+      (reach_reused, reach_states, reports, Buffer.contents buf)
+    with
+    | reach_reused, reach_states, verdicts, output ->
+      let stats =
+        if options.Protocol.stats then
+          Some (Bdd.diff_stats (Bdd.stats man) stats_before)
+        else None
+      in
+      let faults_fired = Bdd.Fault.fired man - fired_before in
+      let exit_code =
+        Engine.exit_code ~interrupted:(Atomic.get cancel)
+          (List.map (fun sv -> sv.Protocol.sv_report) verdicts)
+      in
+      Protocol.check_reply ~id ~exit_code ~verdicts ~output ~warm
+        ~reach_reused ?reach_states ?stats ~faults_fired
+        ~time_ms:((Bdd.now_monotonic () -. t0) *. 1000.) ()
+    | exception Failure msg -> Protocol.error_reply ~id msg)
+
+(* The never-raise wrapper around [process]: whatever escapes the
+   engine's own isolation becomes an error reply, and the server
+   lives on. *)
+let process_safe cache ~debug ~id ~model ~specs ~options ~cancel =
+  match process cache ~id ~model ~specs ~options ~cancel with
+  | reply -> reply
+  | exception e ->
+    let msg = Printf.sprintf "internal error: %s" (Printexc.to_string e) in
+    let msg =
+      if debug then msg ^ "\n" ^ Printexc.get_backtrace () else msg
+    in
+    Protocol.error_reply ~id msg
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling (reader side) *)
+
+let handle_request cfg cache pool conn stop payload =
+  match Protocol.parse_request payload with
+  | Error msg -> send conn (Protocol.error_reply msg)
+  | Ok Protocol.Ping -> send conn Protocol.pong_reply
+  | Ok Protocol.Shutdown ->
+    send conn Protocol.shutdown_reply;
+    Atomic.set stop true
+  | Ok (Protocol.Cancel { id }) ->
+    let found =
+      with_lock conn.inflight_lock @@ fun () ->
+      match Hashtbl.find_opt conn.inflight id with
+      | Some cancel ->
+        Atomic.set cancel true;
+        true
+      | None -> false
+    in
+    send conn (Protocol.cancel_reply ~id ~found)
+  | Ok (Protocol.Check { id; model; specs; options }) ->
+    let cancel = Atomic.make false in
+    with_lock conn.inflight_lock (fun () ->
+        Hashtbl.replace conn.inflight id cancel);
+    let task () =
+      let reply =
+        process_safe cache ~debug:cfg.debug ~id ~model ~specs ~options
+          ~cancel
+      in
+      with_lock conn.inflight_lock (fun () -> Hashtbl.remove conn.inflight id);
+      send conn reply
+    in
+    let future = Parallel.Pool.submit pool task in
+    with_lock conn.inflight_lock (fun () ->
+        conn.futures <- future :: conn.futures)
+
+(* Read frames until EOF or drain; then settle the connection's
+   in-flight checks.  A client that disconnected (EOF while the server
+   is not draining) cancels its own in-flight requests — nobody is
+   listening for those replies. *)
+let reader_loop cfg cache pool conn stop =
+  let rec loop () =
+    match Frame.read ~should_stop:(fun () -> Atomic.get stop) conn.fd_in with
+    | Some payload ->
+      handle_request cfg cache pool conn stop payload;
+      if not (Atomic.get stop) then loop ()
+    | None -> ()
+    | exception Frame.Closed -> ()
+    | exception Frame.Oversized n ->
+      send conn
+        (Protocol.error_reply
+           (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+              Frame.max_frame))
+      (* framing is lost beyond this point: drop the connection *)
+  in
+  loop ();
+  if not (Atomic.get stop) then
+    with_lock conn.inflight_lock (fun () ->
+        Hashtbl.iter (fun _ c -> Atomic.set c true) conn.inflight);
+  let futures = with_lock conn.inflight_lock (fun () -> conn.futures) in
+  List.iter (fun f -> ignore (Parallel.Pool.await f)) futures
+
+let make_conn fd_in fd_out =
+  {
+    fd_in;
+    fd_out;
+    write_lock = Mutex.create ();
+    inflight_lock = Mutex.create ();
+    inflight = Hashtbl.create 8;
+    futures = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point *)
+
+let install_signals stop =
+  let handle _ = Atomic.set stop true in
+  let try_install s h =
+    match Sys.set_signal s h with
+    | () -> ()
+    | exception (Invalid_argument _ | Sys_error _) -> ()
+  in
+  (* EPIPE must surface as a write error (handled per-connection), not
+     kill the process. *)
+  try_install Sys.sigpipe Sys.Signal_ignore;
+  try_install Sys.sigint (Sys.Signal_handle handle);
+  try_install Sys.sigterm (Sys.Signal_handle handle)
+
+let serve_stdio cfg cache pool stop =
+  let conn = make_conn Unix.stdin Unix.stdout in
+  reader_loop cfg cache pool conn stop;
+  0
+
+let serve_socket cfg cache pool stop path =
+  (* A stale socket file from a previous run would make bind fail;
+     replacing it is the conventional daemon behaviour. *)
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    Unix.bind listen_fd (Unix.ADDR_UNIX path);
+    Unix.listen listen_fd 64
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Unix.close listen_fd;
+    Format.eprintf "smv_check --serve: cannot listen on %s: %s@." path
+      (Unix.error_message e);
+    3
+  | () ->
+    Format.eprintf "smv_check: serving on %s (%d worker%s)@." path cfg.jobs
+      (if cfg.jobs = 1 then "" else "s");
+    let conns_lock = Mutex.create () in
+    let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+    let next_id = ref 0 in
+    let threads = ref [] in
+    let accept_one fd =
+      let conn = make_conn fd fd in
+      let id =
+        with_lock conns_lock @@ fun () ->
+        incr next_id;
+        Hashtbl.replace conns !next_id conn;
+        !next_id
+      in
+      let thread =
+        Thread.create
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                with_lock conns_lock (fun () -> Hashtbl.remove conns id);
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () -> reader_loop cfg cache pool conn stop))
+          ()
+      in
+      threads := thread :: !threads
+    in
+    (* Accept with a select tick so the loop notices [stop] promptly
+       even when no connection ever arrives. *)
+    let rec accept_loop () =
+      if not (Atomic.get stop) then begin
+        (match Unix.select [ listen_fd ] [] [] 0.25 with
+        | [], _, _ -> ()
+        | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ -> accept_one fd
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        accept_loop ()
+      end
+    in
+    accept_loop ();
+    (* Drain: wake readers parked in [read] by shutting their receive
+       sides, then join them (each settles its in-flight futures
+       before exiting). *)
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    with_lock conns_lock (fun () ->
+        Hashtbl.iter
+          (fun _ c ->
+            try Unix.shutdown c.fd_in Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          conns);
+    List.iter Thread.join !threads;
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    0
+
+let serve cfg =
+  if cfg.jobs < 1 then begin
+    Format.eprintf "smv_check --serve: jobs must be >= 1@.";
+    3
+  end
+  else if cfg.capacity < 1 then begin
+    Format.eprintf "smv_check --serve: cache capacity must be >= 1@.";
+    3
+  end
+  else begin
+    let stop = Atomic.make false in
+    install_signals stop;
+    let cache = Cache.create ~capacity:cfg.capacity in
+    let pool = Parallel.Pool.create cfg.jobs in
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () ->
+        match cfg.socket with
+        | None -> serve_stdio cfg cache pool stop
+        | Some path -> serve_socket cfg cache pool stop path)
+  end

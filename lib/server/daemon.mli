@@ -1,0 +1,39 @@
+(** The check server: a long-running request loop over warm managers.
+
+    [serve] accepts framed {!Protocol} requests on standard input /
+    output or a Unix-domain socket, schedules each check on a
+    {!Parallel.Pool} worker domain, and writes one reply frame per
+    request.  Models are compiled once into the warm {!Cache} pool
+    and reused across requests, so a repeat check skips parsing, BDD
+    construction, variable sifting and (via the model's memoised
+    reachable set) the reachability fixpoint.
+
+    Isolation guarantees:
+    {ul
+    {- every request carries its own cancellation atomic — a
+       ["cancel"] frame or a client disconnect stops {e that} request
+       at its next poll point and nothing else;}
+    {- every request runs inside the {!Engine}'s recovery ladder with
+       its own [Bdd.Limits] bundle, so a tripped budget or an
+       injected fault yields an UNDETERMINED verdict in the reply —
+       never a dead server;}
+    {- requests for the same model serialise on the model's cache
+       entry (BDD managers are single-domain); requests for different
+       models run concurrently on different workers;}
+    {- SIGINT / SIGTERM and the ["shutdown"] op mean {e drain}: stop
+       reading, let in-flight checks finish and reply, then exit —
+       in-flight work is not cancelled.}} *)
+
+type config = {
+  socket : string option;
+      (** listen on this Unix-domain socket path; [None] serves one
+          connection on stdin/stdout *)
+  jobs : int;      (** worker domains checking requests, [>= 1] *)
+  capacity : int;  (** warm models kept in the pool, [>= 1] *)
+  debug : bool;    (** include backtraces in error replies *)
+}
+
+val serve : config -> int
+(** Run until shutdown; the returned exit code is [0] after a clean
+    drain, [3] on a setup failure (unusable socket path, bad
+    config). *)

@@ -1,0 +1,83 @@
+(** The per-specification checking engine, shared by the one-shot CLI
+    and the check server.
+
+    This is the code that used to live inside [bin/smv_check.ml]:
+    recovery-ladder-driven checking of one specification, trace
+    construction, certification, and the exact output text.  Factoring
+    it here is what makes the server's byte-identity guarantee
+    checkable at all — both entry points call the very same
+    [check_one], so a server reply's [output] field and a one-shot
+    run's stdout are the same bytes by construction, not by parallel
+    maintenance of two printers.
+
+    Two deliberate behaviour fixes ride along with the extraction:
+    {ul
+    {- cancellation is an explicit [opts.cancel] atomic rather than a
+       process global, so every server request carries its own flag
+       and cancelling one request cannot abort another;}
+    {- the spec's embedded [Pred] state sets are rooted for the
+       duration of the check — a ladder-triggered [Bdd.gc] between
+       attempts used to be able to sweep them (compiled specs are not
+       reachable from the model's roots), which mattered rarely for a
+       one-shot run but constantly for a warm server re-checking
+       long-lived compiled specs.}} *)
+
+(** Per-spec verdicts; [Undetermined] covers resource breaches and
+    (without [debug]) unexpected exceptions, so one bad specification
+    never takes down the rest of the run. *)
+type verdict = Holds | Fails | Undetermined of string
+
+(** What {!check_one} hands back: the verdict plus whether a produced
+    trace failed certification (which forces exit code 3). *)
+type report = { verdict : verdict; cert_failed : bool }
+
+(** Checking options — the subset of the CLI's flags that govern one
+    specification's check, plus the cancellation flag it must obey. *)
+type opts = {
+  fair : bool;          (** honour FAIRNESS constraints *)
+  traces : bool;        (** print witness / counterexample traces *)
+  stats : bool;         (** print per-spec attempt logs on retries *)
+  certify : bool;       (** re-validate every emitted trace *)
+  debug : bool;         (** let unexpected exceptions escape *)
+  timeout : float option;
+  node_limit : int option;
+  step_limit : int option;
+  retries : int;
+  retry_factor : float;
+  cancel : bool Atomic.t;  (** set to true to cancel this check *)
+}
+
+val mk_limits : opts -> Bdd.Limits.t
+(** A fresh budget bundle carrying [opts]' budgets, cancellable
+    through [opts.cancel]. *)
+
+val exit_code :
+  interrupted:bool -> report list -> int
+(** Aggregate per-spec reports into the CLI exit-code contract:
+    3 when any trace failed certification, 2 when interrupted or any
+    verdict is undetermined, 1 when any specification is false,
+    else 0. *)
+
+val check_one :
+  Format.formatter ->
+  Kripke.t ->
+  opts:opts ->
+  clusters:(unit -> Bdd.t list) ->
+  ?inject:Bdd.Fault.site * int ->
+  ?prior:Robust.Ladder.attempt list ->
+  string * Ctl.t ->
+  report
+(** Check one specification.  Budgets are per-spec so one hard
+    specification cannot starve the rest; the bundle is also the
+    cancellation point.  With [retries = 0] this reduces to exactly
+    one [Direct] attempt whose behaviour (prints included) matches
+    the pre-recovery checker byte for byte.  All output goes to the
+    formatter: the sequential CLI passes the standard formatter, the
+    parallel CLI and the server a buffer.
+
+    [clusters] supplies the transition clusters for the degraded rung
+    (a thunk: workers transfer them onto their own manager lazily);
+    [inject] arms the manager's fault before the first attempt, and is
+    always disarmed again on exit; [prior] carries a crashed worker
+    attempt so the local re-run resumes the ladder instead of
+    restarting it. *)

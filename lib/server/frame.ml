@@ -1,0 +1,63 @@
+exception Closed
+exception Oversized of int
+
+let max_frame = 64 * 1024 * 1024
+
+let closed_errors = [ Unix.EPIPE; Unix.ECONNRESET; Unix.EBADF ]
+
+(* Read exactly [len] bytes into [buf] starting at [off].  Returns the
+   number of bytes actually read before a clean EOF (so callers can
+   tell "EOF on a frame boundary" from "EOF mid-frame"). *)
+let really_read ?(should_stop = fun () -> false) fd buf off len =
+  let rec go off remaining =
+    if remaining = 0 then len
+    else
+      match Unix.read fd buf off remaining with
+      | 0 -> len - remaining
+      | n -> go (off + n) (remaining - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        if should_stop () then len - remaining else go off remaining
+      | exception Unix.Unix_error (e, _, _) when List.mem e closed_errors ->
+        raise Closed
+  in
+  go off len
+
+let read ?should_stop fd =
+  let stop = Option.value should_stop ~default:(fun () -> false) in
+  let header = Bytes.create 4 in
+  match really_read ~should_stop:stop fd header 0 4 with
+  | 0 -> None (* clean EOF, or should_stop tripped before any byte *)
+  | 4 ->
+    let len =
+      (Char.code (Bytes.get header 0) lsl 24)
+      lor (Char.code (Bytes.get header 1) lsl 16)
+      lor (Char.code (Bytes.get header 2) lsl 8)
+      lor Char.code (Bytes.get header 3)
+    in
+    if len > max_frame then raise (Oversized len);
+    let payload = Bytes.create len in
+    let got = really_read ~should_stop:stop fd payload 0 len in
+    if got < len then
+      if stop () then None else raise Closed
+    else Some (Bytes.unsafe_to_string payload)
+  | _ -> if stop () then None else raise Closed
+
+let write fd payload =
+  let len = String.length payload in
+  if len > max_frame then raise (Oversized len);
+  let msg = Bytes.create (4 + len) in
+  Bytes.set msg 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set msg 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set msg 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set msg 3 (Char.chr (len land 0xff));
+  Bytes.blit_string payload 0 msg 4 len;
+  let total = 4 + len in
+  let rec go off =
+    if off < total then
+      match Unix.write fd msg off (total - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) when List.mem e closed_errors ->
+        raise Closed
+  in
+  go 0

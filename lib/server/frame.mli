@@ -1,0 +1,30 @@
+(** Length-prefixed framing over a file descriptor.
+
+    Each frame is a 4-byte big-endian payload length followed by the
+    payload bytes.  Reads and writes operate on raw [Unix.file_descr]
+    (not channels) so a signal can interrupt a blocked read: the serve
+    loop's SIGINT handler sets a flag, the blocked [read] wakes with
+    [EINTR], consults [should_stop], and returns as if at end of
+    input — that is what turns SIGINT into "drain and shut down"
+    rather than "kill the connection mid-frame". *)
+
+exception Closed
+(** The peer is gone: raised by {!write} on [EPIPE]/[ECONNRESET], and
+    by {!read} when the stream ends in the middle of a frame. *)
+
+exception Oversized of int
+(** A frame header announced more than {!max_frame} bytes — treat the
+    stream as corrupt. *)
+
+val max_frame : int
+(** Upper bound on accepted payload size (64 MiB).  Guards the server
+    against allocating unbounded buffers on a garbage header. *)
+
+val read : ?should_stop:(unit -> bool) -> Unix.file_descr -> string option
+(** Read one frame.  [None] at a clean end of stream (EOF on the
+    header boundary) or when [should_stop ()] becomes true while the
+    read is parked in [EINTR].  Restarts interrupted reads otherwise. *)
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame (header + payload), looping over partial writes.
+    @raise Closed when the peer has disconnected. *)

@@ -1,0 +1,321 @@
+(* Minimal JSON: compact printer, recursive-descent parser.  See the
+   interface for why this exists at all. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* 2^53: beyond it a float no longer represents every integer, so the
+   integral-looking rendering would lie about the stored value. *)
+let max_exact_int = 9007199254740992.0
+
+let number_string f =
+  if not (Float.is_finite f) then
+    (* NaN / infinities have no JSON spelling; null is the least-wrong
+       total answer for a printer that must not raise. *)
+    "null"
+  else if Float.is_integer f && Float.abs f <= max_exact_int then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let rec render buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_string f)
+  | Str s -> escape_string buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        render buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        render buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  render buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+exception Parse_error of int * string
+
+let parse_fail pos msg = raise (Parse_error (pos, msg))
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> parse_fail c.pos (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.sub c.text c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_fail c.pos (Printf.sprintf "expected %s" word)
+
+let hex_digit c ch =
+  match ch with
+  | '0' .. '9' -> Char.code ch - Char.code '0'
+  | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+  | _ -> parse_fail c.pos "invalid hex escape"
+
+let parse_hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek c with
+    | Some ch ->
+      v := (!v * 16) + hex_digit c ch;
+      advance c
+    | None -> parse_fail c.pos "truncated \\u escape"
+  done;
+  !v
+
+(* Encode one Unicode scalar value as UTF-8. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_fail c.pos "unterminated string"
+    | Some '"' ->
+      advance c;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> parse_fail c.pos "truncated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          let hi = parse_hex4 c in
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            (* high surrogate: a low surrogate must follow *)
+            expect c '\\';
+            expect c 'u';
+            let lo = parse_hex4 c in
+            if lo < 0xDC00 || lo > 0xDFFF then
+              parse_fail c.pos "unpaired surrogate";
+            add_utf8 buf
+              (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+          end
+          else if hi >= 0xDC00 && hi <= 0xDFFF then
+            parse_fail c.pos "unpaired surrogate"
+          else add_utf8 buf hi
+        | _ -> parse_fail (c.pos - 1) "unknown escape");
+        go ())
+    | Some ch when Char.code ch < 0x20 ->
+      parse_fail c.pos "unescaped control character"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ()
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek c with
+      | Some ch when pred ch ->
+        advance c;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (match peek c with Some '-' -> advance c | _ -> ());
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  (match peek c with
+  | Some '.' ->
+    advance c;
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek c with
+  | Some ('e' | 'E') ->
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let s = String.sub c.text start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> parse_fail start "invalid number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_fail c.pos "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> parse_fail c.pos "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> parse_fail c.pos "expected ',' or ']'"
+      in
+      Arr (items [])
+    end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> parse_fail c.pos (Printf.sprintf "unexpected %C" ch)
+
+let of_string text =
+  let c = { text; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length text then
+      parse_fail c.pos "trailing garbage after document";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+    Error (Printf.sprintf "JSON error at byte %d: %s" pos msg)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_num = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f && Float.abs f <= max_exact_int ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function Arr items -> Some items | _ -> None
+
+let obj_or_empty = function Some (Obj fields) -> fields | _ -> []

@@ -1,0 +1,47 @@
+(** A minimal JSON value type with printer and parser.
+
+    The check-server protocol speaks JSON over length-prefixed frames;
+    nothing in the container provides a JSON library, and the protocol
+    needs only the data model — no streaming, no schemas — so this is
+    a small self-contained implementation.  The printer emits compact
+    single-line documents (no insignificant whitespace); the parser
+    accepts any RFC 8259 text, including [\uXXXX] escapes (surrogate
+    pairs are decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering.  Numbers with an integral value in the 53-bit
+    safely-representable range print without a fractional part (so
+    request ids and counters round-trip as written). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed; trailing
+    garbage is an error).  [Error msg] carries a byte offset. *)
+
+(** {1 Accessors}
+
+    Total accessors for picking apart parsed requests: each returns
+    [None] on a type mismatch rather than raising, so protocol
+    validation is explicit at the call site. *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] on missing field or non-object). *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_int : t -> int option
+(** {!to_num} truncated; [None] when not numeric. *)
+
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val obj_or_empty : t option -> (string * t) list
+(** The fields of [Some (Obj _)]; [[]] for anything else — the shape
+    of an optional options object. *)

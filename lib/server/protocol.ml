@@ -1,0 +1,311 @@
+(* Wire protocol: parse request frames, build reply frames.  All JSON
+   shapes are documented in the interface. *)
+
+let ( let* ) = Result.bind
+
+type options = {
+  fair : bool;
+  traces : bool;
+  stats : bool;
+  certify : bool;
+  partitioned : bool;
+  retries : int;
+  retry_factor : float;
+  timeout : float option;
+  node_limit : int option;
+  step_limit : int option;
+  inject : (Bdd.Fault.site * int) option;
+  reorder : [ `None | `Once | `Auto ];
+  reorder_threshold : int;
+}
+
+(* Defaults mirror the one-shot CLI flag defaults: an option-less
+   check request must behave exactly like `smv_check MODEL`. *)
+let default_options =
+  {
+    fair = true;
+    traces = true;
+    stats = false;
+    certify = false;
+    partitioned = false;
+    retries = 0;
+    retry_factor = 2.0;
+    timeout = None;
+    node_limit = None;
+    step_limit = None;
+    inject = None;
+    reorder = `None;
+    reorder_threshold = 4096;
+  }
+
+type request =
+  | Check of {
+      id : string;
+      model : string;
+      specs : string list;
+      options : options;
+    }
+  | Cancel of { id : string }
+  | Ping
+  | Shutdown
+
+type spec_verdict = {
+  sv_name : string;
+  sv_report : Engine.report;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing *)
+
+let field_error name kind = Error (Printf.sprintf "%S must be %s" name kind)
+
+let opt_field fields name decode kind =
+  match List.assoc_opt name fields with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok (Some x)
+    | None -> field_error name kind)
+
+let with_default default = Result.map (Option.value ~default)
+
+let parse_inject s =
+  match String.index_opt s ':' with
+  | None -> Error "\"inject\" must be SITE:COUNT (e.g. mk:1000)"
+  | Some i -> (
+    let site = String.sub s 0 i in
+    let count = String.sub s (i + 1) (String.length s - i - 1) in
+    let* n =
+      match int_of_string_opt count with
+      | Some n when n >= 1 -> Ok n
+      | Some _ | None -> Error "\"inject\": COUNT must be a positive integer"
+    in
+    match Bdd.Fault.site_of_string site with
+    | Some fs -> Ok (fs, n)
+    | None ->
+      Error
+        (Printf.sprintf
+           "\"inject\": unknown site %S (expected mk, probe, gc, step or \
+            reorder)"
+           site))
+
+let parse_reorder = function
+  | "none" -> Ok `None
+  | "once" -> Ok `Once
+  | "auto" -> Ok `Auto
+  | s ->
+    Error
+      (Printf.sprintf "\"reorder\": unknown mode %S (none, once or auto)" s)
+
+let parse_options json =
+  let fields = Json.obj_or_empty json in
+  let d = default_options in
+  let bool_f name default =
+    with_default default (opt_field fields name Json.to_bool "a boolean")
+  in
+  let int_f name default =
+    with_default default (opt_field fields name Json.to_int "an integer")
+  in
+  let* fair = bool_f "fair" d.fair in
+  let* traces = bool_f "traces" d.traces in
+  let* stats = bool_f "stats" d.stats in
+  let* certify = bool_f "certify" d.certify in
+  let* partitioned = bool_f "partitioned" d.partitioned in
+  let* retries = int_f "retries" d.retries in
+  let* retry_factor =
+    with_default d.retry_factor
+      (opt_field fields "retry_factor" Json.to_num "a number")
+  in
+  let* timeout = opt_field fields "timeout" Json.to_num "a number" in
+  let* node_limit = opt_field fields "node_limit" Json.to_int "an integer" in
+  let* step_limit = opt_field fields "step_limit" Json.to_int "an integer" in
+  let* reorder_threshold = int_f "reorder_threshold" d.reorder_threshold in
+  let* inject_s = opt_field fields "inject" Json.to_str "a string" in
+  let* inject =
+    match inject_s with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (parse_inject s)
+  in
+  let* reorder_s = opt_field fields "reorder" Json.to_str "a string" in
+  let* reorder =
+    match reorder_s with None -> Ok d.reorder | Some s -> parse_reorder s
+  in
+  (* The same sanity checks the CLI's [validate] performs, so a bad
+     option is a request error, not a mid-check surprise. *)
+  let* () =
+    if retries < 0 then Error "\"retries\" must be >= 0" else Ok ()
+  in
+  let* () =
+    if retry_factor < 1.0 then Error "\"retry_factor\" must be >= 1.0"
+    else Ok ()
+  in
+  let* () =
+    match timeout with
+    | Some t when t <= 0.0 -> Error "\"timeout\" must be positive"
+    | _ -> Ok ()
+  in
+  let* () =
+    match node_limit with
+    | Some n when n <= 0 -> Error "\"node_limit\" must be positive"
+    | _ -> Ok ()
+  in
+  let* () =
+    match step_limit with
+    | Some n when n <= 0 -> Error "\"step_limit\" must be positive"
+    | _ -> Ok ()
+  in
+  let* () =
+    if reorder_threshold <= 0 then
+      Error "\"reorder_threshold\" must be positive"
+    else Ok ()
+  in
+  Ok
+    {
+      fair; traces; stats; certify; partitioned; retries; retry_factor;
+      timeout; node_limit; step_limit; inject; reorder; reorder_threshold;
+    }
+
+let parse_request payload =
+  let* json =
+    Result.map_error (fun e -> "bad frame: " ^ e) (Json.of_string payload)
+  in
+  let str_field name =
+    match Option.bind (Json.member name json) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or non-string %S field" name)
+  in
+  let* op = str_field "op" in
+  match op with
+  | "ping" -> Ok Ping
+  | "shutdown" -> Ok Shutdown
+  | "cancel" ->
+    let* id = str_field "id" in
+    Ok (Cancel { id })
+  | "check" ->
+    let* id = str_field "id" in
+    let* model = str_field "model" in
+    let* specs =
+      match Json.member "specs" json with
+      | None | Some Json.Null -> Ok []
+      | Some v -> (
+        match Json.to_list v with
+        | None -> field_error "specs" "an array of strings"
+        | Some items ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              match Json.to_str item with
+              | Some s -> Ok (s :: acc)
+              | None -> field_error "specs" "an array of strings")
+            (Ok []) items
+          |> Result.map List.rev)
+    in
+    let* options = parse_options (Json.member "options" json) in
+    Ok (Check { id; model; specs; options })
+  | other -> Error (Printf.sprintf "unknown op %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Reply building *)
+
+let verdict_fields (r : Engine.report) =
+  let open Json in
+  match r.Engine.verdict with
+  | Engine.Holds -> [ ("verdict", Str "true") ]
+  | Engine.Fails -> [ ("verdict", Str "false") ]
+  | Engine.Undetermined reason ->
+    [ ("verdict", Str "undetermined"); ("reason", Str reason) ]
+
+let op_stats_json (o : Bdd.op_stats) =
+  let open Json in
+  Obj
+    [
+      ("calls", Num (float_of_int o.Bdd.calls));
+      ("hits", Num (float_of_int o.Bdd.hits));
+      ("misses", Num (float_of_int o.Bdd.misses));
+    ]
+
+let stats_json (s : Bdd.stats) =
+  let open Json in
+  Obj
+    [
+      ("ite", op_stats_json s.Bdd.ite);
+      ("exists", op_stats_json s.Bdd.exists);
+      ("forall", op_stats_json s.Bdd.forall);
+      ("relprod", op_stats_json s.Bdd.relprod);
+      ("constrain", op_stats_json s.Bdd.constrain);
+      ("live_nodes", Num (float_of_int s.Bdd.live_nodes));
+      ("peak_nodes", Num (float_of_int s.Bdd.peak_nodes));
+      ("total_nodes", Num (float_of_int s.Bdd.total_nodes));
+      ("cache_evictions", Num (float_of_int s.Bdd.cache_evictions));
+      ("gc_runs", Num (float_of_int s.Bdd.gc_runs));
+      ("gc_collected", Num (float_of_int s.Bdd.gc_collected));
+      ("reorders", Num (float_of_int s.Bdd.reorders));
+      ("reorder_ms", Num s.Bdd.reorder_ms);
+      ("reorder_saved", Num (float_of_int s.Bdd.reorder_saved));
+    ]
+
+let check_reply ~id ~exit_code ~verdicts ~output ~warm ~reach_reused
+    ?reach_states ?stats ?faults_fired ~time_ms () =
+  let open Json in
+  let verdicts_json =
+    Arr
+      (List.map
+         (fun sv ->
+           Obj
+             (( "spec", Str sv.sv_name )
+              :: verdict_fields sv.sv_report
+             @ [ ("cert_failed", Bool sv.sv_report.Engine.cert_failed) ]))
+         verdicts)
+  in
+  let optional =
+    (match reach_states with
+    | Some n -> [ ("reach_states", Num n) ]
+    | None -> [])
+    @ (match stats with Some s -> [ ("stats", stats_json s) ] | None -> [])
+    @
+    match faults_fired with
+    | Some n when n > 0 -> [ ("faults_fired", Num (float_of_int n)) ]
+    | _ -> []
+  in
+  to_string
+    (Obj
+       ([
+          ("id", Str id);
+          ("status", Str "ok");
+          ("exit_code", Num (float_of_int exit_code));
+          ("verdicts", verdicts_json);
+          ("output", Str output);
+          ("warm", Bool warm);
+          ("reach_reused", Bool reach_reused);
+        ]
+       @ optional
+       @ [ ("time_ms", Num time_ms) ]))
+
+let error_reply ?id msg =
+  let open Json in
+  to_string
+    (Obj
+       [
+         ("id", match id with Some s -> Str s | None -> Null);
+         ("status", Str "error");
+         ("error", Str msg);
+       ])
+
+let pong_reply =
+  Json.to_string
+    (Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "pong") ])
+
+let cancel_reply ~id ~found =
+  let open Json in
+  to_string
+    (Obj
+       [
+         ("id", Str id);
+         ("status", Str "ok");
+         ("op", Str "cancel");
+         ("found", Bool found);
+       ])
+
+let shutdown_reply =
+  Json.to_string
+    (Json.Obj [ ("status", Json.Str "ok"); ("op", Json.Str "shutdown") ])

@@ -1,0 +1,97 @@
+(** The check-server wire protocol: JSON documents, one per frame.
+
+    {2 Requests}
+
+    Every request is an object with an ["op"] field:
+    {ul
+    {- [{"op":"check","id":ID,"model":SRC,"specs":[F,...],
+        "options":{...}}] — compile the SMV source [SRC], check its
+       SPEC declarations plus the extra CTL formulas [F...], reply
+       with verdicts.  [id] is an arbitrary client-chosen string
+       echoed in the reply; ["specs"] and ["options"] are optional.}
+    {- [{"op":"cancel","id":ID}] — cancel the in-flight check with
+       that id (sets its private cancellation flag; the check winds
+       down at its next poll point and still sends its own reply,
+       with UNDETERMINED verdicts for whatever was cut short).}
+    {- [{"op":"ping"}] — liveness probe.}
+    {- [{"op":"shutdown"}] — stop accepting requests, drain, exit.}}
+
+    Option fields (all optional; defaults in {!default_options} match
+    the one-shot CLI's defaults so an option-less request behaves
+    exactly like [smv_check MODEL]): booleans [fair], [traces],
+    [stats], [certify], [partitioned]; integers [retries],
+    [node_limit], [step_limit], [reorder_threshold]; numbers
+    [timeout], [retry_factor]; strings [inject] ("SITE:COUNT" as on
+    the CLI, minus "worker") and [reorder] ("none"/"once"/"auto").
+
+    {2 Replies}
+
+    One reply frame per request, always an object with ["id"] (echoed,
+    or [null] when unparseable), ["status"] ("ok"/"error").  Check
+    replies add ["exit_code"] (the one-shot CLI's exit code for the
+    same run), ["verdicts"] (array of [{"spec","verdict","reason"?,
+    "cert_failed"}]), ["output"] (the complete one-shot CLI text,
+    byte-identical), ["warm"] (manager reused from the pool),
+    ["reach_reused"] (memoised reachable set reused), ["time_ms"],
+    and — when requested with [stats] — ["stats"] (this request's own
+    BDD work: snapshot-diffed manager counters, so concurrent
+    requests don't bleed into each other) and ["reach_states"]. *)
+
+type options = {
+  fair : bool;
+  traces : bool;
+  stats : bool;
+  certify : bool;
+  partitioned : bool;
+  retries : int;
+  retry_factor : float;
+  timeout : float option;
+  node_limit : int option;
+  step_limit : int option;
+  inject : (Bdd.Fault.site * int) option;
+  reorder : [ `None | `Once | `Auto ];
+  reorder_threshold : int;
+}
+
+val default_options : options
+
+type request =
+  | Check of {
+      id : string;
+      model : string;
+      specs : string list;  (** extra formulas, after the model's SPECs *)
+      options : options;
+    }
+  | Cancel of { id : string }
+  | Ping
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+(** Decode one frame payload.  [Error] carries a human-readable
+    message suitable for an error reply. *)
+
+(** {2 Reply builders} — each returns the frame payload. *)
+
+type spec_verdict = {
+  sv_name : string;
+  sv_report : Engine.report;
+}
+
+val check_reply :
+  id:string ->
+  exit_code:int ->
+  verdicts:spec_verdict list ->
+  output:string ->
+  warm:bool ->
+  reach_reused:bool ->
+  ?reach_states:float ->
+  ?stats:Bdd.stats ->
+  ?faults_fired:int ->
+  time_ms:float ->
+  unit ->
+  string
+
+val error_reply : ?id:string -> string -> string
+val pong_reply : string
+val cancel_reply : id:string -> found:bool -> string
+val shutdown_reply : string

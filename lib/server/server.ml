@@ -1,0 +1,14 @@
+(** Check-server mode: the warm-manager request loop behind
+    [smv_check --serve], plus the per-spec checking {!Engine} it
+    shares with the one-shot CLI.
+
+    {!Json} and {!Frame} are the wire, {!Protocol} the message
+    shapes, {!Cache} the warm manager pool, {!Daemon} the serve loop
+    itself. *)
+
+module Json = Json
+module Frame = Frame
+module Protocol = Protocol
+module Cache = Cache
+module Engine = Engine
+module Daemon = Daemon

@@ -20,5 +20,6 @@ let () =
       ("reorder", Test_reorder.suite);
       ("robust", Test_robust.suite);
       ("chaos", Test_chaos.suite);
+      ("server", Test_server.suite);
       ("cli", Test_cli.suite);
     ]

@@ -1,0 +1,416 @@
+(* Units for the check-server building blocks: the JSON codec, the
+   frame layer, protocol parsing and reply shapes, the warm-manager
+   cache, and the extracted engine (including the per-check
+   cancellation scoping the server depends on).  The end-to-end server
+   process is exercised by serve_smoke (dune build @serve-smoke). *)
+
+module Json = Server.Json
+module Frame = Server.Frame
+module Protocol = Server.Protocol
+module Cache = Server.Cache
+module Engine = Server.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Json *)
+
+let test_json_print () =
+  let open Json in
+  Alcotest.(check string)
+    "compact object"
+    {|{"a":1,"b":[true,null,"x"],"c":{"d":-2.5}}|}
+    (to_string
+       (Obj
+          [
+            ("a", Num 1.);
+            ("b", Arr [ Bool true; Null; Str "x" ]);
+            ("c", Obj [ ("d", Num (-2.5)) ]);
+          ]));
+  Alcotest.(check string)
+    "integral floats print without fraction" "9007199254740992"
+    (to_string (Num 9007199254740992.));
+  Alcotest.(check string)
+    "string escapes" {|"a\"b\\c\nd\u0001"|}
+    (to_string (Str "a\"b\\c\nd\001"))
+
+let test_json_parse () =
+  let open Json in
+  (match of_string {| {"k": [1, -2.5e2, "sé😀"], "t": true} |} with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v ->
+    Alcotest.(check (option int)) "int member" (Some 1)
+      (Option.bind (member "k" v) to_list
+      |> Fun.flip Option.bind (function x :: _ -> Some x | [] -> None)
+      |> Fun.flip Option.bind to_int);
+    Alcotest.(check (option bool)) "bool member" (Some true)
+      (Option.bind (member "t" v) to_bool);
+    let s =
+      Option.bind (member "k" v) to_list |> Option.get |> fun l ->
+      List.nth l 2 |> to_str |> Option.get
+    in
+    (* é is é (2 UTF-8 bytes); the surrogate pair is U+1F600 (4). *)
+    Alcotest.(check string) "unicode escapes decode to UTF-8"
+      "s\xc3\xa9\xf0\x9f\x98\x80" s);
+  (match of_string "[1,2] trailing" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ());
+  (match of_string {|{"a":}|} with
+  | Ok _ -> Alcotest.fail "missing value accepted"
+  | Error _ -> ())
+
+let test_json_roundtrip () =
+  let open Json in
+  let v =
+    Obj
+      [
+        ("id", Str "req-1");
+        ("n", Num 42.);
+        ("nested", Arr [ Obj [ ("deep", Bool false) ]; Num 0.5 ]);
+        ("text", Str "line1\nline2\twith \"quotes\" and \\");
+      ]
+  in
+  match of_string (to_string v) with
+  | Ok v' -> Alcotest.(check bool) "print/parse round-trip" true (v = v')
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Frame *)
+
+let test_frame_roundtrip () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      Frame.write w "hello";
+      Frame.write w "";
+      Alcotest.(check (option string)) "first frame" (Some "hello")
+        (Frame.read r);
+      Alcotest.(check (option string)) "empty frame" (Some "") (Frame.read r);
+      (* Larger than the pipe buffer, so the writer must run in its own
+         thread while we read: exercises the partial-write loop. *)
+      let writer =
+        Thread.create
+          (fun () ->
+            Frame.write w (String.make 70000 'x');
+            Unix.close w)
+          ()
+      in
+      Alcotest.(check (option int)) "large frame" (Some 70000)
+        (Option.map String.length (Frame.read r));
+      Thread.join writer;
+      Alcotest.(check (option string)) "clean EOF" None (Frame.read r))
+
+let test_frame_oversized () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A header announcing 2^31 - 1 bytes must be rejected before any
+         allocation happens. *)
+      let bad = Bytes.of_string "\x7f\xff\xff\xff" in
+      let _ = Unix.write w bad 0 4 in
+      match Frame.read r with
+      | exception Frame.Oversized _ -> ()
+      | Some _ | None -> Alcotest.fail "oversized header accepted")
+
+let test_frame_should_stop () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* A half-written frame followed by EOF is a torn stream. *)
+      let _ = Unix.write w (Bytes.of_string "\x00\x00\x00\x05ab") 0 6 in
+      Unix.close w;
+      match Frame.read r with
+      | exception Frame.Closed -> ()
+      | Some _ | None -> Alcotest.fail "torn frame not reported")
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_parse_check () =
+  match
+    Protocol.parse_request
+      {|{"op":"check","id":"r1","model":"MODULE main","specs":["EF x"],
+         "options":{"fair":false,"retries":2,"timeout":1.5,
+                    "inject":"mk:10","reorder":"auto","stats":true}}|}
+  with
+  | Ok (Protocol.Check { id; model; specs; options }) ->
+    Alcotest.(check string) "id" "r1" id;
+    Alcotest.(check string) "model" "MODULE main" model;
+    Alcotest.(check (list string)) "specs" [ "EF x" ] specs;
+    Alcotest.(check bool) "fair" false options.Protocol.fair;
+    Alcotest.(check bool) "stats" true options.Protocol.stats;
+    Alcotest.(check int) "retries" 2 options.Protocol.retries;
+    Alcotest.(check (option (float 1e-9))) "timeout" (Some 1.5)
+      options.Protocol.timeout;
+    Alcotest.(check bool) "inject parsed" true
+      (options.Protocol.inject = Some (Bdd.Fault.Mk, 10));
+    Alcotest.(check bool) "reorder auto" true
+      (options.Protocol.reorder = `Auto)
+  | Ok _ -> Alcotest.fail "parsed as the wrong op"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_protocol_defaults () =
+  match
+    Protocol.parse_request {|{"op":"check","id":"a","model":"m"}|}
+  with
+  | Ok (Protocol.Check { options; _ }) ->
+    Alcotest.(check bool) "defaults are the CLI defaults" true
+      (options = Protocol.default_options)
+  | Ok _ | Error _ -> Alcotest.fail "minimal check request must parse"
+
+let test_protocol_errors () =
+  let expect_err payload =
+    match Protocol.parse_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted: %s" payload
+  in
+  expect_err "not json at all";
+  expect_err {|{"op":"frobnicate"}|};
+  expect_err {|{"op":"check","id":"a"}|};
+  (* model missing *)
+  expect_err {|{"op":"check","id":"a","model":"m","options":{"retries":-1}}|};
+  expect_err {|{"op":"check","id":"a","model":"m","options":{"timeout":0}}|};
+  expect_err
+    {|{"op":"check","id":"a","model":"m","options":{"inject":"bogus:1"}}|};
+  expect_err {|{"op":"cancel"}|};
+  (* id missing *)
+  match Protocol.parse_request {|{"op":"ping"}|} with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping must parse"
+
+let test_protocol_reply_shapes () =
+  let reply =
+    Protocol.check_reply ~id:"r9" ~exit_code:1
+      ~verdicts:
+        [
+          {
+            Protocol.sv_name = "EF x";
+            sv_report =
+              { Engine.verdict = Engine.Fails; cert_failed = false };
+          };
+          {
+            Protocol.sv_name = "AG y";
+            sv_report =
+              {
+                Engine.verdict = Engine.Undetermined "deadline";
+                cert_failed = false;
+              };
+          };
+        ]
+      ~output:"-- text\n" ~warm:true ~reach_reused:true ~reach_states:12.
+      ~time_ms:3.25 ()
+  in
+  match Json.of_string reply with
+  | Error e -> Alcotest.failf "reply is not JSON: %s" e
+  | Ok v ->
+    let str k = Option.bind (Json.member k v) Json.to_str in
+    let num k = Option.bind (Json.member k v) Json.to_num in
+    Alcotest.(check (option string)) "id" (Some "r9") (str "id");
+    Alcotest.(check (option string)) "status" (Some "ok") (str "status");
+    Alcotest.(check (option (float 0.))) "exit_code" (Some 1.)
+      (num "exit_code");
+    Alcotest.(check (option bool)) "warm" (Some true)
+      (Option.bind (Json.member "warm" v) Json.to_bool);
+    let verdicts =
+      Option.bind (Json.member "verdicts" v) Json.to_list |> Option.get
+    in
+    Alcotest.(check int) "two verdicts" 2 (List.length verdicts);
+    let second = List.nth verdicts 1 in
+    Alcotest.(check (option string)) "undetermined reason"
+      (Some "deadline")
+      (Option.bind (Json.member "reason" second) Json.to_str)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_warm_flag () =
+  let cache = Cache.create ~capacity:4 in
+  let key = Cache.digest ~source:"m" ~partitioned:false ~static_order:false in
+  let e1, warm1 = Cache.acquire cache ~key in
+  Alcotest.(check bool) "first acquire is cold" false warm1;
+  (* Still cold on re-acquire: nothing was compiled into the entry. *)
+  let e2, warm2 = Cache.acquire cache ~key in
+  Alcotest.(check bool) "same entry" true (e1 == e2);
+  Alcotest.(check bool) "uncompiled entry is not warm" false warm2;
+  e1.Cache.compiled <- None;
+  Cache.release cache e1;
+  Cache.release cache e2;
+  Alcotest.(check int) "entry pooled" 1 (Cache.size cache)
+
+let test_cache_key_includes_options () =
+  let d = Cache.digest ~source:"m" in
+  Alcotest.(check bool) "partitioned changes the key" true
+    (d ~partitioned:false ~static_order:false
+    <> d ~partitioned:true ~static_order:false);
+  Alcotest.(check bool) "static order changes the key" true
+    (d ~partitioned:false ~static_order:false
+    <> d ~partitioned:false ~static_order:true)
+
+let test_cache_eviction () =
+  let cache = Cache.create ~capacity:1 in
+  let key n = Cache.digest ~source:n ~partitioned:false ~static_order:false in
+  let e1, _ = Cache.acquire cache ~key:(key "a") in
+  (* e1 is busy: inserting a second entry must not evict it. *)
+  let e2, _ = Cache.acquire cache ~key:(key "b") in
+  Alcotest.(check int) "busy entries are kept" 2 (Cache.size cache);
+  Cache.release cache e1;
+  Cache.release cache e2;
+  (* A third key now evicts both released idle entries, bringing the
+     pool back to its configured capacity. *)
+  let _, _ = Cache.acquire cache ~key:(key "c") in
+  Alcotest.(check int) "idle LRU evicted down to capacity" 1
+    (Cache.size cache);
+  let e1', warm = Cache.acquire cache ~key:(key "a") in
+  Alcotest.(check bool) "evicted entry was really dropped" true (e1 != e1');
+  Alcotest.(check bool) "and comes back cold" false warm
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let mutex_source =
+  {|MODULE main
+VAR p : {idle, try, crit};
+ASSIGN
+  init(p) := idle;
+  next(p) := case
+    p = idle : {idle, try};
+    p = try  : {try, crit};
+    p = crit : idle;
+  esac;
+SPEC AG !(p = crit & p = idle)
+|}
+
+let compile source = Smv.load_string source
+
+let engine_opts ?(cancel = Atomic.make false) () =
+  {
+    Engine.fair = true;
+    traces = true;
+    stats = false;
+    certify = false;
+    debug = false;
+    timeout = None;
+    node_limit = None;
+    step_limit = None;
+    retries = 0;
+    retry_factor = 2.0;
+    cancel;
+  }
+
+let check_to_string ?cancel compiled (name, spec) =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let r =
+    Engine.check_one ppf compiled.Smv.Compile.model
+      ~opts:(engine_opts ?cancel ())
+      ~clusters:(fun () -> compiled.Smv.Compile.clusters)
+      (name, spec)
+  in
+  Format.pp_print_flush ppf ();
+  (r, Buffer.contents buf)
+
+let test_engine_check_one () =
+  let compiled = compile mutex_source in
+  match compiled.Smv.Compile.specs with
+  | [ spec ] ->
+    let r, out = check_to_string compiled spec in
+    Alcotest.(check bool) "verdict holds" true (r.Engine.verdict = Engine.Holds);
+    Alcotest.(check string) "exact output line"
+      (Printf.sprintf "-- specification %s is true\n" (fst spec))
+      out
+  | _ -> Alcotest.fail "expected exactly one SPEC"
+
+let test_engine_private_cancellation () =
+  let compiled = compile mutex_source in
+  let spec = List.hd compiled.Smv.Compile.specs in
+  (* A pre-cancelled flag stops this check at its first poll point... *)
+  let cancel = Atomic.make true in
+  let r, _ = check_to_string ~cancel compiled spec in
+  (match r.Engine.verdict with
+  | Engine.Undetermined _ -> ()
+  | Engine.Holds | Engine.Fails ->
+    Alcotest.fail "cancelled check still produced a verdict");
+  (* ...and, the point of per-check flags: an independent check of the
+     same spec with its own (clear) flag is entirely unaffected. *)
+  let r2, _ = check_to_string compiled spec in
+  Alcotest.(check bool) "other checks unaffected" true
+    (r2.Engine.verdict = Engine.Holds)
+
+let test_engine_exit_codes () =
+  let rep v = { Engine.verdict = v; cert_failed = false } in
+  let check name expected reports =
+    Alcotest.(check int) name expected
+      (Engine.exit_code ~interrupted:false reports)
+  in
+  check "all hold" 0 [ rep Engine.Holds; rep Engine.Holds ];
+  check "some false" 1 [ rep Engine.Holds; rep Engine.Fails ];
+  check "undetermined beats false" 2
+    [ rep Engine.Fails; rep (Engine.Undetermined "deadline") ];
+  Alcotest.(check int) "cert failure beats everything" 3
+    (Engine.exit_code ~interrupted:false
+       [ { Engine.verdict = Engine.Undetermined "cert"; cert_failed = true } ]);
+  Alcotest.(check int) "interrupted forces 2" 2
+    (Engine.exit_code ~interrupted:true [ rep Engine.Holds ])
+
+let test_engine_fault_is_scoped () =
+  let compiled = compile mutex_source in
+  let m = compiled.Smv.Compile.model in
+  let spec = List.hd compiled.Smv.Compile.specs in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let r =
+    Engine.check_one ppf m ~opts:(engine_opts ())
+      ~clusters:(fun () -> compiled.Smv.Compile.clusters)
+      ~inject:(Bdd.Fault.Step, 1) spec
+  in
+  (match r.Engine.verdict with
+  | Engine.Undetermined _ -> ()
+  | _ -> Alcotest.fail "injected fault did not trip the check");
+  Alcotest.(check (option (pair (of_pp Fmt.nop) int)))
+    "fault disarmed on exit" None
+    (Bdd.Fault.armed m.Kripke.man);
+  (* The next check on the same manager runs fault-free. *)
+  let r2, _ = check_to_string compiled spec in
+  Alcotest.(check bool) "clean follow-up check" true
+    (r2.Engine.verdict = Engine.Holds)
+
+let suite =
+  [
+    Alcotest.test_case "json: compact printing" `Quick test_json_print;
+    Alcotest.test_case "json: parsing" `Quick test_json_parse;
+    Alcotest.test_case "json: round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "frame: round-trip and EOF" `Quick
+      test_frame_roundtrip;
+    Alcotest.test_case "frame: oversized header rejected" `Quick
+      test_frame_oversized;
+    Alcotest.test_case "frame: torn stream reported" `Quick
+      test_frame_should_stop;
+    Alcotest.test_case "protocol: check request" `Quick
+      test_protocol_parse_check;
+    Alcotest.test_case "protocol: option defaults" `Quick
+      test_protocol_defaults;
+    Alcotest.test_case "protocol: malformed requests" `Quick
+      test_protocol_errors;
+    Alcotest.test_case "protocol: reply shapes" `Quick
+      test_protocol_reply_shapes;
+    Alcotest.test_case "cache: warm flag" `Quick test_cache_warm_flag;
+    Alcotest.test_case "cache: key includes options" `Quick
+      test_cache_key_includes_options;
+    Alcotest.test_case "cache: LRU eviction spares busy entries" `Quick
+      test_cache_eviction;
+    Alcotest.test_case "engine: check_one output" `Quick
+      test_engine_check_one;
+    Alcotest.test_case "engine: per-check cancellation" `Quick
+      test_engine_private_cancellation;
+    Alcotest.test_case "engine: exit-code contract" `Quick
+      test_engine_exit_codes;
+    Alcotest.test_case "engine: fault injection is check-scoped" `Quick
+      test_engine_fault_is_scoped;
+  ]
