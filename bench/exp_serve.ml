@@ -134,3 +134,172 @@ let bechamel =
   Bechamel.Test.make ~name:"e14-arbiter6-warm-request"
     (Bechamel.Staged.stage (fun () ->
          request (Lazy.force cache) ~source:(Lazy.force src) ()))
+
+(* ================================================================== *)
+(* E15 — overload protection: the cost of shedding and what a
+   saturated server still completes.
+
+   Two measurements against the same admission machinery the daemon
+   uses (Parallel.Pool.try_submit + Overload + Protocol reply
+   builders, in-process so the numbers isolate the mechanism from
+   client I/O):
+
+     shed reply    a gated 1-worker pool with a full pending queue —
+                   every admission sheds, and we time the complete
+                   rejection path the reader thread runs per refused
+                   frame: admission probe, shed accounting, retry-
+                   after hint, reply build.  This is the latency a
+                   client sees under overload, and it must stay
+                   microseconds — shedding that is slower than serving
+                   defeats its purpose;
+     saturation    a 2-worker pool with --max-pending 8 semantics fed
+                   requests as fast as they are refused: how many warm
+                   checks per second still complete while the shed
+                   path absorbs the rest.  Overload must not collapse
+                   goodput. *)
+
+(* One warm daemon-shaped check, serialising on the entry lock exactly
+   as the server does (two workers may race for the same model). *)
+let locked_request cache ~key () =
+  let entry, _ = Server.Cache.acquire cache ~key in
+  Fun.protect ~finally:(fun () -> Server.Cache.release cache entry)
+  @@ fun () ->
+  Mutex.lock entry.Server.Cache.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock entry.Server.Cache.lock)
+  @@ fun () ->
+  let compiled = Option.get entry.Server.Cache.compiled in
+  let m = compiled.Smv.Compile.model in
+  ignore (Kripke.reachable m);
+  List.iter
+    (fun (_, f) -> ignore (Ctl.Check.holds m f))
+    compiled.Smv.Compile.specs
+
+let shed_reply ov pool ~workers ~sink =
+  let depth = Parallel.Pool.pending pool in
+  Server.Overload.shed ov Server.Overload.Queue_full;
+  let reply =
+    Server.Protocol.overloaded_reply ~id:"bench" ~reason:"queue"
+      ~queue_depth:depth
+      ~retry_after_ms:
+        (Server.Overload.retry_after_ms ov ~queue_depth:depth ~workers)
+  in
+  sink := !sink + String.length reply
+
+let run_overload ~full =
+  let module Pool = Parallel.Pool in
+  (* 1. Shed-reply latency on a wedged server. *)
+  let ov = Server.Overload.create ~log:ignore () in
+  let pool = Pool.create ~max_pending:4 1 in
+  let gate = Atomic.make false in
+  let blocker =
+    Pool.submit pool (fun () ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done)
+  in
+  while Pool.pending pool > 0 do
+    Domain.cpu_relax ()
+  done;
+  for _ = 1 to 4 do
+    ignore (Pool.try_submit pool (fun () -> ()))
+  done;
+  let shed_iters = if full then 200_000 else 50_000 in
+  let sink = ref 0 in
+  let (), t_shed =
+    Harness.time_once (fun () ->
+        for _ = 1 to shed_iters do
+          match Pool.try_submit pool (fun () -> ()) with
+          | Some _ -> failwith "E15: a saturated pool admitted a task"
+          | None -> shed_reply ov pool ~workers:1 ~sink
+        done)
+  in
+  Atomic.set gate true;
+  ignore (Pool.await blocker);
+  Pool.shutdown pool;
+  let shed_ns = t_shed /. float_of_int shed_iters *. 1e9 in
+  (* 2. Saturation goodput: flood a 2-worker pool with warm checks. *)
+  let users = if full then 8 else 6 in
+  let workload = Printf.sprintf "arbiter%d" users in
+  let src = Exp_reorder.arbiter_smv users in
+  let cache = Server.Cache.create ~capacity:2 in
+  ignore (request cache ~source:src ());
+  let key =
+    Server.Cache.digest ~source:src ~partitioned:false ~static_order:false
+  in
+  let ov2 = Server.Overload.create ~log:ignore () in
+  let pool2 = Pool.create ~max_pending:8 2 in
+  let completed = Atomic.make 0 in
+  let task () =
+    locked_request cache ~key ();
+    Atomic.incr completed
+  in
+  let admitted = ref 0 and sheds = ref 0 in
+  let duration = if full then 3.0 else 1.0 in
+  let t0 = Bdd.now_monotonic () in
+  let deadline = t0 +. duration in
+  while Bdd.now_monotonic () < deadline do
+    match Pool.try_submit pool2 task with
+    | Some _ -> incr admitted
+    | None -> shed_reply ov2 pool2 ~workers:2 ~sink
+  done;
+  sheds := (Server.Overload.stats ov2).Server.Overload.shed_queue;
+  Pool.shutdown pool2;
+  let elapsed = Bdd.now_monotonic () -. t0 in
+  let done_n = Atomic.get completed in
+  if done_n <> !admitted then
+    failwith "E15: an admitted check never completed";
+  if done_n = 0 || !sheds = 0 then
+    failwith "E15: saturation loop must both serve and shed";
+  let goodput = float_of_int done_n /. elapsed in
+  Harness.emit_json ~experiment:"E15"
+    [
+      ("workload", Harness.String workload);
+      ("shed_reply_ns", Harness.Float shed_ns);
+      ("saturation_s", Harness.Float elapsed);
+      ("completed", Harness.Int done_n);
+      ("shed", Harness.Int !sheds);
+      ("completed_per_s", Harness.Float goodput);
+    ];
+  Harness.print_table
+    ~title:
+      "E15: overload protection — shed-reply latency and saturated \
+       goodput (2 workers, max-pending 8)"
+    ~header:
+      [ "workload"; "shed reply"; "flood"; "served"; "shed"; "served/s" ]
+    [
+      [
+        workload;
+        Harness.ns_string shed_ns;
+        Harness.seconds_string elapsed;
+        string_of_int done_n;
+        string_of_int !sheds;
+        Printf.sprintf "%.1f" goodput;
+      ];
+    ];
+  Harness.note
+    "shed reply: the full refusal path per frame on a wedged server —";
+  Harness.note
+    "admission probe, shed accounting, retry-after hint, reply build.";
+  Harness.note
+    "flood: requests submitted as fast as they are refused; served is";
+  Harness.note
+    "warm checks completed while the queue bound sheds the excess —";
+  Harness.note
+    "admission control trades queue depth for goodput, never correctness."
+
+let bechamel_overload =
+  (* The pure reader-side shed path (no pool: a worker domain parked
+     for the whole bechamel quota would outlive the measurement). *)
+  let ov =
+    lazy
+      (let ov = Server.Overload.create ~log:ignore () in
+       Server.Overload.finished ov 0.02;
+       ov)
+  in
+  Bechamel.Test.make ~name:"e15-shed-reply-build"
+    (Bechamel.Staged.stage (fun () ->
+         let ov = Lazy.force ov in
+         Server.Protocol.overloaded_reply ~id:"bench" ~reason:"queue"
+           ~queue_depth:8
+           ~retry_after_ms:
+             (Server.Overload.retry_after_ms ov ~queue_depth:8 ~workers:2)))

@@ -26,6 +26,7 @@ let experiments =
     ("E12", Exp_recover.run, Exp_recover.bechamel);
     ("E13", Exp_reorder.run, Exp_reorder.bechamel);
     ("E14", Exp_serve.run, Exp_serve.bechamel);
+    ("E15", Exp_serve.run_overload, Exp_serve.bechamel_overload);
   ]
 
 let run_raw () =

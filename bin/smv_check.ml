@@ -46,6 +46,13 @@ type options = {
   serve : bool;
   socket : string option;
   cache_models : int;
+  max_pending : int option;
+  max_inflight : int option;
+  default_timeout : float option;
+  default_node_limit : int option;
+  max_timeout : float option;
+  mem_high_water : int option;
+  status : bool;
 }
 
 (* A parsed --inject specification. *)
@@ -670,20 +677,104 @@ let cache_models_arg =
           "With $(b,--serve): keep up to N compiled models warm; the \
            least recently used idle model is evicted beyond that.")
 
+let max_pending_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-pending" ] ~docv:"N"
+        ~doc:
+          "With $(b,--serve): admit at most N queued (not yet running) \
+           checks; past the bound a check is refused immediately with \
+           a structured 'overloaded' reply carrying a retry_after_ms \
+           hint.  Default: unbounded.")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "With $(b,--serve): cap one connection at N concurrent \
+           checks (queued or running); further checks on that \
+           connection are refused with an 'overloaded' reply.  \
+           Default: uncapped.")
+
+let default_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "default-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--serve): apply this timeout to requests that name \
+           none.  A request's own timeout always wins (subject to \
+           $(b,--max-timeout)).")
+
+let default_node_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "default-node-limit" ] ~docv:"N"
+        ~doc:
+          "With $(b,--serve): apply this live-node budget to requests \
+           that name none.  A request's own node_limit always wins.")
+
+let max_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "With $(b,--serve): clamp every request's timeout — its own \
+           or the default — to this ceiling, so no single request can \
+           hold a worker forever.")
+
+let mem_high_water_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-high-water" ] ~docv:"NODES"
+        ~doc:
+          "With $(b,--serve): arm the memory watchdog.  When the warm \
+           pool's total live BDD nodes exceed NODES, the server evicts \
+           idle models, then clamps idle operation caches, and as a \
+           last resort refuses checks of models that are not already \
+           warm (warm models, pings and status probes are still \
+           served).  Default: off.")
+
+let status_arg =
+  Arg.(
+    value & flag
+    & info [ "status" ]
+        ~doc:
+          "Probe a running server: connect to $(b,--socket) PATH, send \
+           one status request, print the JSON reply (uptime, queue \
+           depth, shed and watchdog counters, per-model cache \
+           occupancy, worker state) and exit.")
+
 let main file extra_specs no_fair no_trace stats partitioned cache_limit
     simulate seed timeout node_limit step_limit jobs retries retry_factor
     certify inject reorder reorder_threshold debug serve socket cache_models
-    =
+    max_pending max_inflight default_timeout default_node_limit max_timeout
+    mem_high_water status =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
       partitioned; cache_limit; simulate; seed; timeout; node_limit;
       step_limit; jobs; retries; retry_factor; certify; inject; debug;
-      reorder; reorder_threshold; serve; socket; cache_models;
+      reorder; reorder_threshold; serve; socket; cache_models; max_pending;
+      max_inflight; default_timeout; default_node_limit; max_timeout;
+      mem_high_water; status;
     }
   in
   Printexc.record_backtrace debug;
-  if serve then begin
+  if status then begin
+    match socket with
+    | Some path -> Server.Daemon.status_client ~socket:path
+    | None ->
+      Format.eprintf "smv_check --status: --socket PATH is required@.";
+      3
+  end
+  else if serve then begin
     if file <> None then
       Format.eprintf "warning: MODEL.smv argument is ignored with --serve@.";
     if cache_models < 1 then begin
@@ -697,6 +788,12 @@ let main file extra_specs no_fair no_trace stats partitioned cache_limit
           jobs = (if jobs = 0 then Parallel.default_jobs () else max 1 jobs);
           capacity = cache_models;
           debug;
+          max_pending = opts.max_pending;
+          max_inflight = opts.max_inflight;
+          default_timeout = opts.default_timeout;
+          default_node_limit = opts.default_node_limit;
+          max_timeout = opts.max_timeout;
+          mem_high_water = opts.mem_high_water;
         }
   end
   else
@@ -769,6 +866,18 @@ let cmd =
          output text, and per-request statistics; a request that trips \
          a budget or an injected fault is answered UNDETERMINED while \
          the server and its other requests continue untouched.";
+      `P
+        "Server overload protection (all off by default): \
+         $(b,--max-pending) and $(b,--max-inflight) shed excess checks \
+         immediately with structured 'overloaded' replies instead of \
+         queueing without bound; $(b,--default-timeout), \
+         $(b,--default-node-limit) and $(b,--max-timeout) impose \
+         server-side budgets on unbudgeted requests; \
+         $(b,--mem-high-water) arms a memory watchdog that sheds \
+         cache warmth under pressure (evict idle models, clamp idle \
+         caches, refuse cold models) and recovers when pressure \
+         clears.  $(b,--status) probes a running server's health from \
+         the command line.";
       `S Manpage.s_exit_status;
       `P "0 — every specification holds.";
       `P "1 — at least one specification is false (none undetermined).";
@@ -786,6 +895,10 @@ let cmd =
       `P "smv_check --step-limit 100 --retries 2 --certify counter.smv";
       `P "smv_check --inject mk:5000 --retries 1 --stats model.smv";
       `P "smv_check --serve --socket /tmp/smv.sock --jobs 4";
+      `P
+        "smv_check --serve --socket /tmp/smv.sock --max-pending 32 \
+         --max-timeout 30 --mem-high-water 5000000";
+      `P "smv_check --status --socket /tmp/smv.sock";
     ]
   in
   Cmd.v
@@ -796,6 +909,8 @@ let cmd =
       $ seed_arg $ timeout_arg $ node_limit_arg $ step_limit_arg
       $ jobs_arg $ retries_arg $ retry_factor_arg $ certify_arg
       $ inject_arg $ reorder_arg $ reorder_threshold_arg $ debug_arg
-      $ serve_arg $ socket_arg $ cache_models_arg)
+      $ serve_arg $ socket_arg $ cache_models_arg $ max_pending_arg
+      $ max_inflight_arg $ default_timeout_arg $ default_node_limit_arg
+      $ max_timeout_arg $ mem_high_water_arg $ status_arg)
 
 let () = exit (Cmd.eval' cmd)

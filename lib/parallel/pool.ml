@@ -19,6 +19,9 @@ type t = {
   queue : task Queue.t;
   mutex : Mutex.t;
   nonempty : Condition.t;  (* signalled on submit and on shutdown *)
+  max_pending : int option;
+      (* admission bound: [try_submit] sheds once this many tasks are
+         queued (running tasks don't count); [None] = unbounded *)
   mutable closed : bool;
   mutable domains : unit Domain.t list;
       (* every domain ever spawned, dead ones included: shutdown joins
@@ -112,13 +115,18 @@ and spawn_worker pool =
   Domain.spawn (fun () ->
       try worker_loop pool with _ -> respawn pool)
 
-let create n =
+let create ?max_pending n =
   if n < 1 then invalid_arg "Parallel.Pool.create: need at least one worker";
+  (match max_pending with
+  | Some m when m < 1 ->
+    invalid_arg "Parallel.Pool.create: max_pending must be >= 1"
+  | Some _ | None -> ());
   let pool =
     {
       queue = Queue.create ();
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      max_pending;
       closed = false;
       domains = [];
       workers = n;
@@ -130,6 +138,12 @@ let create n =
   pool
 
 let size pool = pool.workers
+
+let pending pool =
+  Mutex.lock pool.mutex;
+  let n = Queue.length pool.queue in
+  Mutex.unlock pool.mutex;
+  n
 
 let respawns pool =
   Mutex.lock pool.mutex;
@@ -144,7 +158,10 @@ let chaos_crash_after pool n =
   pool.chaos_countdown <- n;
   Mutex.unlock pool.mutex
 
-let submit pool f =
+(* [bounded] is the admission-control switch: [submit] always
+   enqueues (the parallel checker's fan-out was sized by its caller),
+   [try_submit] sheds when the pending queue is at [max_pending]. *)
+let enqueue pool ~bounded f =
   let fut = { fmutex = Mutex.create (); fcond = Condition.create ();
               state = Pending }
   in
@@ -167,10 +184,29 @@ let submit pool f =
     Mutex.unlock pool.mutex;
     invalid_arg "Parallel.Pool.submit: pool is shut down"
   end;
-  Queue.push task pool.queue;
-  Condition.signal pool.nonempty;
-  Mutex.unlock pool.mutex;
-  fut
+  let full =
+    bounded
+    && (match pool.max_pending with
+       | Some m -> Queue.length pool.queue >= m
+       | None -> false)
+  in
+  if full then begin
+    Mutex.unlock pool.mutex;
+    None
+  end
+  else begin
+    Queue.push task pool.queue;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.mutex;
+    Some fut
+  end
+
+let submit pool f =
+  match enqueue pool ~bounded:false f with
+  | Some fut -> fut
+  | None -> assert false (* unbounded enqueue never sheds *)
+
+let try_submit pool f = enqueue pool ~bounded:true f
 
 let await fut =
   Mutex.lock fut.fmutex;
@@ -187,6 +223,12 @@ let await fut =
   r
 
 let await_exn fut = match await fut with Ok v -> v | Error e -> raise e
+
+let is_settled fut =
+  Mutex.lock fut.fmutex;
+  let settled = match fut.state with Pending -> false | Done _ | Failed _ -> true in
+  Mutex.unlock fut.fmutex;
+  settled
 
 let shutdown pool =
   Mutex.lock pool.mutex;

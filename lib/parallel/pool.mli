@@ -36,14 +36,25 @@ type t
 type 'a future
 (** The pending result of a submitted task. *)
 
-val create : int -> t
+val create : ?max_pending:int -> int -> t
 (** Spawn a pool of [n >= 1] worker domains (raises [Invalid_argument]
     otherwise).  Remember that domains are not threads: creating more
     of them than cores buys nothing, and every pool must be
-    {!shutdown}. *)
+    {!shutdown}.
+
+    [max_pending] ([>= 1] when given) is the admission bound consulted
+    by {!try_submit}: once that many tasks are queued (tasks already
+    running on a worker do not count), further [try_submit] calls shed
+    instead of enqueueing.  Plain {!submit} ignores the bound, so
+    callers that sized their own fan-out (the parallel spec checker)
+    are unaffected.  Default: unbounded. *)
 
 val size : t -> int
 (** Configured number of worker domains (stable across respawns). *)
+
+val pending : t -> int
+(** Tasks currently queued and not yet picked up by a worker — the
+    queue depth that {!try_submit} admissions are measured against. *)
 
 val respawns : t -> int
 (** How many crashed workers have been replaced so far. *)
@@ -59,6 +70,18 @@ val chaos_crash_after : t -> int -> unit
 val submit : t -> (unit -> 'a) -> 'a future
 (** Enqueue a task.  Raises [Invalid_argument] if the pool has been
     shut down. *)
+
+val try_submit : t -> (unit -> 'a) -> 'a future option
+(** {!submit} with admission control: [None] — immediately, without
+    blocking — when the pool was created with [max_pending] and that
+    many tasks are already queued.  The caller owns the shed response
+    (the check server answers with a structured [overloaded] reply).
+    Raises [Invalid_argument] if the pool has been shut down. *)
+
+val is_settled : 'a future -> bool
+(** Whether the task has finished (completed, failed or aborted) — a
+    non-blocking probe, so long-lived submitters can prune settled
+    futures instead of accumulating them forever. *)
 
 val await : 'a future -> ('a, exn) result
 (** Block until the task has run; [Error e] if it raised [e].  May be

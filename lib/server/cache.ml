@@ -9,6 +9,7 @@ type entry = {
   mutable busy : int;
   mutable uses : int;
   mutable last_used : float;
+  mutable clamped : bool;
 }
 
 type t = {
@@ -62,6 +63,7 @@ let acquire t ~key =
           busy = 0;
           uses = 0;
           last_used = Bdd.now_monotonic ();
+          clamped = false;
         }
       in
       Hashtbl.replace t.table key e;
@@ -80,3 +82,111 @@ let release t entry =
   entry.last_used <- Bdd.now_monotonic ()
 
 let size t = with_lock t.pool_lock @@ fun () -> Hashtbl.length t.table
+let capacity t = t.capacity
+
+(* ------------------------------------------------------------------ *)
+(* Memory-pressure hooks (the daemon's watchdog) and introspection
+   (the Status op).
+
+   Node counts are plain int-field reads on the entries' managers:
+   reading one while a worker domain mutates the manager is benign
+   (ints don't tear in OCaml) and the numbers are pressure heuristics,
+   not accounting.  Everything that *mutates* a manager below touches
+   only idle entries while holding the pool lock — an entry with
+   [busy = 0] has no holder, and [acquire] (the only way to gain one)
+   also takes the pool lock, so nothing can start using the manager
+   under our feet. *)
+
+let entry_live e =
+  match e.compiled with
+  | Some c -> Bdd.live_nodes c.Smv.Compile.model.Kripke.man
+  | None -> 0
+
+let entry_faults e =
+  match e.compiled with
+  | Some c -> Bdd.Fault.fired c.Smv.Compile.model.Kripke.man
+  | None -> 0
+
+let live_nodes t =
+  with_lock t.pool_lock @@ fun () ->
+  Hashtbl.fold (fun _ e acc -> acc + entry_live e) t.table 0
+
+let is_warm t ~key =
+  with_lock t.pool_lock @@ fun () ->
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e.compiled <> None
+  | None -> false
+
+let evict_idle_until t ~target =
+  with_lock t.pool_lock @@ fun () ->
+  let idle =
+    Hashtbl.fold
+      (fun _ e acc -> if e.busy = 0 then e :: acc else acc)
+      t.table []
+    |> List.sort (fun a b -> Float.compare a.last_used b.last_used)
+  in
+  let total () =
+    Hashtbl.fold (fun _ e acc -> acc + entry_live e) t.table 0
+  in
+  let evicted = ref 0 in
+  List.iter
+    (fun e ->
+      if total () > target && entry_live e > 0 then begin
+        Hashtbl.remove t.table e.key;
+        incr evicted
+      end)
+    idle;
+  !evicted
+
+let clamp_idle t ~limit =
+  with_lock t.pool_lock @@ fun () ->
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.compiled with
+      | Some c when e.busy = 0 && not e.clamped ->
+        let man = c.Smv.Compile.model.Kripke.man in
+        Bdd.set_cache_limit man (Some limit);
+        ignore (Bdd.gc man);
+        e.clamped <- true;
+        acc + 1
+      | _ -> acc)
+    t.table 0
+
+let unclamp_idle t =
+  with_lock t.pool_lock @@ fun () ->
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.compiled with
+      | Some c when e.busy = 0 && e.clamped ->
+        Bdd.set_cache_limit c.Smv.Compile.model.Kripke.man None;
+        e.clamped <- false;
+        acc + 1
+      | _ -> acc)
+    t.table 0
+
+type info = {
+  i_key : string;
+  i_busy : int;
+  i_uses : int;
+  i_warm : bool;
+  i_live : int;
+  i_faults : int;
+  i_clamped : bool;
+}
+
+let snapshot t =
+  with_lock t.pool_lock @@ fun () ->
+  Hashtbl.fold
+    (fun _ e acc ->
+      {
+        i_key = e.key;
+        i_busy = e.busy;
+        i_uses = e.uses;
+        i_warm = e.compiled <> None;
+        i_live = entry_live e;
+        i_faults = entry_faults e;
+        i_clamped = e.clamped;
+      }
+      :: acc)
+    t.table []
+  |> List.sort (fun a b -> compare a.i_key b.i_key)

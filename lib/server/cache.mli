@@ -39,6 +39,9 @@ type entry = {
   mutable busy : int;       (** current holders (acquired, not released) *)
   mutable uses : int;       (** total acquisitions, for the reply stats *)
   mutable last_used : float; (** monotonic time of last release *)
+  mutable clamped : bool;
+      (** op-caches clamped by the memory watchdog; {!unclamp_idle}
+          restores them when pressure clears *)
 }
 
 val create : capacity:int -> t
@@ -59,3 +62,55 @@ val release : t -> entry -> unit
 
 val size : t -> int
 (** Entries currently pooled (busy or idle). *)
+
+val capacity : t -> int
+(** The configured LRU capacity. *)
+
+(** {2 Memory-pressure hooks}
+
+    The daemon's watchdog calls these from its periodic tick.  All of
+    them take the pool lock; the mutating ones additionally touch only
+    {e idle} entries (no holder, and none can appear while the pool
+    lock is held), so they are safe to run concurrently with checks on
+    other entries. *)
+
+val live_nodes : t -> int
+(** Total live BDD nodes across all pooled managers — the watchdog's
+    pressure measure.  Busy entries are read racily (a plain int
+    field), which is fine for a heuristic. *)
+
+val is_warm : t -> key:string -> bool
+(** Whether a compiled model for [key] is already pooled (the
+    degraded-mode admission test: cold models are refused under
+    memory pressure, warm ones still served). *)
+
+val evict_idle_until : t -> target:int -> int
+(** Evict idle compiled entries, least-recently-used first, until the
+    pool's total live nodes drop to [target] or no idle entry remains;
+    returns how many were evicted.  Busy entries are never touched. *)
+
+val clamp_idle : t -> limit:int -> int
+(** Clamp the op-caches of every idle, not-yet-clamped manager to
+    [limit] entries and run a gc on it (reclaiming dead nodes and the
+    oversized caches now, not at the next insert); returns how many
+    managers were clamped.  Verdict-neutral: bounded caches change
+    speed and memory, never results. *)
+
+val unclamp_idle : t -> int
+(** Undo {!clamp_idle} on idle entries (restore unbounded op-caches)
+    once pressure has cleared; returns how many were restored. *)
+
+(** {2 Introspection} — the [Status] reply's cache section. *)
+
+type info = {
+  i_key : string;     (** pool key (digest) *)
+  i_busy : int;       (** current holders *)
+  i_uses : int;       (** total acquisitions *)
+  i_warm : bool;      (** compiled model present *)
+  i_live : int;       (** live nodes on the entry's manager *)
+  i_faults : int;     (** injected faults fired on this manager *)
+  i_clamped : bool;   (** op-caches currently clamped by the watchdog *)
+}
+
+val snapshot : t -> info list
+(** One {!info} per pooled entry, sorted by key. *)

@@ -4,12 +4,20 @@
      ------------         --------------           ------------
      bind + accept   -->  one per connection  -->  one task per check
      (select tick)        Frame.read loop          Engine.check_one
-                          parse + dispatch         write reply frame
+     watchdog + reap      parse + dispatch         write reply frame
 
    Stdio mode is the same picture minus accept: the main thread is the
-   single reader.  Replies are written by whoever produced them
-   (reader for ping/cancel, worker for checks) under a per-connection
-   write mutex, so frames never interleave.
+   single reader (and a timer thread ticks the watchdog when a
+   high-water mark is set).  Replies are written by whoever produced
+   them (reader for ping/cancel/status/shed, worker for checks) under
+   a per-connection write mutex, so frames never interleave.
+
+   Admission discipline: a check is either queued or shed {e from the
+   reader thread} — the reader never parks waiting for room.  Shed
+   paths (duplicate id, in-flight cap, cold model under memory
+   pressure, full pending queue) each answer immediately with a
+   structured reply, so the one-reply-per-frame contract holds at any
+   load.
 
    Drain discipline: SIGINT / SIGTERM / the shutdown op set one [stop]
    atomic.  Readers wake (signal-interrupted reads return through
@@ -25,6 +33,12 @@ type config = {
   jobs : int;
   capacity : int;
   debug : bool;
+  max_pending : int option;
+  max_inflight : int option;
+  default_timeout : float option;
+  default_node_limit : int option;
+  max_timeout : float option;
+  mem_high_water : int option;
 }
 
 (* One client connection: its fds, write lock, and the cancellation
@@ -50,6 +64,29 @@ let send conn payload =
   match Frame.write conn.fd_out payload with
   | () -> ()
   | exception Frame.Closed -> ()
+
+(* Server-side budget defaults: a request that names no timeout /
+   node-limit gets the server's, and whatever timeout wins is clamped
+   to the ceiling.  A request budget below the ceiling is honoured
+   as-is — the ceiling caps, it never extends. *)
+let apply_defaults cfg (o : Protocol.options) =
+  let timeout =
+    let requested =
+      match o.Protocol.timeout with
+      | None -> cfg.default_timeout
+      | some -> some
+    in
+    match (requested, cfg.max_timeout) with
+    | Some t, Some ceiling -> Some (Float.min t ceiling)
+    | None, Some ceiling -> Some ceiling
+    | t, None -> t
+  in
+  let node_limit =
+    match o.Protocol.node_limit with
+    | None -> cfg.default_node_limit
+    | some -> some
+  in
+  { o with Protocol.timeout; node_limit }
 
 (* ------------------------------------------------------------------ *)
 (* Request processing (runs on a pool worker) *)
@@ -230,10 +267,63 @@ let process_safe cache ~debug ~id ~model ~specs ~options ~cancel =
 (* ------------------------------------------------------------------ *)
 (* Connection handling (reader side) *)
 
-let handle_request cfg cache pool conn stop payload =
+(* The status reply is assembled (and sent) inline on the reader
+   thread — a health probe must answer promptly even when every worker
+   is busy and the queue is full. *)
+let send_status cfg cache pool ov conn =
+  let s = Overload.stats ov in
+  let infos = Cache.snapshot cache in
+  let mem_live =
+    List.fold_left (fun acc i -> acc + i.Cache.i_live) 0 infos
+  in
+  let faults =
+    List.fold_left (fun acc i -> acc + i.Cache.i_faults) 0 infos
+  in
+  let models =
+    List.map
+      (fun (i : Cache.info) ->
+        Protocol.
+          {
+            ms_key = i.Cache.i_key;
+            ms_busy = i.Cache.i_busy;
+            ms_uses = i.Cache.i_uses;
+            ms_warm = i.Cache.i_warm;
+            ms_live_nodes = i.Cache.i_live;
+            ms_clamped = i.Cache.i_clamped;
+          })
+      infos
+  in
+  send conn
+    (Protocol.status_reply
+       Protocol.
+         {
+           ss_uptime_s = s.Overload.uptime_s;
+           ss_workers = cfg.jobs;
+           ss_queue_depth = Parallel.Pool.pending pool;
+           ss_max_pending = cfg.max_pending;
+           ss_inflight = s.Overload.inflight;
+           ss_shed_queue = s.Overload.shed_queue;
+           ss_shed_inflight = s.Overload.shed_inflight;
+           ss_shed_cold = s.Overload.shed_cold;
+           ss_watchdog_evictions = s.Overload.evictions;
+           ss_cache_clamps = s.Overload.clamps;
+           ss_level_transitions = s.Overload.transitions;
+           ss_pressure_level = s.Overload.level;
+           ss_mem_live_nodes = mem_live;
+           ss_mem_high_water = cfg.mem_high_water;
+           ss_respawns = Parallel.Pool.respawns pool;
+           ss_avg_check_ms =
+             Option.map (fun t -> t *. 1000.) s.Overload.avg_check_s;
+           ss_faults_fired = faults;
+           ss_cache_capacity = Cache.capacity cache;
+           ss_models = models;
+         })
+
+let handle_request cfg cache pool ov conn stop payload =
   match Protocol.parse_request payload with
   | Error msg -> send conn (Protocol.error_reply msg)
   | Ok Protocol.Ping -> send conn Protocol.pong_reply
+  | Ok Protocol.Status -> send_status cfg cache pool ov conn
   | Ok Protocol.Shutdown ->
     send conn Protocol.shutdown_reply;
     Atomic.set stop true
@@ -247,31 +337,99 @@ let handle_request cfg cache pool conn stop payload =
       | None -> false
     in
     send conn (Protocol.cancel_reply ~id ~found)
-  | Ok (Protocol.Check { id; model; specs; options }) ->
-    let cancel = Atomic.make false in
-    with_lock conn.inflight_lock (fun () ->
-        Hashtbl.replace conn.inflight id cancel);
-    let task () =
-      let reply =
-        process_safe cache ~debug:cfg.debug ~id ~model ~specs ~options
-          ~cancel
-      in
-      with_lock conn.inflight_lock (fun () -> Hashtbl.remove conn.inflight id);
-      send conn reply
+  | Ok (Protocol.Check { id; model; specs; options }) -> (
+    let overloaded reason =
+      Overload.shed ov reason;
+      let queue_depth = Parallel.Pool.pending pool in
+      send conn
+        (Protocol.overloaded_reply ~id
+           ~reason:(Overload.reason_string reason)
+           ~queue_depth
+           ~retry_after_ms:
+             (Overload.retry_after_ms ov ~queue_depth ~workers:cfg.jobs))
     in
-    let future = Parallel.Pool.submit pool task in
-    with_lock conn.inflight_lock (fun () ->
-        conn.futures <- future :: conn.futures)
+    let cancel = Atomic.make false in
+    (* Duplicate test, cap test and registration are one atomic step —
+       two racing frames with the same id cannot both register. *)
+    let admission =
+      with_lock conn.inflight_lock @@ fun () ->
+      if Hashtbl.mem conn.inflight id then `Duplicate
+      else
+        match cfg.max_inflight with
+        | Some cap when Hashtbl.length conn.inflight >= cap ->
+          `Shed Overload.Inflight_cap
+        | Some _ | None ->
+          Hashtbl.add conn.inflight id cancel;
+          `Admitted
+    in
+    let drop_id () =
+      with_lock conn.inflight_lock (fun () -> Hashtbl.remove conn.inflight id)
+    in
+    match admission with
+    | `Duplicate ->
+      (* The live check keeps the id: answering the duplicate with its
+         reply would leave one of the two frames reply-less. *)
+      send conn
+        (Protocol.error_reply ~id
+           (Printf.sprintf "duplicate in-flight id %S" id))
+    | `Shed reason -> overloaded reason
+    | `Admitted ->
+      let refuse_cold =
+        (not (Overload.admit_cold ov))
+        &&
+        let static_order = options.Protocol.reorder <> `None in
+        let key =
+          Cache.digest ~source:model
+            ~partitioned:options.Protocol.partitioned ~static_order
+        in
+        not (Cache.is_warm cache ~key)
+      in
+      if refuse_cold then begin
+        drop_id ();
+        overloaded Overload.Memory_pressure
+      end
+      else begin
+        let options = apply_defaults cfg options in
+        let task () =
+          let t0 = Bdd.now_monotonic () in
+          let reply =
+            process_safe cache ~debug:cfg.debug ~id ~model ~specs ~options
+              ~cancel
+          in
+          drop_id ();
+          send conn reply;
+          Overload.finished ov (Bdd.now_monotonic () -. t0)
+        in
+        (* Count the admission before queueing so [inflight] can never
+           under-report a queued check; a lost queue-slot race retracts
+           it. *)
+        Overload.admitted ov;
+        match Parallel.Pool.try_submit pool task with
+        | None ->
+          Overload.retract ov;
+          drop_id ();
+          overloaded Overload.Queue_full
+        | Some future ->
+          (* Prune settled futures as we append — a long-lived
+             connection must not accumulate one closure per request
+             served. *)
+          with_lock conn.inflight_lock (fun () ->
+              conn.futures <-
+                future
+                :: List.filter
+                     (fun f -> not (Parallel.Pool.is_settled f))
+                     conn.futures)
+      end)
 
 (* Read frames until EOF or drain; then settle the connection's
    in-flight checks.  A client that disconnected (EOF while the server
    is not draining) cancels its own in-flight requests — nobody is
    listening for those replies. *)
-let reader_loop cfg cache pool conn stop =
+let reader_loop cfg cache pool ov conn stop =
   let rec loop () =
     match Frame.read ~should_stop:(fun () -> Atomic.get stop) conn.fd_in with
     | Some payload ->
-      handle_request cfg cache pool conn stop payload;
+      handle_request cfg cache pool ov conn stop payload;
       if not (Atomic.get stop) then loop ()
     | None -> ()
     | exception Frame.Closed -> ()
@@ -315,101 +473,233 @@ let install_signals stop =
   try_install Sys.sigint (Sys.Signal_handle handle);
   try_install Sys.sigterm (Sys.Signal_handle handle)
 
-let serve_stdio cfg cache pool stop =
+let serve_stdio cfg cache pool ov stop =
   let conn = make_conn Unix.stdin Unix.stdout in
-  reader_loop cfg cache pool conn stop;
+  (* No accept loop to piggyback the watchdog on: give it a timer
+     thread, but only when a high-water mark makes it do anything. *)
+  let watchdog_stop = Atomic.make false in
+  let watchdog_thread =
+    match cfg.mem_high_water with
+    | None -> None
+    | Some _ ->
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get watchdog_stop) do
+               Thread.delay 0.25;
+               if not (Atomic.get watchdog_stop) then
+                 Overload.watchdog ov cache
+             done)
+           ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set watchdog_stop true;
+      Option.iter Thread.join watchdog_thread)
+    (fun () -> reader_loop cfg cache pool ov conn stop);
   0
 
-let serve_socket cfg cache pool stop path =
+let serve_socket cfg cache pool ov stop path =
   (* A stale socket file from a previous run would make bind fail;
-     replacing it is the conventional daemon behaviour. *)
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.bind listen_fd (Unix.ADDR_UNIX path);
-    Unix.listen listen_fd 64
-  with
-  | exception Unix.Unix_error (e, _, _) ->
-    Unix.close listen_fd;
-    Format.eprintf "smv_check --serve: cannot listen on %s: %s@." path
-      (Unix.error_message e);
-    3
-  | () ->
-    Format.eprintf "smv_check: serving on %s (%d worker%s)@." path cfg.jobs
-      (if cfg.jobs = 1 then "" else "s");
-    let conns_lock = Mutex.create () in
-    let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
-    let next_id = ref 0 in
-    let threads = ref [] in
-    let accept_one fd =
-      let conn = make_conn fd fd in
-      let id =
-        with_lock conns_lock @@ fun () ->
-        incr next_id;
-        Hashtbl.replace conns !next_id conn;
-        !next_id
-      in
-      let thread =
-        Thread.create
-          (fun () ->
-            Fun.protect
-              ~finally:(fun () ->
-                with_lock conns_lock (fun () -> Hashtbl.remove conns id);
-                try Unix.close fd with Unix.Unix_error _ -> ())
-              (fun () -> reader_loop cfg cache pool conn stop))
-          ()
-      in
-      threads := thread :: !threads
-    in
-    (* Accept with a select tick so the loop notices [stop] promptly
-       even when no connection ever arrives. *)
-    let rec accept_loop () =
-      if not (Atomic.get stop) then begin
-        (match Unix.select [ listen_fd ] [] [] 0.25 with
-        | [], _, _ -> ()
-        | _ :: _, _, _ -> (
-          match Unix.accept listen_fd with
-          | fd, _ -> accept_one fd
-          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
-            ->
-            ())
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-        accept_loop ()
-      end
-    in
-    accept_loop ();
-    (* Drain: wake readers parked in [read] by shutting their receive
-       sides, then join them (each settles its in-flight futures
-       before exiting). *)
-    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-    with_lock conns_lock (fun () ->
-        Hashtbl.iter
-          (fun _ c ->
-            try Unix.shutdown c.fd_in Unix.SHUTDOWN_RECEIVE
-            with Unix.Unix_error _ -> ())
-          conns);
-    List.iter Thread.join !threads;
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    0
-
-let serve cfg =
-  if cfg.jobs < 1 then begin
-    Format.eprintf "smv_check --serve: jobs must be >= 1@.";
-    3
-  end
-  else if cfg.capacity < 1 then begin
-    Format.eprintf "smv_check --serve: cache capacity must be >= 1@.";
+     replacing it is the conventional daemon behaviour — but only a
+     socket.  Unlinking whatever else sits at the path (a model file
+     passed by mistake, say) would destroy user data on a typo. *)
+  let path_ok =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      true
+    | { Unix.st_kind = _; _ } -> false
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> true
+    | exception Unix.Unix_error _ -> true (* let bind report it *)
+  in
+  if not path_ok then begin
+    Format.eprintf
+      "smv_check --serve: %s exists and is not a socket; refusing to \
+       replace it@."
+      path;
     3
   end
   else begin
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind listen_fd (Unix.ADDR_UNIX path);
+      Unix.listen listen_fd 64
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close listen_fd;
+      Format.eprintf "smv_check --serve: cannot listen on %s: %s@." path
+        (Unix.error_message e);
+      3
+    | () ->
+      Format.eprintf "smv_check: serving on %s (%d worker%s)@." path cfg.jobs
+        (if cfg.jobs = 1 then "" else "s");
+      let conns_lock = Mutex.create () in
+      let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+      let next_id = ref 0 in
+      (* Reader threads are tracked in a table and reaped as they
+         finish: each pushes itself onto [finished] on exit, and the
+         accept loop joins and drops it on the next tick.  Both the
+         registration and the reap run on the main thread, so a thread
+         can never be reaped before it is registered. *)
+      let threads : (int, Thread.t) Hashtbl.t = Hashtbl.create 8 in
+      let finished : Thread.t list ref = ref [] in
+      let reap () =
+        let fin =
+          with_lock conns_lock @@ fun () ->
+          let f = !finished in
+          finished := [];
+          f
+        in
+        List.iter
+          (fun t ->
+            Thread.join t;
+            with_lock conns_lock (fun () ->
+                Hashtbl.remove threads (Thread.id t)))
+          fin
+      in
+      let accept_one fd =
+        let conn = make_conn fd fd in
+        let id =
+          with_lock conns_lock @@ fun () ->
+          incr next_id;
+          Hashtbl.replace conns !next_id conn;
+          !next_id
+        in
+        let thread =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  with_lock conns_lock (fun () ->
+                      Hashtbl.remove conns id;
+                      finished := Thread.self () :: !finished);
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () -> reader_loop cfg cache pool ov conn stop))
+            ()
+        in
+        with_lock conns_lock (fun () ->
+            Hashtbl.replace threads (Thread.id thread) thread)
+      in
+      (* Accept with a select tick so the loop notices [stop] promptly
+         even when no connection ever arrives; the same tick drives
+         the watchdog and the thread reaper, throttled to the tick
+         period even when accepts keep select from timing out. *)
+      let last_tick = ref (Bdd.now_monotonic ()) in
+      let tick () =
+        let now = Bdd.now_monotonic () in
+        if now -. !last_tick >= 0.25 then begin
+          last_tick := now;
+          reap ();
+          Overload.watchdog ov cache
+        end
+      in
+      let rec accept_loop () =
+        if not (Atomic.get stop) then begin
+          (match Unix.select [ listen_fd ] [] [] 0.25 with
+          | [], _, _ -> ()
+          | _ :: _, _, _ -> (
+            match Unix.accept listen_fd with
+            | fd, _ -> accept_one fd
+            | exception
+                Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+              ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          tick ();
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      (* Drain: wake readers parked in [read] by shutting their receive
+         sides, then join them (each settles its in-flight futures
+         before exiting). *)
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      with_lock conns_lock (fun () ->
+          Hashtbl.iter
+            (fun _ c ->
+              try Unix.shutdown c.fd_in Unix.SHUTDOWN_RECEIVE
+              with Unix.Unix_error _ -> ())
+            conns);
+      reap ();
+      let remaining =
+        with_lock conns_lock (fun () ->
+            Hashtbl.fold (fun _ t acc -> t :: acc) threads [])
+      in
+      List.iter Thread.join remaining;
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      0
+  end
+
+let serve cfg =
+  let invalid msg =
+    Format.eprintf "smv_check --serve: %s@." msg;
+    3
+  in
+  let bad_opt name = function
+    | Some n when n < 1 -> Some (name ^ " must be >= 1")
+    | _ -> None
+  in
+  let bad_time name = function
+    | Some t when t <= 0. -> Some (name ^ " must be > 0")
+    | _ -> None
+  in
+  let problem =
+    List.find_map Fun.id
+      [
+        (if cfg.jobs < 1 then Some "jobs must be >= 1" else None);
+        (if cfg.capacity < 1 then Some "cache capacity must be >= 1"
+         else None);
+        bad_opt "max-pending" cfg.max_pending;
+        bad_opt "max-inflight" cfg.max_inflight;
+        bad_opt "default-node-limit" cfg.default_node_limit;
+        bad_opt "mem-high-water" cfg.mem_high_water;
+        bad_time "default-timeout" cfg.default_timeout;
+        bad_time "max-timeout" cfg.max_timeout;
+      ]
+  in
+  match problem with
+  | Some msg -> invalid msg
+  | None ->
     let stop = Atomic.make false in
     install_signals stop;
     let cache = Cache.create ~capacity:cfg.capacity in
-    let pool = Parallel.Pool.create cfg.jobs in
+    let pool = Parallel.Pool.create ?max_pending:cfg.max_pending cfg.jobs in
+    let ov = Overload.create ?mem_high_water:cfg.mem_high_water () in
     Fun.protect
       ~finally:(fun () -> Parallel.Pool.shutdown pool)
       (fun () ->
         match cfg.socket with
-        | None -> serve_stdio cfg cache pool stop
-        | Some path -> serve_socket cfg cache pool stop path)
-  end
+        | None -> serve_stdio cfg cache pool ov stop
+        | Some path -> serve_socket cfg cache pool ov stop path)
+
+(* ------------------------------------------------------------------ *)
+(* The one-shot status client (--status) *)
+
+let status_client ~socket:path =
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "smv_check --status: %s@." msg;
+        3)
+      fmt
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    fail "cannot connect to %s: %s" path (Unix.error_message e)
+  | () -> (
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    match
+      Frame.write fd {|{"op":"status"}|};
+      Frame.read fd
+    with
+    | Some payload ->
+      print_endline payload;
+      0
+    | None | (exception Frame.Closed) ->
+      fail "connection closed without a reply"
+    | exception Frame.Oversized n ->
+      fail "oversized status reply (%d bytes)" n)

@@ -22,7 +22,28 @@
        models run concurrently on different workers;}
     {- SIGINT / SIGTERM and the ["shutdown"] op mean {e drain}: stop
        reading, let in-flight checks finish and reply, then exit —
-       in-flight work is not cancelled.}} *)
+       in-flight work is not cancelled.}}
+
+    Overload protection (all off by default — an option-less config
+    behaves exactly like the pre-protection server):
+    {ul
+    {- [max_pending] bounds the pool's task queue and [max_inflight]
+       caps one connection's concurrent checks; past either bound a
+       check is shed {e immediately} from the reader thread with a
+       structured ["overloaded"] reply carrying the queue depth and a
+       [retry_after_ms] hint — every frame still gets exactly one
+       reply, at any load;}
+    {- [default_timeout] / [default_node_limit] give budget-less
+       requests the server's budgets, and [max_timeout] clamps
+       whatever timeout wins (request budgets below the ceiling are
+       honoured as-is);}
+    {- [mem_high_water] arms the {!Overload} memory watchdog: on the
+       daemon's periodic tick it measures total live BDD nodes across
+       the warm pool and, over the mark, evicts idle models, clamps
+       idle op-caches, and finally refuses cold-model admissions;}
+    {- the ["status"] op (and the {!status_client} one-shot) reports
+       all of it — answered inline by the reader, never queued behind
+       checks.}} *)
 
 type config = {
   socket : string option;
@@ -31,9 +52,35 @@ type config = {
   jobs : int;      (** worker domains checking requests, [>= 1] *)
   capacity : int;  (** warm models kept in the pool, [>= 1] *)
   debug : bool;    (** include backtraces in error replies *)
+  max_pending : int option;
+      (** bound on queued (not yet running) checks, [>= 1]; [None] =
+          unbounded, the pre-protection behaviour *)
+  max_inflight : int option;
+      (** per-connection cap on concurrent checks, [>= 1]; [None] =
+          uncapped *)
+  default_timeout : float option;
+      (** seconds, applied to requests that name no [timeout] *)
+  default_node_limit : int option;
+      (** applied to requests that name no [node_limit] *)
+  max_timeout : float option;
+      (** ceiling clamping every request's timeout, its own or the
+          default *)
+  mem_high_water : int option;
+      (** live-node mark arming the memory watchdog; [None] = off *)
 }
+
+val apply_defaults : config -> Protocol.options -> Protocol.options
+(** The server-side budget rule, exposed for tests: fill in
+    [default_timeout] / [default_node_limit] where the request named
+    none, then clamp the winning timeout to [max_timeout]. *)
 
 val serve : config -> int
 (** Run until shutdown; the returned exit code is [0] after a clean
-    drain, [3] on a setup failure (unusable socket path, bad
-    config). *)
+    drain, [3] on a setup failure (unusable socket path — including a
+    path occupied by a non-socket file, which is {e not} replaced —
+    or bad config). *)
+
+val status_client : socket:string -> int
+(** One-shot health probe: connect to a serving daemon's socket, send
+    [{"op":"status"}], print the reply payload on stdout.  Exit code
+    [0], or [3] when the daemon cannot be reached. *)

@@ -47,6 +47,7 @@ type request =
     }
   | Cancel of { id : string }
   | Ping
+  | Status
   | Shutdown
 
 type spec_verdict = {
@@ -177,6 +178,7 @@ let parse_request payload =
   let* op = str_field "op" in
   match op with
   | "ping" -> Ok Ping
+  | "status" -> Ok Status
   | "shutdown" -> Ok Shutdown
   | "cancel" ->
     let* id = str_field "id" in
@@ -280,6 +282,112 @@ let check_reply ~id ~exit_code ~verdicts ~output ~warm ~reach_reused
         ]
        @ optional
        @ [ ("time_ms", Num time_ms) ]))
+
+let overloaded_reply ~id ~reason ~queue_depth ~retry_after_ms =
+  let open Json in
+  to_string
+    (Obj
+       [
+         ("id", Str id);
+         ("status", Str "overloaded");
+         ("reason", Str reason);
+         ("queue_depth", Num (float_of_int queue_depth));
+         ("retry_after_ms", Num retry_after_ms);
+       ])
+
+type model_status = {
+  ms_key : string;
+  ms_busy : int;
+  ms_uses : int;
+  ms_warm : bool;
+  ms_live_nodes : int;
+  ms_clamped : bool;
+}
+
+type server_status = {
+  ss_uptime_s : float;
+  ss_workers : int;
+  ss_queue_depth : int;
+  ss_max_pending : int option;
+  ss_inflight : int;
+  ss_shed_queue : int;
+  ss_shed_inflight : int;
+  ss_shed_cold : int;
+  ss_watchdog_evictions : int;
+  ss_cache_clamps : int;
+  ss_level_transitions : int;
+  ss_pressure_level : int;
+  ss_mem_live_nodes : int;
+  ss_mem_high_water : int option;
+  ss_respawns : int;
+  ss_avg_check_ms : float option;
+  ss_faults_fired : int;
+  ss_cache_capacity : int;
+  ss_models : model_status list;
+}
+
+let status_reply s =
+  let open Json in
+  let opt_int = function
+    | Some n -> Num (float_of_int n)
+    | None -> Null
+  in
+  let models =
+    Arr
+      (List.map
+         (fun m ->
+           Obj
+             [
+               ("key", Str m.ms_key);
+               ("busy", Num (float_of_int m.ms_busy));
+               ("uses", Num (float_of_int m.ms_uses));
+               ("warm", Bool m.ms_warm);
+               ("live_nodes", Num (float_of_int m.ms_live_nodes));
+               ("clamped", Bool m.ms_clamped);
+             ])
+         s.ss_models)
+  in
+  let warm =
+    List.length (List.filter (fun m -> m.ms_warm) s.ss_models)
+  in
+  to_string
+    (Obj
+       [
+         ("status", Str "ok");
+         ("op", Str "status");
+         ("uptime_s", Num s.ss_uptime_s);
+         ("workers", Num (float_of_int s.ss_workers));
+         ("queue_depth", Num (float_of_int s.ss_queue_depth));
+         ("max_pending", opt_int s.ss_max_pending);
+         ("inflight", Num (float_of_int s.ss_inflight));
+         ( "counters",
+           Obj
+             [
+               ("shed_queue", Num (float_of_int s.ss_shed_queue));
+               ("shed_inflight", Num (float_of_int s.ss_shed_inflight));
+               ("shed_cold", Num (float_of_int s.ss_shed_cold));
+               ( "watchdog_evictions",
+                 Num (float_of_int s.ss_watchdog_evictions) );
+               ("cache_clamps", Num (float_of_int s.ss_cache_clamps));
+               ( "level_transitions",
+                 Num (float_of_int s.ss_level_transitions) );
+             ] );
+         ("pressure_level", Num (float_of_int s.ss_pressure_level));
+         ("mem_live_nodes", Num (float_of_int s.ss_mem_live_nodes));
+         ("mem_high_water", opt_int s.ss_mem_high_water);
+         ("pool_respawns", Num (float_of_int s.ss_respawns));
+         ( "avg_check_ms",
+           match s.ss_avg_check_ms with Some x -> Num x | None -> Null );
+         ("faults_fired", Num (float_of_int s.ss_faults_fired));
+         ( "cache",
+           Obj
+             [
+               ("capacity", Num (float_of_int s.ss_cache_capacity));
+               ("entries", Num (float_of_int (List.length s.ss_models)));
+               ("warm", Num (float_of_int warm));
+               ("models", models);
+             ] );
+       ])
 
 let error_reply ?id msg =
   let open Json in

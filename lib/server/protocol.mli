@@ -14,6 +14,11 @@
        down at its next poll point and still sends its own reply,
        with UNDETERMINED verdicts for whatever was cut short).}
     {- [{"op":"ping"}] — liveness probe.}
+    {- [{"op":"status"}] — health introspection: answered inline by
+       the reader (never queued behind checks) with uptime, queue
+       depth, in-flight count, shed/eviction/degradation counters,
+       per-model cache occupancy, worker-pool state and fault
+       counters.  The probe load balancers and CI poll.}
     {- [{"op":"shutdown"}] — stop accepting requests, drain, exit.}}
 
     Option fields (all optional; defaults in {!default_options} match
@@ -27,8 +32,14 @@
     {2 Replies}
 
     One reply frame per request, always an object with ["id"] (echoed,
-    or [null] when unparseable), ["status"] ("ok"/"error").  Check
-    replies add ["exit_code"] (the one-shot CLI's exit code for the
+    or [null] when unparseable), ["status"] ("ok"/"error"/
+    "overloaded").  A shed check is answered immediately with
+    [{"id":ID,"status":"overloaded","reason":R,"queue_depth":N,
+    "retry_after_ms":X}] where [R] is ["queue"] (pool pending queue at
+    its bound), ["inflight"] (connection at its in-flight cap) or
+    ["memory"] (watchdog refusing cold models) and [X] estimates when
+    a retry would find room (rolling mean of recent check durations
+    scaled by the queue ahead).  Check replies add ["exit_code"] (the one-shot CLI's exit code for the
     same run), ["verdicts"] (array of [{"spec","verdict","reason"?,
     "cert_failed"}]), ["output"] (the complete one-shot CLI text,
     byte-identical), ["warm"] (manager reused from the pool),
@@ -64,6 +75,7 @@ type request =
     }
   | Cancel of { id : string }
   | Ping
+  | Status
   | Shutdown
 
 val parse_request : string -> (request, string) result
@@ -95,3 +107,51 @@ val error_reply : ?id:string -> string -> string
 val pong_reply : string
 val cancel_reply : id:string -> found:bool -> string
 val shutdown_reply : string
+
+val overloaded_reply :
+  id:string ->
+  reason:string ->
+  queue_depth:int ->
+  retry_after_ms:float ->
+  string
+(** The shed reply for a check refused at admission; [reason] is a
+    {!Overload.reason_string}. *)
+
+(** One pooled model's row in the status reply. *)
+type model_status = {
+  ms_key : string;
+  ms_busy : int;
+  ms_uses : int;
+  ms_warm : bool;
+  ms_live_nodes : int;
+  ms_clamped : bool;
+}
+
+(** Everything the ["status"] op reports; the daemon assembles it from
+    the pool, the cache and the {!Overload} counters. *)
+type server_status = {
+  ss_uptime_s : float;
+  ss_workers : int;
+  ss_queue_depth : int;
+  ss_max_pending : int option;
+  ss_inflight : int;
+  ss_shed_queue : int;
+  ss_shed_inflight : int;
+  ss_shed_cold : int;
+  ss_watchdog_evictions : int;
+  ss_cache_clamps : int;
+  ss_level_transitions : int;
+  ss_pressure_level : int;
+  ss_mem_live_nodes : int;
+  ss_mem_high_water : int option;
+  ss_respawns : int;
+  ss_avg_check_ms : float option;
+  ss_faults_fired : int;
+  ss_cache_capacity : int;
+  ss_models : model_status list;
+}
+
+val status_reply : server_status -> string
+(** Render the status reply frame; [null] for absent optional limits,
+    and a ["cache"] object with ["entries"]/["warm"] totals plus one
+    ["models"] row per pooled entry. *)

@@ -3,12 +3,13 @@
     shares with the one-shot CLI.
 
     {!Json} and {!Frame} are the wire, {!Protocol} the message
-    shapes, {!Cache} the warm manager pool, {!Daemon} the serve loop
-    itself. *)
+    shapes, {!Cache} the warm manager pool, {!Overload} the admission
+    counters and memory watchdog, {!Daemon} the serve loop itself. *)
 
 module Json = Json
 module Frame = Frame
 module Protocol = Protocol
 module Cache = Cache
 module Engine = Engine
+module Overload = Overload
 module Daemon = Daemon

@@ -9,6 +9,9 @@ module Frame = Server.Frame
 module Protocol = Server.Protocol
 module Cache = Server.Cache
 module Engine = Server.Engine
+module Overload = Server.Overload
+module Daemon = Server.Daemon
+module Pool = Parallel.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Json *)
@@ -381,6 +384,289 @@ let test_engine_fault_is_scoped () =
   Alcotest.(check bool) "clean follow-up check" true
     (r2.Engine.verdict = Engine.Holds)
 
+(* ------------------------------------------------------------------ *)
+(* Overload protection: pool admission, shed replies, status shapes,
+   budget defaults, the watchdog ladder *)
+
+let test_pool_admission () =
+  let pool = Pool.create ~max_pending:2 1 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  (* Gate the single worker so queued tasks stay queued. *)
+  let gate = Atomic.make false in
+  let blocker =
+    Pool.submit pool (fun () ->
+        while not (Atomic.get gate) do
+          Domain.cpu_relax ()
+        done)
+  in
+  (* Wait until the worker holds the blocker (pending drops to 0). *)
+  while Pool.pending pool > 0 do
+    Domain.cpu_relax ()
+  done;
+  let f1 = Pool.try_submit pool (fun () -> 1) in
+  let f2 = Pool.try_submit pool (fun () -> 2) in
+  Alcotest.(check bool) "two admissions fit the bound" true
+    (f1 <> None && f2 <> None);
+  Alcotest.(check int) "queue depth visible" 2 (Pool.pending pool);
+  Alcotest.(check bool) "third admission shed" true
+    (Pool.try_submit pool (fun () -> 3) = None);
+  Alcotest.(check bool) "plain submit ignores the bound" true
+    (ignore (Pool.submit pool (fun () -> 4));
+     true);
+  Alcotest.(check bool) "blocker not settled while held" false
+    (Pool.is_settled blocker);
+  Atomic.set gate true;
+  ignore (Pool.await blocker);
+  Alcotest.(check bool) "settled after completion" true
+    (Pool.is_settled blocker);
+  Alcotest.(check int) "queued results delivered" 1
+    (Option.get (Option.map Pool.await_exn f1));
+  ignore (Option.map Pool.await f2)
+
+let test_protocol_status_parse () =
+  match Protocol.parse_request {|{"op":"status"}|} with
+  | Ok Protocol.Status -> ()
+  | Ok _ -> Alcotest.fail "parsed as the wrong op"
+  | Error e -> Alcotest.failf "status request rejected: %s" e
+
+let test_protocol_overloaded_reply () =
+  let reply =
+    Protocol.overloaded_reply ~id:"r3" ~reason:"queue" ~queue_depth:8
+      ~retry_after_ms:125.
+  in
+  match Json.of_string reply with
+  | Error e -> Alcotest.failf "reply is not JSON: %s" e
+  | Ok v ->
+    let str k = Option.bind (Json.member k v) Json.to_str in
+    let num k = Option.bind (Json.member k v) Json.to_num in
+    Alcotest.(check (option string)) "id" (Some "r3") (str "id");
+    Alcotest.(check (option string)) "status" (Some "overloaded")
+      (str "status");
+    Alcotest.(check (option string)) "reason" (Some "queue") (str "reason");
+    Alcotest.(check (option (float 0.))) "queue_depth" (Some 8.)
+      (num "queue_depth");
+    Alcotest.(check (option (float 0.))) "retry_after_ms" (Some 125.)
+      (num "retry_after_ms")
+
+let test_protocol_status_reply () =
+  let reply =
+    Protocol.status_reply
+      {
+        Protocol.ss_uptime_s = 12.5;
+        ss_workers = 2;
+        ss_queue_depth = 3;
+        ss_max_pending = Some 8;
+        ss_inflight = 5;
+        ss_shed_queue = 7;
+        ss_shed_inflight = 1;
+        ss_shed_cold = 2;
+        ss_watchdog_evictions = 4;
+        ss_cache_clamps = 1;
+        ss_level_transitions = 6;
+        ss_pressure_level = 2;
+        ss_mem_live_nodes = 12345;
+        ss_mem_high_water = None;
+        ss_respawns = 0;
+        ss_avg_check_ms = Some 42.5;
+        ss_faults_fired = 0;
+        ss_cache_capacity = 8;
+        ss_models =
+          [
+            {
+              Protocol.ms_key = "k1";
+              ms_busy = 1;
+              ms_uses = 9;
+              ms_warm = true;
+              ms_live_nodes = 12345;
+              ms_clamped = false;
+            };
+          ];
+      }
+  in
+  match Json.of_string reply with
+  | Error e -> Alcotest.failf "status reply is not JSON: %s" e
+  | Ok v ->
+    let num k = Option.bind (Json.member k v) Json.to_num in
+    Alcotest.(check (option string)) "status"
+      (Some "ok")
+      (Option.bind (Json.member "status" v) Json.to_str);
+    Alcotest.(check (option string)) "op"
+      (Some "status")
+      (Option.bind (Json.member "op" v) Json.to_str);
+    Alcotest.(check (option (float 0.))) "queue_depth" (Some 3.)
+      (num "queue_depth");
+    Alcotest.(check (option (float 0.))) "max_pending" (Some 8.)
+      (num "max_pending");
+    Alcotest.(check bool) "absent high water is null" true
+      (Json.member "mem_high_water" v = Some Json.Null);
+    let counters = Json.member "counters" v |> Option.get in
+    Alcotest.(check (option (float 0.))) "shed_queue" (Some 7.)
+      (Option.bind (Json.member "shed_queue" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "watchdog_evictions" (Some 4.)
+      (Option.bind (Json.member "watchdog_evictions" counters) Json.to_num);
+    let cache = Json.member "cache" v |> Option.get in
+    Alcotest.(check (option (float 0.))) "cache entries" (Some 1.)
+      (Option.bind (Json.member "entries" cache) Json.to_num);
+    let models =
+      Option.bind (Json.member "models" cache) Json.to_list |> Option.get
+    in
+    Alcotest.(check int) "one model row" 1 (List.length models);
+    let m0 = List.hd models in
+    Alcotest.(check (option string)) "model key" (Some "k1")
+      (Option.bind (Json.member "key" m0) Json.to_str);
+    Alcotest.(check (option bool)) "model warm" (Some true)
+      (Option.bind (Json.member "warm" m0) Json.to_bool)
+
+let daemon_cfg ?default_timeout ?default_node_limit ?max_timeout () =
+  {
+    Daemon.socket = None;
+    jobs = 1;
+    capacity = 1;
+    debug = false;
+    max_pending = None;
+    max_inflight = None;
+    default_timeout;
+    default_node_limit;
+    max_timeout;
+    mem_high_water = None;
+  }
+
+let test_daemon_apply_defaults () =
+  let o = Protocol.default_options in
+  let get cfg o = (Daemon.apply_defaults cfg o).Protocol.timeout in
+  Alcotest.(check (option (float 1e-9))) "no defaults: untouched" None
+    (get (daemon_cfg ()) o);
+  Alcotest.(check (option (float 1e-9))) "default fills the gap" (Some 5.)
+    (get (daemon_cfg ~default_timeout:5. ()) o);
+  Alcotest.(check (option (float 1e-9))) "request wins over default"
+    (Some 2.)
+    (get
+       (daemon_cfg ~default_timeout:5. ())
+       { o with Protocol.timeout = Some 2. });
+  Alcotest.(check (option (float 1e-9))) "ceiling clamps the request"
+    (Some 3.)
+    (get
+       (daemon_cfg ~max_timeout:3. ())
+       { o with Protocol.timeout = Some 60. });
+  Alcotest.(check (option (float 1e-9)))
+    "ceiling applies even with no request budget" (Some 3.)
+    (get (daemon_cfg ~max_timeout:3. ()) o);
+  Alcotest.(check (option (float 1e-9))) "below the ceiling: honoured"
+    (Some 1.)
+    (get
+       (daemon_cfg ~max_timeout:3. ())
+       { o with Protocol.timeout = Some 1. });
+  let node cfg o = (Daemon.apply_defaults cfg o).Protocol.node_limit in
+  Alcotest.(check (option int)) "node default fills the gap" (Some 100)
+    (node (daemon_cfg ~default_node_limit:100 ()) o);
+  Alcotest.(check (option int)) "request node limit wins" (Some 7)
+    (node
+       (daemon_cfg ~default_node_limit:100 ())
+       { o with Protocol.node_limit = Some 7 })
+
+let test_overload_retry_hint () =
+  let ov = Overload.create ~log:ignore () in
+  Alcotest.(check (option (float 1e-9))) "no history yet" None
+    (Overload.avg_check_s ov);
+  (* Before any completion the hint falls back to a 50 ms mean. *)
+  Alcotest.(check (float 1e-9)) "cold hint" 50.
+    (Overload.retry_after_ms ov ~queue_depth:0 ~workers:1);
+  Overload.admitted ov;
+  Alcotest.(check int) "admitted counted" 1 (Overload.inflight ov);
+  Overload.finished ov 0.1;
+  Overload.finished ov 0.3;
+  Alcotest.(check int) "finished drains inflight" 0 (Overload.inflight ov);
+  Alcotest.(check (option (float 1e-9))) "rolling mean" (Some 0.2)
+    (Overload.avg_check_s ov);
+  (* 5 queued ahead + this one = 6 slots over 2 workers = 3 rounds of
+     the 200 ms mean. *)
+  Alcotest.(check (float 1e-9)) "scaled hint" 600.
+    (Overload.retry_after_ms ov ~queue_depth:5 ~workers:2);
+  let s = Overload.stats ov in
+  Overload.shed ov Overload.Queue_full;
+  Overload.shed ov Overload.Memory_pressure;
+  let s' = Overload.stats ov in
+  Alcotest.(check int) "shed_queue counted" (s.Overload.shed_queue + 1)
+    s'.Overload.shed_queue;
+  Alcotest.(check int) "shed_cold counted" (s.Overload.shed_cold + 1)
+    s'.Overload.shed_cold
+
+(* Put a real compiled model into a cache entry so live_nodes has
+   something to measure. *)
+let warm_into cache source =
+  let key = Cache.digest ~source ~partitioned:false ~static_order:false in
+  let e, _ = Cache.acquire cache ~key in
+  e.Cache.compiled <- Some (compile source);
+  Cache.release cache e;
+  key
+
+let test_cache_pressure_hooks () =
+  let cache = Cache.create ~capacity:4 in
+  let key = warm_into cache mutex_source in
+  Alcotest.(check bool) "warm model visible" true (Cache.is_warm cache ~key);
+  Alcotest.(check bool) "cold model not" false
+    (Cache.is_warm cache ~key:"nope");
+  let live = Cache.live_nodes cache in
+  Alcotest.(check bool) "live nodes measured" true (live > 0);
+  (* Clamp, inspect, unclamp. *)
+  Alcotest.(check int) "one idle manager clamped" 1
+    (Cache.clamp_idle cache ~limit:64);
+  (match Cache.snapshot cache with
+  | [ i ] ->
+    Alcotest.(check bool) "snapshot: warm" true i.Cache.i_warm;
+    Alcotest.(check bool) "snapshot: clamped" true i.Cache.i_clamped;
+    Alcotest.(check bool) "snapshot: live nodes" true (i.Cache.i_live > 0)
+  | l -> Alcotest.failf "expected one snapshot row, got %d" (List.length l));
+  Alcotest.(check int) "already clamped: no-op" 0
+    (Cache.clamp_idle cache ~limit:64);
+  Alcotest.(check int) "unclamped" 1 (Cache.unclamp_idle cache);
+  (* Eviction respects busy entries... *)
+  let e, _ = Cache.acquire cache ~key in
+  Alcotest.(check int) "busy entry never evicted" 0
+    (Cache.evict_idle_until cache ~target:0);
+  Cache.release cache e;
+  (* ...and drops idle ones until the target is met. *)
+  Alcotest.(check int) "idle entry evicted under pressure" 1
+    (Cache.evict_idle_until cache ~target:0);
+  Alcotest.(check bool) "evicted model is cold again" false
+    (Cache.is_warm cache ~key);
+  Alcotest.(check int) "nothing left to measure" 0 (Cache.live_nodes cache)
+
+let test_overload_watchdog_ladder () =
+  let cache = Cache.create ~capacity:4 in
+  let key = warm_into cache mutex_source in
+  (* High water of one node: the warm mutex model is always over it. *)
+  let ov = Overload.create ~mem_high_water:1 ~log:ignore () in
+  Alcotest.(check int) "starts at level 0" 0 (Overload.level ov);
+  Alcotest.(check bool) "cold admissions allowed" true
+    (Overload.admit_cold ov);
+  (* A busy entry can be neither evicted nor clamped: the ladder must
+     climb straight to refusing cold admissions. *)
+  let e, _ = Cache.acquire cache ~key in
+  Overload.watchdog ov cache;
+  Alcotest.(check int) "busy + over water: level 3" 3 (Overload.level ov);
+  Alcotest.(check bool) "cold admissions refused" false
+    (Overload.admit_cold ov);
+  Cache.release cache e;
+  (* Once the entry is idle the ladder evicts it and pressure drops. *)
+  Overload.watchdog ov cache;
+  let s = Overload.stats ov in
+  Alcotest.(check bool) "idle entry evicted" true (s.Overload.evictions >= 1);
+  Alcotest.(check bool) "below level 3 again" true (s.Overload.level < 3);
+  Alcotest.(check bool) "cold admissions restored" true
+    (Overload.admit_cold ov);
+  (* The next clear tick settles back to normal. *)
+  Overload.watchdog ov cache;
+  Overload.watchdog ov cache;
+  Alcotest.(check int) "pressure cleared: level 0" 0 (Overload.level ov);
+  Alcotest.(check bool) "transitions counted" true
+    ((Overload.stats ov).Overload.transitions >= 2);
+  (* Unarmed watchdog: a no-op regardless of pressure. *)
+  let ov0 = Overload.create ~log:ignore () in
+  let _ = warm_into cache mutex_source in
+  Overload.watchdog ov0 cache;
+  Alcotest.(check int) "unarmed stays at level 0" 0 (Overload.level ov0)
+
 let suite =
   [
     Alcotest.test_case "json: compact printing" `Quick test_json_print;
@@ -413,4 +699,19 @@ let suite =
       test_engine_exit_codes;
     Alcotest.test_case "engine: fault injection is check-scoped" `Quick
       test_engine_fault_is_scoped;
+    Alcotest.test_case "pool: bounded admission" `Quick test_pool_admission;
+    Alcotest.test_case "protocol: status request" `Quick
+      test_protocol_status_parse;
+    Alcotest.test_case "protocol: overloaded reply shape" `Quick
+      test_protocol_overloaded_reply;
+    Alcotest.test_case "protocol: status reply shape" `Quick
+      test_protocol_status_reply;
+    Alcotest.test_case "daemon: server-side budget defaults" `Quick
+      test_daemon_apply_defaults;
+    Alcotest.test_case "overload: admission counters and retry hint" `Quick
+      test_overload_retry_hint;
+    Alcotest.test_case "cache: memory-pressure hooks" `Quick
+      test_cache_pressure_hooks;
+    Alcotest.test_case "overload: watchdog ladder" `Quick
+      test_overload_watchdog_ladder;
   ]
