@@ -18,13 +18,13 @@ let run ~full =
           match part.Kripke.pre_schedule with
           | Some steps ->
             List.fold_left
-              (fun acc s -> acc + Bdd.size s.Kripke.cluster)
+              (fun acc s -> acc + Bdd.size part.Kripke.man s.Kripke.cluster)
               0 steps
           | None -> 0
         in
         [
           string_of_int n;
-          string_of_int (Bdd.size mono.Kripke.trans);
+          string_of_int (Bdd.size mono.Kripke.man mono.Kripke.trans);
           string_of_int cluster_sizes;
           Harness.ns_string t_mono;
           Harness.ns_string t_part;

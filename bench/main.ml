@@ -27,6 +27,7 @@ let experiments =
     ("E13", Exp_reorder.run, Exp_reorder.bechamel);
     ("E14", Exp_serve.run, Exp_serve.bechamel);
     ("E15", Exp_serve.run_overload, Exp_serve.bechamel_overload);
+    ("E16", Exp_nodestore.run, Exp_nodestore.bechamel);
   ]
 
 let run_raw () =

@@ -350,7 +350,7 @@ let run opts file =
         let buf = Buffer.create 512 in
         let ppf = Format.formatter_of_buffer buf in
         let clusters () =
-          List.map (Bdd.transfer ~dst:wm.Kripke.man) main_clusters
+          List.map (Bdd.transfer ~src:m.Kripke.man ~dst:wm.Kripke.man) main_clusters
         in
         let r =
           Engine.check_one ppf wm ~opts:eopts ~clusters ?inject:site_inject

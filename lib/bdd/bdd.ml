@@ -1,5 +1,29 @@
 (* Reduced ordered BDDs with hash-consing, memoised operations, and
-   dynamic variable reordering.
+   dynamic variable reordering, over an unboxed int-packed node store.
+
+   Representation.  A diagram handle [t] is an [int]: 0 is the constant
+   false, 1 the constant true, and any index >= 2 names a slot in the
+   manager's struct-of-arrays columns [n_var]/[n_lo]/[n_hi].  A node is
+   therefore three adjacent-by-index array cells, not a boxed record:
+   the OCaml GC never traverses the store, [mk] allocates nothing on
+   the OCaml heap, and a cofactor read is one bounds-checked array
+   load.  Free slots (after [gc] or a reordering reap) carry
+   [n_var = -1] and are threaded into a free list through [n_lo].
+
+   The unique table is open addressing, split per variable: each
+   variable owns a power-of-two slot array probed linearly (-1 empty,
+   -2 tombstone), grown geometrically at 3/4 load with a full rehash
+   that also clears tombstones.  Splitting per variable is what keeps
+   an adjacent-level exchange local to the two affected subtables.
+
+   The five operation caches (ite / exists / forall / relprod /
+   constrain) are direct-mapped int-packed arrays: one slot per hash,
+   a probe is one multiply and 3-4 array reads, and an insert that
+   lands on a live entry with a different key simply overwrites it
+   (counted as an eviction).  This replaces the boxed scheme's
+   tuple-keyed hash tables with whole-table reset eviction: results
+   never change — caches only affect sharing of work — so a displaced
+   entry merely forces recomputation.
 
    Invariants maintained by [mk]:
    - ordering: on every path from the root, variable *levels* strictly
@@ -11,22 +35,25 @@
      unique subtables).
 
    Under these invariants structural identity is semantic equivalence,
-   so [equal] is constant-time and operation caches can be keyed by
-   node ids.
+   so [equal] is constant-time and operation caches are keyed directly
+   by handles.
 
    Reordering works by adjacent-level swap: a node of the upper
    variable that depends on the lower one is rewritten *in place*
-   (mutable [var]/[low]/[high]) to denote the same boolean function
-   with the two variables exchanged, so external handles survive —
-   only the two affected unique subtables are touched.  See the
-   [Reorder] section below for the full invariant story. *)
+   (its [n_var]/[n_lo]/[n_hi] cells) to denote the same boolean
+   function with the two variables exchanged, so external handles
+   survive — only the two affected unique subtables are touched.  See
+   the [Reorder] section below for the full invariant story.
 
-type t =
-  | False
-  | True
-  | Node of node
+   Garbage collection is mark-and-sweep over the columns with
+   free-list reuse, NOT compaction: handles are immediate ints copied
+   into arbitrary client structures, so they cannot be rewritten —
+   exactly the contract the boxed store had (ids of surviving nodes
+   are stable across [gc]).  Swept indices are recycled by later
+   [mk]s; the operation caches are dropped at every sweep so a stale
+   cached handle can never escape into a recycled slot. *)
 
-and node = { nid : int; mutable var : int; mutable low : t; mutable high : t }
+type t = int (* 0 = false, 1 = true, >= 2 = index into the columns *)
 
 (* Per-operation counters, updated in place on the hot path. *)
 type opstat = {
@@ -65,6 +92,11 @@ type stats = {
   reorders : int;
   reorder_ms : float;
   reorder_saved : int;
+  cache_stores : int;
+  unique_lookups : int;
+  unique_probes : int;
+  store_capacity : int;
+  unique_capacity : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -123,27 +155,71 @@ type fault_site = Mk | Cache_probe | Gc | Step | Reorder
 
 type fault = { f_site : fault_site; mutable f_remaining : int }
 
+(* One variable's unique subtable: a power-of-two slot array of node
+   indices probed linearly.  -1 marks an empty slot, -2 a tombstone
+   left by a removal (reordering, gc rebuilds afresh instead).  The
+   key of a stored node is its (n_lo, n_hi) pair, read back from the
+   columns — the table itself holds only indices. *)
+type sub = {
+  mutable s_slots : int array;
+  mutable s_count : int; (* live entries *)
+  mutable s_tombs : int; (* tombstones *)
+}
+
+(* One direct-mapped operation cache: [c_stride] ints per entry (the
+   key's 2 or 3 handles followed by the result), one entry per hash
+   value.  An empty entry has key word -1 (valid handles are >= 0).
+   The array doubles (up to the manager's cap) when enough stores have
+   accumulated since the last resize, and [clear_caches] drops it back
+   to the initial size — the packed analogue of [Hashtbl.reset]. *)
+type cache = {
+  c_stride : int;
+  mutable c_data : int array;
+  mutable c_mask : int; (* entries - 1, entries a power of two *)
+  mutable c_stores : int; (* total stores (monotone) *)
+  mutable c_over : int; (* stores that displaced a live entry *)
+  mutable c_since : int; (* stores since the last resize/clear *)
+}
+
 type man = {
-  (* Unique tables, one per variable, keyed by (low id, high id).
-     Splitting the table per variable is what makes an adjacent-level
-     swap touch only the two affected subtables. *)
-  mutable subtables : (int * int, t) Hashtbl.t array;
+  (* --- the node store: struct-of-arrays columns --- *)
+  mutable n_var : int array; (* variable, or -1 for a free slot *)
+  mutable n_lo : int array;  (* else-child; free-list next when free *)
+  mutable n_hi : int array;  (* then-child *)
+  mutable n_cap : int;       (* column capacity (doubles on demand) *)
+  mutable n_next : int;      (* allocation watermark (indices 0/1 reserved) *)
+  mutable free_head : int;   (* head of the free list, or -1 *)
+  mutable total_created : int; (* nodes ever allocated *)
+  (* Unique tables, one per variable, keyed by (low, high).  Splitting
+     the table per variable is what makes an adjacent-level swap touch
+     only the two affected subtables. *)
+  mutable subs : sub array;
   mutable nvars : int;         (* variables ever mentioned *)
   mutable var2lvl : int array; (* variable -> level, a permutation *)
   mutable lvl2var : int array; (* level -> variable, its inverse *)
   mutable pair_with : int array;
       (* grouped-sifting partner of each variable, or -1; pairs are
          kept level-adjacent by [Reorder.sift] *)
-  mutable live : int;          (* total nodes across the subtables *)
-  mutable next_id : int;
-  ite_cache : (int * int * int, t) Hashtbl.t;
-  exists_cache : (int * int, t) Hashtbl.t;
-  forall_cache : (int * int, t) Hashtbl.t;
-  relprod_cache : (int * int * int, t) Hashtbl.t;
-  constrain_cache : (int * int, t) Hashtbl.t;
+  mutable live : int; (* total nodes across the subtables *)
+  mutable zombies : int list;
+      (* slots detached from the unique table by a reordering reap but
+         whose columns are kept readable: a client may still hold the
+         handle (the boxed store kept such records alive through the
+         OCaml GC).  The next [gc] releases the unmarked ones. *)
+  ite_cache : cache;
+  exists_cache : cache;
+  forall_cache : cache;
+  relprod_cache : cache;
+  constrain_cache : cache;
   mutable cache_limit : int;
-      (* per-cache high-water mark; [max_int] means unbounded *)
+      (* requested per-cache entry bound; [max_int] means unbounded *)
+  mutable cache_cap : int;
+      (* realised per-cache capacity cap: the largest power of two
+         within [cache_limit], or the hard cap when unbounded *)
+  cache_entries0 : int; (* initial (and post-clear) per-cache entries *)
   mutable evictions : int;
+  mutable unique_lookups : int; (* unique-table find-or-insert probes *)
+  mutable unique_probes : int;  (* slots inspected across all lookups *)
   mutable peak_nodes : int;
   mutable gc_runs : int;
   mutable gc_collected : int;
@@ -180,23 +256,77 @@ type man = {
    per-probe cost, so this bounds both poll latency and overhead. *)
 let poll_interval = 4096
 
-let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
-  ignore unique_size;
+let pow2_at_least n =
+  let p = ref 1 in
+  while !p < n do
+    p := !p lsl 1
+  done;
+  !p
+
+(* Largest power of two <= n, for n >= 1. *)
+let pow2_at_most n =
+  let p = ref 1 in
+  while !p lsl 1 <= n do
+    p := !p lsl 1
+  done;
+  !p
+
+(* Per-cache entries never exceed this even unbounded: a direct-mapped
+   cache past a quarter-million entries stops gaining hits and starts
+   costing resident memory (each entry is 3-4 words forever). *)
+let cache_hard_cap = 1 lsl 18
+
+let cache_make stride entries =
   {
-    subtables = Array.init 64 (fun _ -> Hashtbl.create 16);
+    c_stride = stride;
+    c_data = Array.make (entries * stride) (-1);
+    c_mask = entries - 1;
+    c_stores = 0;
+    c_over = 0;
+    c_since = 0;
+  }
+
+let fresh_sub () = { s_slots = Array.make 16 (-1); s_count = 0; s_tombs = 0 }
+
+let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
+  let climit = match cache_limit with Some n -> n | None -> max_int in
+  let cache_cap =
+    if climit = max_int then cache_hard_cap
+    else max 1 (pow2_at_most (max 1 climit))
+  in
+  let entries0 =
+    min (pow2_at_least (max 256 (min 4096 (max 1 (cache_size / 8))))) cache_cap
+  in
+  (* [unique_size] sizes the initial node-store columns (clamped to a
+     sane power-of-two range); the per-variable subtables start small
+     and grow geometrically as nodes actually land in them. *)
+  let ucap = pow2_at_least (max 1024 (min (max unique_size 2) (1 lsl 24))) in
+  {
+    n_var = Array.make ucap (-1);
+    n_lo = Array.make ucap 0;
+    n_hi = Array.make ucap 0;
+    n_cap = ucap;
+    n_next = 2;
+    free_head = -1;
+    total_created = 0;
+    subs = Array.init 64 (fun _ -> fresh_sub ());
     nvars = 0;
     var2lvl = Array.make 64 (-1);
     lvl2var = Array.make 64 (-1);
     pair_with = Array.make 64 (-1);
     live = 0;
-    next_id = 2;
-    ite_cache = Hashtbl.create cache_size;
-    exists_cache = Hashtbl.create cache_size;
-    forall_cache = Hashtbl.create cache_size;
-    relprod_cache = Hashtbl.create cache_size;
-    constrain_cache = Hashtbl.create cache_size;
-    cache_limit = (match cache_limit with Some n -> n | None -> max_int);
+    zombies = [];
+    ite_cache = cache_make 4 entries0;
+    exists_cache = cache_make 3 entries0;
+    forall_cache = cache_make 3 entries0;
+    relprod_cache = cache_make 4 entries0;
+    constrain_cache = cache_make 3 entries0;
+    cache_limit = climit;
+    cache_cap;
+    cache_entries0 = entries0;
     evictions = 0;
+    unique_lookups = 0;
+    unique_probes = 0;
     peak_nodes = 0;
     gc_runs = 0;
     gc_collected = 0;
@@ -227,12 +357,12 @@ let create ?(unique_size = 20_011) ?(cache_size = 20_011) ?cache_limit () =
 let ensure_var m v =
   if v >= m.nvars then begin
     let n = v + 1 in
-    let cap = Array.length m.subtables in
+    let cap = Array.length m.subs in
     if n > cap then begin
       let newcap = max n (2 * cap) in
       let st =
         Array.init newcap (fun i ->
-            if i < cap then m.subtables.(i) else Hashtbl.create 16)
+            if i < cap then m.subs.(i) else fresh_sub ())
       in
       let grow a =
         let a' = Array.make newcap (-1) in
@@ -241,7 +371,7 @@ let ensure_var m v =
       in
       let v2l = grow m.var2lvl and l2v = grow m.lvl2var in
       let pw = grow m.pair_with in
-      m.subtables <- st;
+      m.subs <- st;
       m.var2lvl <- v2l;
       m.lvl2var <- l2v;
       m.pair_with <- pw
@@ -257,15 +387,39 @@ let set_cache_limit m limit =
   (match limit with
   | Some n when n <= 0 -> invalid_arg "Bdd.set_cache_limit: non-positive limit"
   | Some _ | None -> ());
-  m.cache_limit <- (match limit with Some n -> n | None -> max_int)
+  m.cache_limit <- (match limit with Some n -> n | None -> max_int);
+  m.cache_cap <-
+    (if m.cache_limit = max_int then cache_hard_cap
+     else max 1 (pow2_at_most m.cache_limit));
+  (* Shrink immediately: a newly installed bound must not leave an
+     oversized array resident until the next insertion. *)
+  let shrink c =
+    if c.c_mask + 1 > m.cache_cap then begin
+      c.c_data <- Array.make (m.cache_cap * c.c_stride) (-1);
+      c.c_mask <- m.cache_cap - 1;
+      c.c_since <- 0
+    end
+  in
+  shrink m.ite_cache;
+  shrink m.exists_cache;
+  shrink m.forall_cache;
+  shrink m.relprod_cache;
+  shrink m.constrain_cache
 
 let cache_limit m = if m.cache_limit = max_int then None else Some m.cache_limit
 
-let count_nodes m = m.next_id - 2
+let count_nodes m = m.total_created
 let live_nodes m = m.live
 
 let snapshot_op (s : opstat) =
   { calls = s.calls; hits = s.hits; misses = s.misses }
+
+let unique_capacity m =
+  let acc = ref 0 in
+  for v = 0 to m.nvars - 1 do
+    acc := !acc + Array.length m.subs.(v).s_slots
+  done;
+  !acc
 
 let stats m =
   {
@@ -283,6 +437,14 @@ let stats m =
     reorders = m.reorders;
     reorder_ms = m.reorder_ms;
     reorder_saved = m.reorder_saved;
+    cache_stores =
+      m.ite_cache.c_stores + m.exists_cache.c_stores
+      + m.forall_cache.c_stores + m.relprod_cache.c_stores
+      + m.constrain_cache.c_stores;
+    unique_lookups = m.unique_lookups;
+    unique_probes = m.unique_probes;
+    store_capacity = m.n_cap;
+    unique_capacity = unique_capacity m;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -346,8 +508,8 @@ let poll m =
   end
 
 (* The fault hook on the hot sites.  Disarmed cost is one immediate
-   field load and branch — unmeasurable next to the hash-table probe
-   each site performs anyway (bench E12 keeps it honest).  When the
+   field load and branch — unmeasurable next to the array probe each
+   site performs anyway (bench E12 keeps it honest).  When the
    countdown reaches zero the fault disarms itself first, then raises
    [Out_of_memory]: the same exception a genuine allocation failure at
    that site would surface, so recovery code cannot tell injected
@@ -365,80 +527,322 @@ let fault_tick m site =
       end
     end
 
-(* Cache lookups and insertions funnel through these two helpers so hit
-   and miss counts stay accurate, every cache obeys the high-water
-   mark, and attached resource limits are polled cooperatively.
-   Eviction drops the whole table ([Hashtbl.reset]): correctness
-   never depends on the caches, only sharing does, so a full reset
-   mid-recursion merely forces recomputation. *)
-let cache_find m (stat : opstat) cache key =
+(* ------------------------------------------------------------------ *)
+(* Direct-mapped operation caches.  Lookups and insertions funnel
+   through these helpers so hit and miss counts stay accurate, every
+   cache obeys the capacity cap, and attached resource limits are
+   polled cooperatively — the same funnel the boxed scheme had, one
+   probe per lookup instead of a tuple allocation plus a hash-table
+   walk.  Eviction is per-entry overwrite: a store landing on a live
+   entry with a different key displaces it (counted in
+   [cache_evictions]).  Correctness never depends on the caches, only
+   sharing does, so a displaced entry merely forces recomputation. *)
+
+let mix2 a b =
+  let h = (a * 0x9e3779b1) lxor (b * 0x85ebca77) in
+  h lxor (h lsr 16)
+
+let mix3 a b c =
+  let h = (a * 0x9e3779b1) lxor (b * 0x85ebca77) lxor (c * 0xc2b2ae3d) in
+  h lxor (h lsr 16)
+
+(* Double a cache (rehashing live entries; collisions keep the newer
+   slot's claim — both entries are still correct, one just loses its
+   sharing).  At the cap this degrades to resetting the growth
+   counter, so the check stays O(1) per store. *)
+let cache_grow m c =
+  let entries = (c.c_mask + 1) * 2 in
+  if entries <= m.cache_cap then begin
+    let old = c.c_data and oldmask = c.c_mask and st = c.c_stride in
+    let d = Array.make (entries * st) (-1) in
+    c.c_data <- d;
+    c.c_mask <- entries - 1;
+    for i = 0 to oldmask do
+      let b = i * st in
+      if old.(b) >= 0 then begin
+        let h =
+          (if st = 3 then mix2 old.(b) old.(b + 1)
+           else mix3 old.(b) old.(b + 1) old.(b + 2))
+          land c.c_mask
+        in
+        Array.blit old b d (h * st) st
+      end
+    done
+  end;
+  c.c_since <- 0
+
+let cache_find2 m (stat : opstat) c k1 k2 =
   fault_tick m Cache_probe;
   poll m;
-  match Hashtbl.find_opt cache key with
-  | Some _ as r ->
+  let b = (mix2 k1 k2 land c.c_mask) * 3 in
+  let d = c.c_data in
+  if d.(b) = k1 && d.(b + 1) = k2 then begin
     stat.hits <- stat.hits + 1;
-    r
-  | None ->
+    d.(b + 2)
+  end
+  else begin
     stat.misses <- stat.misses + 1;
-    None
-
-let cache_store m cache key r =
-  Hashtbl.add cache key r;
-  if Hashtbl.length cache > m.cache_limit then begin
-    Hashtbl.reset cache;
-    m.evictions <- m.evictions + 1
+    -1
   end
 
-let zero _ = False
-let one _ = True
+let cache_store2 m c k1 k2 r =
+  let b = (mix2 k1 k2 land c.c_mask) * 3 in
+  let d = c.c_data in
+  if d.(b) >= 0 && not (d.(b) = k1 && d.(b + 1) = k2) then begin
+    c.c_over <- c.c_over + 1;
+    m.evictions <- m.evictions + 1
+  end;
+  d.(b) <- k1;
+  d.(b + 1) <- k2;
+  d.(b + 2) <- r;
+  c.c_stores <- c.c_stores + 1;
+  c.c_since <- c.c_since + 1;
+  if c.c_since > 2 * (c.c_mask + 1) then cache_grow m c
 
-let id = function
-  | False -> 0
-  | True -> 1
-  | Node n -> n.nid
+let cache_find3 m (stat : opstat) c k1 k2 k3 =
+  fault_tick m Cache_probe;
+  poll m;
+  let b = (mix3 k1 k2 k3 land c.c_mask) * 4 in
+  let d = c.c_data in
+  if d.(b) = k1 && d.(b + 1) = k2 && d.(b + 2) = k3 then begin
+    stat.hits <- stat.hits + 1;
+    d.(b + 3)
+  end
+  else begin
+    stat.misses <- stat.misses + 1;
+    -1
+  end
 
-let is_zero = function False -> true | True | Node _ -> false
-let is_one = function True -> true | False | Node _ -> false
-let equal a b = id a = id b
-let compare a b = Stdlib.compare (id a) (id b)
-let hash b = id b
+let cache_store3 m c k1 k2 k3 r =
+  let b = (mix3 k1 k2 k3 land c.c_mask) * 4 in
+  let d = c.c_data in
+  if d.(b) >= 0 && not (d.(b) = k1 && d.(b + 1) = k2 && d.(b + 2) = k3)
+  then begin
+    c.c_over <- c.c_over + 1;
+    m.evictions <- m.evictions + 1
+  end;
+  d.(b) <- k1;
+  d.(b + 1) <- k2;
+  d.(b + 2) <- k3;
+  d.(b + 3) <- r;
+  c.c_stores <- c.c_stores + 1;
+  c.c_since <- c.c_since + 1;
+  if c.c_since > 2 * (c.c_mask + 1) then cache_grow m c
 
-let topvar = function
-  | Node n -> n.var
-  | False | True -> invalid_arg "Bdd.topvar: constant"
+(* Drop a cache back to its initial size — the packed analogue of
+   [Hashtbl.reset]: contents gone, resident memory returned. *)
+let cache_reset m c =
+  let entries = min m.cache_entries0 m.cache_cap in
+  c.c_data <- Array.make (entries * c.c_stride) (-1);
+  c.c_mask <- entries - 1;
+  c.c_since <- 0
 
-let low = function
-  | Node n -> n.low
-  | False | True -> invalid_arg "Bdd.low: constant"
+let clear_caches m =
+  cache_reset m m.ite_cache;
+  cache_reset m m.constrain_cache;
+  cache_reset m m.exists_cache;
+  cache_reset m m.forall_cache;
+  cache_reset m m.relprod_cache
 
-let high = function
-  | Node n -> n.high
-  | False | True -> invalid_arg "Bdd.high: constant"
+(* ------------------------------------------------------------------ *)
+(* The node store: column allocation and the open-addressing unique
+   subtables. *)
+
+let grow_columns m =
+  let cap = 2 * m.n_cap in
+  let nv = Array.make cap (-1)
+  and nl = Array.make cap 0
+  and nh = Array.make cap 0 in
+  Array.blit m.n_var 0 nv 0 m.n_cap;
+  Array.blit m.n_lo 0 nl 0 m.n_cap;
+  Array.blit m.n_hi 0 nh 0 m.n_cap;
+  m.n_var <- nv;
+  m.n_lo <- nl;
+  m.n_hi <- nh;
+  m.n_cap <- cap
+
+let alloc_node m v lo hi =
+  let n =
+    if m.free_head >= 0 then begin
+      let n = m.free_head in
+      m.free_head <- m.n_lo.(n);
+      n
+    end
+    else begin
+      if m.n_next >= m.n_cap then grow_columns m;
+      let n = m.n_next in
+      m.n_next <- n + 1;
+      n
+    end
+  in
+  m.n_var.(n) <- v;
+  m.n_lo.(n) <- lo;
+  m.n_hi.(n) <- hi;
+  m.total_created <- m.total_created + 1;
+  m.live <- m.live + 1;
+  if m.live > m.peak_nodes then m.peak_nodes <- m.live;
+  n
+
+let release_slot m n =
+  m.n_var.(n) <- -1;
+  m.n_lo.(n) <- m.free_head;
+  m.n_hi.(n) <- -1;
+  m.free_head <- n
+
+let free_node m n =
+  release_slot m n;
+  m.live <- m.live - 1
+
+let hash_uid lo hi =
+  let h = (lo * 0x9e3779b1) lxor (hi * 0x61c88647) in
+  h lxor (h lsr 16)
+
+(* Rehash a subtable into a fresh slot array sized for its live count;
+   tombstones evaporate.  Also the growth path: load (live + tombs) is
+   kept under 3/4 so probe chains stay short and terminate. *)
+let sub_grow m s =
+  let newcap = pow2_at_least (max 16 (2 * (s.s_count + 1))) in
+  let slots = Array.make newcap (-1) in
+  let mask = newcap - 1 in
+  Array.iter
+    (fun e ->
+      if e >= 2 then begin
+        let j = ref (hash_uid m.n_lo.(e) m.n_hi.(e) land mask) in
+        while slots.(!j) <> -1 do
+          j := (!j + 1) land mask
+        done;
+        slots.(!j) <- e
+      end)
+    s.s_slots;
+  s.s_slots <- slots;
+  s.s_tombs <- 0
+
+(* Find the node with key (lo, hi), or -1. *)
+let sub_find m s lo hi =
+  let slots = s.s_slots in
+  let mask = Array.length slots - 1 in
+  let j = ref (hash_uid lo hi land mask) in
+  let r = ref (-1) and looking = ref true in
+  while !looking do
+    let e = slots.(!j) in
+    if e = -1 then looking := false
+    else begin
+      if e >= 2 && m.n_lo.(e) = lo && m.n_hi.(e) = hi then begin
+        r := e;
+        looking := false
+      end
+      else j := (!j + 1) land mask
+    end
+  done;
+  !r
+
+(* Remove node [e] (found by its current key); leaves a tombstone. *)
+let sub_remove m s e =
+  let slots = s.s_slots in
+  let mask = Array.length slots - 1 in
+  let j = ref (hash_uid m.n_lo.(e) m.n_hi.(e) land mask) in
+  let looking = ref true in
+  while !looking do
+    let e' = slots.(!j) in
+    if e' = e then begin
+      slots.(!j) <- -2;
+      s.s_count <- s.s_count - 1;
+      s.s_tombs <- s.s_tombs + 1;
+      looking := false
+    end
+    else if e' = -1 then looking := false
+    else j := (!j + 1) land mask
+  done
+
+(* Insert node [e] under its current key, which must be absent (the
+   reordering paths guarantee it; [mk] inlines its own probe). *)
+let sub_insert m s e =
+  assert (sub_find m s m.n_lo.(e) m.n_hi.(e) = -1);
+  let slots = s.s_slots in
+  let mask = Array.length slots - 1 in
+  let j = ref (hash_uid m.n_lo.(e) m.n_hi.(e) land mask) in
+  let looking = ref true in
+  while !looking do
+    match slots.(!j) with
+    | -1 ->
+      slots.(!j) <- e;
+      looking := false
+    | -2 ->
+      slots.(!j) <- e;
+      s.s_tombs <- s.s_tombs - 1;
+      looking := false
+    | _ -> j := (!j + 1) land mask
+  done;
+  s.s_count <- s.s_count + 1;
+  if 4 * (s.s_count + s.s_tombs + 1) > 3 * (mask + 1) then sub_grow m s
+
+(* ------------------------------------------------------------------ *)
+(* Handles and structure. *)
+
+let zero _ = 0
+let one _ = 1
+let id (f : t) : int = f
+let is_zero f = f = 0
+let is_one f = f = 1
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (f : t) = f
+
+let topvar m f =
+  if f >= 2 then m.n_var.(f) else invalid_arg "Bdd.topvar: constant"
+
+let low m f = if f >= 2 then m.n_lo.(f) else invalid_arg "Bdd.low: constant"
+let high m f = if f >= 2 then m.n_hi.(f) else invalid_arg "Bdd.high: constant"
 
 (* Root level, treating constants as deeper than everything.  With the
    default identity order this is the root variable index, so every
    level comparison below reproduces the historic var comparison
    bit-for-bit. *)
-let lvl m = function
-  | False | True -> max_int
-  | Node n -> m.var2lvl.(n.var)
+let lvl m f = if f < 2 then max_int else m.var2lvl.(m.n_var.(f))
 
-(* The only node constructor: reduces and hash-conses. *)
+(* The only node constructor: reduces and hash-conses.  The probe
+   remembers the first tombstone so removals (reordering) do not
+   lengthen chains forever. *)
 let mk m v lo hi =
   fault_tick m Mk;
-  if equal lo hi then lo
+  if lo = hi then lo
   else begin
     ensure_var m v;
-    let tbl = m.subtables.(v) in
-    let key = (id lo, id hi) in
-    match Hashtbl.find_opt tbl key with
-    | Some n -> n
-    | None ->
-      let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
-      m.next_id <- m.next_id + 1;
-      Hashtbl.add tbl key n;
-      m.live <- m.live + 1;
-      if m.live > m.peak_nodes then m.peak_nodes <- m.live;
+    let s = m.subs.(v) in
+    let slots = s.s_slots in
+    let mask = Array.length slots - 1 in
+    let j = ref (hash_uid lo hi land mask) in
+    let tomb = ref (-1) and found = ref (-1) in
+    let probes = ref 1 and looking = ref true in
+    while !looking do
+      let e = slots.(!j) in
+      if e = -1 then looking := false
+      else if e = -2 then begin
+        if !tomb < 0 then tomb := !j;
+        j := (!j + 1) land mask;
+        incr probes
+      end
+      else if m.n_lo.(e) = lo && m.n_hi.(e) = hi then begin
+        found := e;
+        looking := false
+      end
+      else begin
+        j := (!j + 1) land mask;
+        incr probes
+      end
+    done;
+    m.unique_lookups <- m.unique_lookups + 1;
+    m.unique_probes <- m.unique_probes + !probes;
+    if !found >= 0 then !found
+    else begin
+      let n = alloc_node m v lo hi in
+      if !tomb >= 0 then begin
+        slots.(!tomb) <- n;
+        s.s_tombs <- s.s_tombs - 1
+      end
+      else slots.(!j) <- n;
+      s.s_count <- s.s_count + 1;
+      if 4 * (s.s_count + s.s_tombs + 1) > 3 * (mask + 1) then sub_grow m s;
       (* Auto-reorder trigger: note the threshold crossing; the sift
          itself runs only at an explicit checkpoint (a safe point where
          every live intermediate is root-reachable), never here in the
@@ -446,54 +850,56 @@ let mk m v lo hi =
       if m.live > m.reorder_threshold && not m.in_reorder then
         m.reorder_pending <- true;
       n
+    end
   end
 
 let var m v =
   if v < 0 then invalid_arg "Bdd.var: negative variable";
-  mk m v False True
+  mk m v 0 1
 
 let nvar m v =
   if v < 0 then invalid_arg "Bdd.nvar: negative variable";
-  mk m v True False
+  mk m v 1 0
 
-(* Cofactors with respect to a variable at or above the root. *)
-let cofactors f v =
-  match f with
-  | Node n when n.var = v -> (n.low, n.high)
-  | False | True | Node _ -> (f, f)
+(* Cofactors with respect to a variable at or above the root: two
+   branch tests and an array load each, no allocation. *)
+let cof0 m f v = if f >= 2 && m.n_var.(f) = v then m.n_lo.(f) else f
+let cof1 m f v = if f >= 2 && m.n_var.(f) = v then m.n_hi.(f) else f
 
 let rec ite m f g h =
   m.ite_stat.calls <- m.ite_stat.calls + 1;
-  match f with
-  | True -> g
-  | False -> h
-  | Node _ ->
-    if equal g h then g
-    else if is_one g && is_zero h then f
-    else
-      let key = (id f, id g, id h) in
-      match cache_find m m.ite_stat m.ite_cache key with
-      | Some r -> r
-      | None ->
-        let l = min (lvl m f) (min (lvl m g) (lvl m h)) in
-        let v = m.lvl2var.(l) in
-        let f0, f1 = cofactors f v
-        and g0, g1 = cofactors g v
-        and h0, h1 = cofactors h v in
-        let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
-        let r = mk m v lo hi in
-        cache_store m m.ite_cache key r;
-        r
+  if f = 1 then g
+  else if f = 0 then h
+  else if g = h then g
+  else if g = 1 && h = 0 then f
+  else begin
+    let r = cache_find3 m m.ite_stat m.ite_cache f g h in
+    if r >= 0 then r
+    else begin
+      let l = min (lvl m f) (min (lvl m g) (lvl m h)) in
+      let v = m.lvl2var.(l) in
+      let f0 = cof0 m f v
+      and f1 = cof1 m f v
+      and g0 = cof0 m g v
+      and g1 = cof1 m g v
+      and h0 = cof0 m h v
+      and h1 = cof1 m h v in
+      let lo = ite m f0 g0 h0 and hi = ite m f1 g1 h1 in
+      let r = mk m v lo hi in
+      cache_store3 m m.ite_cache f g h r;
+      r
+    end
+  end
 
-let not_ m f = ite m f False True
-let and_ m f g = ite m f g False
-let or_ m f g = ite m f True g
+let not_ m f = ite m f 0 1
+let and_ m f g = ite m f g 0
+let or_ m f g = ite m f 1 g
 let xor m f g = ite m f (not_ m g) g
-let imp m f g = ite m f g True
+let imp m f g = ite m f g 1
 let iff m f g = ite m f g (not_ m g)
-let diff m f g = ite m f (not_ m g) False
-let conj m fs = List.fold_left (and_ m) True fs
-let disj m fs = List.fold_left (or_ m) False fs
+let diff m f g = ite m f (not_ m g) 0
+let conj m fs = List.fold_left (and_ m) 1 fs
+let disj m fs = List.fold_left (or_ m) 0 fs
 let subset m f g = is_zero (diff m f g)
 
 let restrict m f v b =
@@ -501,12 +907,12 @@ let restrict m f v b =
   ensure_var m v;
   let vl = m.var2lvl.(v) in
   let rec go f =
-    match f with
-    | False | True -> f
-    | Node n ->
-      if m.var2lvl.(n.var) > vl then f
-      else if n.var = v then if b then n.high else n.low
-      else mk m n.var (go n.low) (go n.high)
+    if f < 2 then f
+    else
+      let fv = m.n_var.(f) in
+      if m.var2lvl.(fv) > vl then f
+      else if fv = v then if b then m.n_hi.(f) else m.n_lo.(f)
+      else mk m fv (go m.n_lo.(f)) (go m.n_hi.(f))
   in
   go f
 
@@ -523,90 +929,95 @@ let cube m vs =
       (fun a b -> Stdlib.compare m.var2lvl.(a) m.var2lvl.(b))
       sorted
   in
-  List.fold_right (fun v acc -> mk m v False acc) by_level True
+  List.fold_right (fun v acc -> mk m v 0 acc) by_level 1
 
 (* Skip cube variables above level [l] (they do not occur in the
    operand, so quantifying them is a no-op for that branch). *)
 let rec cube_from m c l =
-  match c with
-  | Node n when m.var2lvl.(n.var) < l -> cube_from m n.high l
-  | False | True | Node _ -> c
+  if c >= 2 && m.var2lvl.(m.n_var.(c)) < l then cube_from m m.n_hi.(c) l
+  else c
 
 let rec exists m c f =
   m.exists_stat.calls <- m.exists_stat.calls + 1;
-  match (f, c) with
-  | (False | True), _ -> f
-  | _, (True | False) -> f
-  | Node nf, Node _ -> (
-    let c = cube_from m c m.var2lvl.(nf.var) in
-    match c with
-    | True | False -> f
-    | Node nc ->
-      let key = (id f, id c) in
-      (match cache_find m m.exists_stat m.exists_cache key with
-      | Some r -> r
-      | None ->
+  if f < 2 then f
+  else if c < 2 then f
+  else begin
+    let fv = m.n_var.(f) in
+    let c = cube_from m c m.var2lvl.(fv) in
+    if c < 2 then f
+    else begin
+      let r = cache_find2 m m.exists_stat m.exists_cache f c in
+      if r >= 0 then r
+      else begin
         let r =
-          if nf.var = nc.var then
-            or_ m (exists m nc.high nf.low) (exists m nc.high nf.high)
-          else mk m nf.var (exists m c nf.low) (exists m c nf.high)
+          if fv = m.n_var.(c) then
+            let ch = m.n_hi.(c) in
+            or_ m (exists m ch m.n_lo.(f)) (exists m ch m.n_hi.(f))
+          else mk m fv (exists m c m.n_lo.(f)) (exists m c m.n_hi.(f))
         in
-        cache_store m m.exists_cache key r;
-        r))
+        cache_store2 m m.exists_cache f c r;
+        r
+      end
+    end
+  end
 
 let rec forall m c f =
   m.forall_stat.calls <- m.forall_stat.calls + 1;
-  match (f, c) with
-  | (False | True), _ -> f
-  | _, (True | False) -> f
-  | Node nf, Node _ -> (
-    let c = cube_from m c m.var2lvl.(nf.var) in
-    match c with
-    | True | False -> f
-    | Node nc ->
-      let key = (id f, id c) in
-      (match cache_find m m.forall_stat m.forall_cache key with
-      | Some r -> r
-      | None ->
+  if f < 2 then f
+  else if c < 2 then f
+  else begin
+    let fv = m.n_var.(f) in
+    let c = cube_from m c m.var2lvl.(fv) in
+    if c < 2 then f
+    else begin
+      let r = cache_find2 m m.forall_stat m.forall_cache f c in
+      if r >= 0 then r
+      else begin
         let r =
-          if nf.var = nc.var then
-            and_ m (forall m nc.high nf.low) (forall m nc.high nf.high)
-          else mk m nf.var (forall m c nf.low) (forall m c nf.high)
+          if fv = m.n_var.(c) then
+            let ch = m.n_hi.(c) in
+            and_ m (forall m ch m.n_lo.(f)) (forall m ch m.n_hi.(f))
+          else mk m fv (forall m c m.n_lo.(f)) (forall m c m.n_hi.(f))
         in
-        cache_store m m.forall_cache key r;
-        r))
+        cache_store2 m m.forall_cache f c r;
+        r
+      end
+    end
+  end
 
 (* Relational product: exists c (f /\ g) in a single recursion, the
    workhorse of image computation. *)
 let rec and_exists m c f g =
   m.relprod_stat.calls <- m.relprod_stat.calls + 1;
-  match (f, g) with
-  | False, _ | _, False -> False
-  | True, True -> True
-  | _, _ -> (
-    match c with
-    | True | False -> and_ m f g
-    | Node _ -> (
-      let l = min (lvl m f) (lvl m g) in
-      let v = m.lvl2var.(l) in
-      let c = cube_from m c l in
-      match c with
-      | True | False -> and_ m f g
-      | Node nc ->
-        (* Normalise the cache key: /\ is commutative. *)
-        let i, j = if id f <= id g then (id f, id g) else (id g, id f) in
-        let key = (i, j, id c) in
-        (match cache_find m m.relprod_stat m.relprod_cache key with
-        | Some r -> r
-        | None ->
-          let f0, f1 = cofactors f v and g0, g1 = cofactors g v in
-          let r =
-            if nc.var = v then
-              or_ m (and_exists m nc.high f0 g0) (and_exists m nc.high f1 g1)
-            else mk m v (and_exists m c f0 g0) (and_exists m c f1 g1)
-          in
-          cache_store m m.relprod_cache key r;
-          r)))
+  if f = 0 || g = 0 then 0
+  else if f = 1 && g = 1 then 1
+  else if c < 2 then and_ m f g
+  else begin
+    let l = min (lvl m f) (lvl m g) in
+    let v = m.lvl2var.(l) in
+    let c = cube_from m c l in
+    if c < 2 then and_ m f g
+    else begin
+      (* Normalise the cache key: /\ is commutative. *)
+      let i, j = if f <= g then (f, g) else (g, f) in
+      let r = cache_find3 m m.relprod_stat m.relprod_cache i j c in
+      if r >= 0 then r
+      else begin
+        let f0 = cof0 m f v
+        and f1 = cof1 m f v
+        and g0 = cof0 m g v
+        and g1 = cof1 m g v in
+        let r =
+          if m.n_var.(c) = v then
+            let ch = m.n_hi.(c) in
+            or_ m (and_exists m ch f0 g0) (and_exists m ch f1 g1)
+          else mk m v (and_exists m c f0 g0) (and_exists m c f1 g1)
+        in
+        cache_store3 m m.relprod_cache i j c r;
+        r
+      end
+    end
+  end
 
 (* Generalized cofactor (Coudert-Madre "constrain"): a function that
    agrees with [f] on [c] and may take any value outside it, chosen so
@@ -614,29 +1025,29 @@ let rec and_exists m c f g =
    [c /\ constrain f c = c /\ f]. *)
 let rec constrain m f c =
   m.constrain_stat.calls <- m.constrain_stat.calls + 1;
-  match c with
-  | False -> invalid_arg "Bdd.constrain: care set is empty"
-  | True -> f
-  | Node _ -> (
-    match f with
-    | False | True -> f
-    | Node _ ->
-      if equal f c then True
-      else
-        let key = (id f, id c) in
-        (match cache_find m m.constrain_stat m.constrain_cache key with
-        | Some r -> r
-        | None ->
-          let l = min (lvl m f) (lvl m c) in
-          let v = m.lvl2var.(l) in
-          let f0, f1 = cofactors f v and c0, c1 = cofactors c v in
-          let r =
-            if is_zero c1 then constrain m f0 c0
-            else if is_zero c0 then constrain m f1 c1
-            else mk m v (constrain m f0 c0) (constrain m f1 c1)
-          in
-          cache_store m m.constrain_cache key r;
-          r))
+  if c = 0 then invalid_arg "Bdd.constrain: care set is empty"
+  else if c = 1 then f
+  else if f < 2 then f
+  else if f = c then 1
+  else begin
+    let r = cache_find2 m m.constrain_stat m.constrain_cache f c in
+    if r >= 0 then r
+    else begin
+      let l = min (lvl m f) (lvl m c) in
+      let v = m.lvl2var.(l) in
+      let f0 = cof0 m f v
+      and f1 = cof1 m f v
+      and c0 = cof0 m c v
+      and c1 = cof1 m c v in
+      let r =
+        if c1 = 0 then constrain m f0 c0
+        else if c0 = 0 then constrain m f1 c1
+        else mk m v (constrain m f0 c0) (constrain m f1 c1)
+      in
+      cache_store2 m m.constrain_cache f c r;
+      r
+    end
+  end
 
 let rename m f perm =
   (* [perm] must be injective on the support: two source variables
@@ -645,21 +1056,20 @@ let rename m f perm =
      sweep, dominated by the rebuild below). *)
   let seen = Hashtbl.create 64 in
   let targets = Hashtbl.create 16 in
-  let rec check = function
-    | False | True -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.nid) then begin
-        Hashtbl.add seen n.nid ();
-        let v' = perm n.var in
-        if v' < 0 then invalid_arg "Bdd.rename: negative target variable";
-        (match Hashtbl.find_opt targets v' with
-        | Some src when src <> n.var ->
-          invalid_arg "Bdd.rename: permutation not injective on support"
-        | Some _ -> ()
-        | None -> Hashtbl.add targets v' n.var);
-        check n.low;
-        check n.high
-      end
+  let rec check f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      let v = m.n_var.(f) in
+      let v' = perm v in
+      if v' < 0 then invalid_arg "Bdd.rename: negative target variable";
+      (match Hashtbl.find_opt targets v' with
+      | Some src when src <> v ->
+        invalid_arg "Bdd.rename: permutation not injective on support"
+      | Some _ -> ()
+      | None -> Hashtbl.add targets v' v);
+      check m.n_lo.(f);
+      check m.n_hi.(f)
+    end
   in
   check f;
   (* Rebuild bottom-up through ITE so that non-monotone permutations
@@ -668,57 +1078,52 @@ let rename m f perm =
      call. *)
   let memo = Hashtbl.create 1024 in
   let rec go f =
-    match f with
-    | False | True -> f
-    | Node n -> (
-      match Hashtbl.find_opt memo n.nid with
+    if f < 2 then f
+    else
+      match Hashtbl.find_opt memo f with
       | Some r -> r
       | None ->
-        let r = ite m (var m (perm n.var)) (go n.high) (go n.low) in
-        Hashtbl.add memo n.nid r;
-        r)
+        let r = ite m (var m (perm m.n_var.(f))) (go m.n_hi.(f)) (go m.n_lo.(f)) in
+        Hashtbl.add memo f r;
+        r
   in
   go f
 
-let support f =
+let support m f =
   let seen = Hashtbl.create 64 in
   let vars = Hashtbl.create 64 in
-  let rec go = function
-    | False | True -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.nid) then begin
-        Hashtbl.add seen n.nid ();
-        Hashtbl.replace vars n.var ();
-        go n.low;
-        go n.high
-      end
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Hashtbl.replace vars m.n_var.(f) ();
+      go m.n_lo.(f);
+      go m.n_hi.(f)
+    end
   in
   go f;
   Hashtbl.fold (fun v () acc -> v :: acc) vars []
   |> List.sort Stdlib.compare
 
-let size f =
+let size m f =
   let seen = Hashtbl.create 64 in
-  let rec go = function
-    | False | True -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.nid) then begin
-        Hashtbl.add seen n.nid ();
-        go n.low;
-        go n.high
-      end
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      go m.n_lo.(f);
+      go m.n_hi.(f)
+    end
   in
   go f;
   Hashtbl.length seen
 
-let rec eval f env =
-  match f with
-  | False -> false
-  | True -> true
-  | Node n -> if env n.var then eval n.high env else eval n.low env
+let rec eval m f env =
+  if f = 0 then false
+  else if f = 1 then true
+  else if env m.n_var.(f) then eval m m.n_hi.(f) env
+  else eval m m.n_lo.(f) env
 
 let sat_count m f n =
-  if List.exists (fun v -> v >= n) (support f) then
+  if List.exists (fun v -> v >= n) (support m f) then
     invalid_arg "Bdd.sat_count: support exceeds variable universe";
   if n > m.nvars then ensure_var m (n - 1);
   (* Weighted count over the n-variable universe, order-aware: crossing
@@ -734,47 +1139,43 @@ let sat_count m f n =
   for l = 1 to nl do
     rank.(l) <- rank.(l) + rank.(l - 1)
   done;
-  let rank_of = function
-    | False | True -> n
-    | Node nd -> rank.(m.var2lvl.(nd.var))
-  in
+  let rank_of f = if f < 2 then n else rank.(m.var2lvl.(m.n_var.(f))) in
   let memo = Hashtbl.create 256 in
   let rec go f =
-    match f with
-    | False -> 0.0
-    | True -> 1.0
-    | Node nd -> (
-      match Hashtbl.find_opt memo nd.nid with
+    if f = 0 then 0.0
+    else if f = 1 then 1.0
+    else
+      match Hashtbl.find_opt memo f with
       | Some c -> c
       | None ->
-        let here = rank.(m.var2lvl.(nd.var)) in
+        let here = rank.(m.var2lvl.(m.n_var.(f))) in
         let weight branch =
           let sub = go branch in
           let gap = rank_of branch - here - 1 in
           sub *. Float.pow 2.0 (float_of_int gap)
         in
-        let c = weight nd.low +. weight nd.high in
-        Hashtbl.add memo nd.nid c;
-        c)
+        let c = weight m.n_lo.(f) +. weight m.n_hi.(f) in
+        Hashtbl.add memo f c;
+        c
   in
   go f *. Float.pow 2.0 (float_of_int (rank_of f))
 
-let any_sat f =
-  let rec go acc = function
-    | False -> raise Not_found
-    | True -> acc
-    | Node n -> (
-      match n.low with
-      | False -> go ((n.var, true) :: acc) n.high
-      | True | Node _ -> go ((n.var, false) :: acc) n.low)
+let any_sat m f =
+  let rec go acc f =
+    if f = 0 then raise Not_found
+    else if f = 1 then acc
+    else
+      let lo = m.n_lo.(f) in
+      if lo = 0 then go ((m.n_var.(f), true) :: acc) m.n_hi.(f)
+      else go ((m.n_var.(f), false) :: acc) lo
   in
   (* The diagram walk visits variables in level order; return the cube
      sorted by variable index so callers see an order-independent
      result (identical to the historic one under the identity order). *)
   go [] f |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
 
-let any_sat_total f ~vars =
-  let partial = any_sat f in
+let any_sat_total m f ~vars =
+  let partial = any_sat m f in
   let tbl = Hashtbl.create (2 * List.length partial) in
   List.iter (fun (v, b) -> Hashtbl.replace tbl v b) partial;
   let mentioned = Hashtbl.create 16 in
@@ -816,38 +1217,26 @@ let fold_sat m f vars ~init ~f:k =
   in
   let assign = Array.make nv false in
   let rec go acc j f =
-    match f with
-    | False -> acc
-    | True | Node _ ->
-      if j = nv then (match f with True -> k acc assign | False | Node _ -> acc)
-      else
-        let i = order.(j) in
-        let v = vars_a.(i) in
-        let f0, f1 =
-          match f with
-          | Node n when n.var = v -> (n.low, n.high)
-          | False | True | Node _ -> (f, f)
-        in
-        assign.(i) <- false;
-        let acc = go acc (j + 1) f0 in
-        assign.(i) <- true;
-        let acc = go acc (j + 1) f1 in
-        assign.(i) <- false;
-        acc
+    if f = 0 then acc
+    else if j = nv then if f = 1 then k acc assign else acc
+    else begin
+      let i = order.(j) in
+      let v = vars_a.(i) in
+      let f0 = cof0 m f v and f1 = cof1 m f v in
+      assign.(i) <- false;
+      let acc = go acc (j + 1) f0 in
+      assign.(i) <- true;
+      let acc = go acc (j + 1) f1 in
+      assign.(i) <- false;
+      acc
+    end
   in
   List.iter
     (fun v ->
       if not (Hashtbl.mem pos v) then
         invalid_arg "Bdd.fold_sat: support not contained in vars")
-    (support f);
+    (support m f);
   go init 0 f
-
-let clear_caches m =
-  Hashtbl.reset m.ite_cache;
-  Hashtbl.reset m.constrain_cache;
-  Hashtbl.reset m.exists_cache;
-  Hashtbl.reset m.forall_cache;
-  Hashtbl.reset m.relprod_cache
 
 (* Cross-manager copy, order-independent.  The fast path copies node
    by node through [mk]: valid whenever the destination order agrees
@@ -859,30 +1248,30 @@ let clear_caches m =
    memoised bottom-up ITE rebuild keyed by source var *ids*, which
    re-canonicalises in [dst]'s order — this is what lets parallel
    workers hold different orders than the coordinator.  Only the
-   immutable-for-the-duration node structure of [f] is read, never the
-   source manager's tables, so transfers may run from another domain
-   (the source manager must be quiescent: no operations and no
+   immutable-for-the-duration columns of [src] are read, never its
+   tables or caches, so transfers may run from another domain (the
+   source manager must be quiescent: no operations, no gc, and no
    reordering while a transfer reads it). *)
 exception Transfer_order
 
-let transfer ~dst f =
+let transfer ~src ~dst f =
   let memo : (int, t) Hashtbl.t = Hashtbl.create 1024 in
   let structural () =
     let rec go f =
-      match f with
-      | False | True -> f
-      | Node n -> (
-        match Hashtbl.find_opt memo n.nid with
+      if f < 2 then f
+      else
+        match Hashtbl.find_opt memo f with
         | Some r -> r
         | None ->
-          let lo = go n.low in
-          let hi = go n.high in
-          ensure_var dst n.var;
-          let lp = dst.var2lvl.(n.var) in
+          let v = src.n_var.(f) in
+          let lo = go src.n_lo.(f) in
+          let hi = go src.n_hi.(f) in
+          ensure_var dst v;
+          let lp = dst.var2lvl.(v) in
           if lp >= lvl dst lo || lp >= lvl dst hi then raise Transfer_order;
-          let r = mk dst n.var lo hi in
-          Hashtbl.add memo n.nid r;
-          r)
+          let r = mk dst v lo hi in
+          Hashtbl.add memo f r;
+          r
     in
     go f
   in
@@ -891,15 +1280,17 @@ let transfer ~dst f =
   | exception Transfer_order ->
     Hashtbl.reset memo;
     let rec go f =
-      match f with
-      | False | True -> f
-      | Node n -> (
-        match Hashtbl.find_opt memo n.nid with
+      if f < 2 then f
+      else
+        match Hashtbl.find_opt memo f with
         | Some r -> r
         | None ->
-          let r = ite dst (var dst n.var) (go n.high) (go n.low) in
-          Hashtbl.add memo n.nid r;
-          r)
+          let r =
+            ite dst (var dst src.n_var.(f)) (go src.n_hi.(f))
+              (go src.n_lo.(f))
+          in
+          Hashtbl.add memo f r;
+          r
     in
     go f
 
@@ -918,7 +1309,7 @@ let cache_misses s =
    parallel run into one report.  Summing [peak_nodes] across managers
    that were live at the same time gives an upper bound on the
    simultaneous footprint, which is the number a memory budget cares
-   about. *)
+   about; capacities sum the same way. *)
 let merge_stats a b =
   let op (x : op_stats) (y : op_stats) =
     { calls = x.calls + y.calls;
@@ -940,14 +1331,19 @@ let merge_stats a b =
     reorders = a.reorders + b.reorders;
     reorder_ms = a.reorder_ms +. b.reorder_ms;
     reorder_saved = a.reorder_saved + b.reorder_saved;
+    cache_stores = a.cache_stores + b.cache_stores;
+    unique_lookups = a.unique_lookups + b.unique_lookups;
+    unique_probes = a.unique_probes + b.unique_probes;
+    store_capacity = a.store_capacity + b.store_capacity;
+    unique_capacity = a.unique_capacity + b.unique_capacity;
   }
 
 (* The per-request counterpart of [merge_stats]: attribute the work of
    one governed region of a long-lived (warm) manager by subtracting a
    snapshot taken at region entry.  Monotone counters subtract;
-   [live_nodes] and [peak_nodes] are instantaneous readings, so the
-   later snapshot's values are kept (pair with [reset_peak] when the
-   region's own peak is wanted). *)
+   [live_nodes], [peak_nodes] and the capacity readings are
+   instantaneous, so the later snapshot's values are kept (pair with
+   [reset_peak] when the region's own peak is wanted). *)
 let diff_stats after before =
   let op (x : op_stats) (y : op_stats) =
     { calls = x.calls - y.calls;
@@ -969,6 +1365,11 @@ let diff_stats after before =
     reorders = after.reorders - before.reorders;
     reorder_ms = after.reorder_ms -. before.reorder_ms;
     reorder_saved = after.reorder_saved - before.reorder_saved;
+    cache_stores = after.cache_stores - before.cache_stores;
+    unique_lookups = after.unique_lookups - before.unique_lookups;
+    unique_probes = after.unique_probes - before.unique_probes;
+    store_capacity = after.store_capacity;
+    unique_capacity = after.unique_capacity;
   }
 
 let reset_peak m = m.peak_nodes <- m.live
@@ -984,7 +1385,18 @@ let reset_stats m =
   reset m.forall_stat;
   reset m.relprod_stat;
   reset m.constrain_stat;
+  let rcache c =
+    c.c_stores <- 0;
+    c.c_over <- 0
+  in
+  rcache m.ite_cache;
+  rcache m.exists_cache;
+  rcache m.forall_cache;
+  rcache m.relprod_cache;
+  rcache m.constrain_cache;
   m.evictions <- 0;
+  m.unique_lookups <- 0;
+  m.unique_probes <- 0;
   m.gc_runs <- 0;
   m.gc_collected <- 0;
   m.peak_nodes <- live_nodes m;
@@ -1007,6 +1419,13 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "  cache hits %d  misses %d  evictions %d@,  gc runs %d (collected %d nodes)"
     (cache_hits s) (cache_misses s) s.cache_evictions s.gc_runs s.gc_collected;
+  Format.fprintf ppf
+    "@,  unique table load %.2f (%d/%d slots)  mean probe %.2f  cache stores %d"
+    (float_of_int s.live_nodes
+    /. float_of_int (max 1 s.unique_capacity))
+    s.live_nodes s.unique_capacity
+    (float_of_int s.unique_probes /. float_of_int (max 1 s.unique_lookups))
+    s.cache_stores;
   (* Printed only when reordering actually ran, so a --reorder none run
      reports byte-identically to managers that predate reordering. *)
   if s.reorders > 0 then
@@ -1031,36 +1450,80 @@ let with_root m f k =
   let r = add_root m f in
   Fun.protect ~finally:(fun () -> remove_root m r) k
 
-let iter_nodes m f = Array.iter (fun tbl -> Hashtbl.iter (fun _ n -> f n) tbl) m.subtables
+let iter_nodes m f =
+  for v = 0 to m.nvars - 1 do
+    Array.iter (fun e -> if e >= 2 then f e) m.subs.(v).s_slots
+  done
 
+(* Mark from the registered roots, rebuild every subtable with only
+   the survivors (sized 2x so the next growth is a while away), and
+   thread the swept indices onto the free list.  Handles of survivors
+   are untouched — sweep, not compaction: handles are immediate ints
+   held in arbitrary client structures, so they cannot be rewritten.
+   Mark recursion depth is bounded by the number of levels (paths
+   visit strictly increasing levels). *)
 let gc m =
   fault_tick m Gc;
-  let marked = Hashtbl.create (max 64 m.live) in
-  let rec mark = function
-    | False | True -> ()
-    | Node n ->
-      if not (Hashtbl.mem marked n.nid) then begin
-        Hashtbl.add marked n.nid ();
-        mark n.low;
-        mark n.high
-      end
+  let marks = Bytes.make m.n_next '\000' in
+  let rec mark f =
+    if f >= 2 && Bytes.get marks f = '\000' then begin
+      Bytes.set marks f '\001';
+      mark m.n_lo.(f);
+      mark m.n_hi.(f)
+    end
   in
   Hashtbl.iter (fun _ provider -> List.iter mark (provider ())) m.roots;
   let before = m.live in
-  Array.iter
-    (fun tbl ->
-      Hashtbl.filter_map_inplace
-        (fun _ n ->
-          match n with
-          | Node nd -> if Hashtbl.mem marked nd.nid then Some n else None
-          | False | True -> Some n)
-        tbl)
-    m.subtables;
-  m.live <-
-    Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 m.subtables;
-  (* The operation caches may hold (and keep alive) nodes just swept
-     from the unique table; returning one later would break canonicity,
-     so they must go too. *)
+  for v = 0 to m.nvars - 1 do
+    let s = m.subs.(v) in
+    if s.s_count > 0 then begin
+      let old = s.s_slots in
+      let surv = ref 0 in
+      Array.iter
+        (fun e -> if e >= 2 && Bytes.get marks e <> '\000' then incr surv)
+        old;
+      let cap = pow2_at_least (max 16 (2 * (!surv + 1))) in
+      let slots = Array.make cap (-1) in
+      let mask = cap - 1 in
+      Array.iter
+        (fun e ->
+          if e >= 2 then begin
+            if Bytes.get marks e <> '\000' then begin
+              let j = ref (hash_uid m.n_lo.(e) m.n_hi.(e) land mask) in
+              while slots.(!j) <> -1 do
+                j := (!j + 1) land mask
+              done;
+              slots.(!j) <- e
+            end
+            else free_node m e
+          end)
+        old;
+      s.s_slots <- slots;
+      s.s_count <- !surv;
+      s.s_tombs <- 0
+    end
+    else if s.s_tombs > 0 then begin
+      Array.fill s.s_slots 0 (Array.length s.s_slots) (-1);
+      s.s_tombs <- 0
+    end
+  done;
+  (* Zombie slots (detached from the table by a reordering reap but
+     kept readable for client-held handles): release the ones no root
+     marks.  Their live count was already decremented at detach time,
+     so this frees columns only. *)
+  m.zombies <-
+    List.filter
+      (fun z ->
+        if m.n_var.(z) < 0 then false
+        else if Bytes.get marks z = '\000' then begin
+          release_slot m z;
+          false
+        end
+        else true)
+      m.zombies;
+  (* The operation caches may hold handles of nodes just swept (whose
+     indices a later [mk] will recycle); returning one would break
+     canonicity, so they must go too. *)
   clear_caches m;
   let collected = before - m.live in
   m.gc_runs <- m.gc_runs + 1;
@@ -1077,92 +1540,104 @@ let gc m =
        n := (y, mk(x, f00, f10), mk(x, f01, f11))
 
    where fij is the y=j cofactor of fi — the same boolean function
-   with the two levels exchanged.  The rewrite mutates n's fields, so
-   n's id (and every external [t] handle to it) survives; only
-   subtable x (n's old entry leaves) and subtable y (its new entry
-   arrives) change.  x-nodes not depending on y, and all other levels,
-   are untouched.  No unique-table collisions can occur: a collision
-   would exhibit two distinct nodes for one function *before* the
-   swap, contradicting canonicity.
+   with the two levels exchanged.  The rewrite mutates n's column
+   cells, so n's index (and every external [t] handle to it) survives;
+   only subtable x (n's old entry leaves) and subtable y (its new
+   entry arrives) change.  x-nodes not depending on y, and all other
+   levels, are untouched.  No unique-table collisions can occur: a
+   collision would exhibit two distinct nodes for one function
+   *before* the swap, contradicting canonicity.
 
    Children orphaned by rewrites (the old f0/f1 and, recursively,
    their descendants) are reclaimed by local reference counting so
-   the sifting size metric is exact.  Protection rules: a node that
-   had no in-table parent when the reorder started (a client-held
-   result top, or garbage we must not touch because clients may hold
-   it) and every root-provider top is never reclaimed; everything
-   else dies when its last in-table parent drops it.  This gives
-   reordering the same contract as [gc]: diagrams whose roots are
-   registered (or simply held as handles) survive with identities and
-   meaning intact; resurrecting an *interior* node of an unrooted
-   diagram afterwards is unsound.
+   the sifting size metric is exact.  Parent counts live in a scratch
+   int array indexed by node ([ensure_parents] re-syncs it after
+   column growth); protection is a byte per node fixed at sweep start.
+   A node that had no in-table parent when the reorder started (a
+   client-held result top, or garbage we must not touch because
+   clients may hold it) and every root-provider top is never
+   reclaimed; everything else dies when its last in-table parent
+   drops it.  Reclaimed indices go onto the free list and may be
+   recycled by [reorder_mk] within the same sweep — the recycling
+   path resets the recycled index's parent count and protection bit,
+   so no stale state survives.  This gives reordering the same
+   contract as [gc]: diagrams whose roots are registered (or simply
+   held as handles) survive with identities and meaning intact;
+   resurrecting an *interior* node of an unrooted diagram afterwards
+   is unsound.
 
    The operation caches are structurally still correct after a swap
-   (every node keeps its function) but may reference reclaimed nodes,
-   so they are flushed when the reorder finishes — also on an abort:
-   [Limits] is polled between block exchanges, and each swap is
-   atomic, so a deadline abort mid-sift leaves a consistent manager
-   with whatever order the sift had reached. *)
+   (every node keeps its function) but may reference reclaimed
+   indices, so they are flushed when the reorder finishes — also on
+   an abort: [Limits] is polled between block exchanges, and each
+   swap is atomic, so a deadline abort mid-sift leaves a consistent
+   manager with whatever order the sift had reached. *)
 
-let reorder_mk m parents v lo hi =
-  if equal lo hi then lo
+let ensure_parents m pr =
+  if Array.length !pr < m.n_cap then begin
+    let a = Array.make m.n_cap 0 in
+    Array.blit !pr 0 a 0 (Array.length !pr);
+    pr := a
+  end
+
+let protected_ protect n = n < Bytes.length protect && Bytes.get protect n <> '\000'
+
+let reorder_mk m pr protect v lo hi =
+  if lo = hi then lo
   else begin
-    let tbl = m.subtables.(v) in
-    let key = (id lo, id hi) in
-    match Hashtbl.find_opt tbl key with
-    | Some n -> n
-    | None ->
-      let n = Node { nid = m.next_id; var = v; low = lo; high = hi } in
-      m.next_id <- m.next_id + 1;
-      Hashtbl.add tbl key n;
-      m.live <- m.live + 1;
-      if m.live > m.peak_nodes then m.peak_nodes <- m.live;
+    let s = m.subs.(v) in
+    let e = sub_find m s lo hi in
+    if e >= 0 then e
+    else begin
+      let n = alloc_node m v lo hi in
+      ensure_parents m pr;
+      (* A recycled index may carry the reaped node's count/protection;
+         this node is brand new, so reset both. *)
+      !pr.(n) <- 0;
+      if n < Bytes.length protect then Bytes.set protect n '\000';
+      sub_insert m s n;
       (* Creation edges: the new node's children gain one parent. *)
-      (match lo with
-      | Node c ->
-        Hashtbl.replace parents c.nid
-          (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
-      | False | True -> ());
-      (match hi with
-      | Node c ->
-        Hashtbl.replace parents c.nid
-          (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
-      | False | True -> ());
+      if lo >= 2 then !pr.(lo) <- !pr.(lo) + 1;
+      if hi >= 2 then !pr.(hi) <- !pr.(hi) + 1;
       n
+    end
   end
 
 (* Reclaim the unreferenced, unprotected nodes queued by a swap,
-   cascading through their children. *)
-let reorder_reap m parents protect queue =
+   cascading through their children.  Each candidate is re-validated
+   before detaching: still allocated, still parentless, unprotected,
+   and still the unique-table entry for its key.  Detach, don't free:
+   the slot leaves the table (so canonicity and the sifting size
+   metric are exact) but its columns stay readable, because a client
+   may still hold the handle — the boxed store kept such records alive
+   through the OCaml GC, and [eval]/[size] on them must keep working.
+   The next [gc] releases the ones no root marks. *)
+let reorder_reap m pr protect queue =
   let rec drain () =
     match Queue.take_opt queue with
     | None -> ()
-    | Some ch ->
-      (match ch with
-      | Node c
-        when Hashtbl.find_opt parents c.nid = Some 0
-             && not (Hashtbl.mem protect c.nid) -> (
-        let tbl = m.subtables.(c.var) in
-        let key = (id c.low, id c.high) in
-        match Hashtbl.find_opt tbl key with
-        | Some (Node c') when c'.nid = c.nid ->
-          Hashtbl.remove tbl key;
-          m.live <- m.live - 1;
-          Hashtbl.remove parents c.nid;
-          let drop ch' =
-            match ch' with
-            | Node g ->
-              (match Hashtbl.find_opt parents g.nid with
-              | Some r ->
-                Hashtbl.replace parents g.nid (r - 1);
-                if r - 1 = 0 then Queue.add ch' queue
-              | None -> ())
-            | False | True -> ()
-          in
-          drop c.low;
-          drop c.high
-        | Some _ | None -> ())
-      | Node _ | False | True -> ());
+    | Some c ->
+      (if
+         c >= 2 && m.n_var.(c) >= 0 && !pr.(c) = 0
+         && not (protected_ protect c)
+       then begin
+         let s = m.subs.(m.n_var.(c)) in
+         let lo = m.n_lo.(c) and hi = m.n_hi.(c) in
+         if sub_find m s lo hi = c then begin
+           sub_remove m s c;
+           m.live <- m.live - 1;
+           m.zombies <- c :: m.zombies;
+           let drop g =
+             if g >= 2 then begin
+               let r = !pr.(g) - 1 in
+               !pr.(g) <- r;
+               if r = 0 then Queue.add g queue
+             end
+           in
+           drop lo;
+           drop hi
+         end
+       end);
       drain ()
   in
   drain ()
@@ -1170,67 +1645,50 @@ let reorder_reap m parents protect queue =
 (* Exchange levels l and l+1.  Atomic: no limit polls, no fault hooks,
    so an exception can only enter between swaps and the manager is
    always consistent. *)
-let swap_levels m parents protect l =
+let swap_levels m pr protect l =
   let x = m.lvl2var.(l) and y = m.lvl2var.(l + 1) in
-  let xt = m.subtables.(x) and yt = m.subtables.(y) in
-  let depends_on_y = function
-    | Node c -> c.var = y
-    | False | True -> false
-  in
+  let xt = m.subs.(x) and yt = m.subs.(y) in
+  let dep f = f >= 2 && m.n_var.(f) = y in
   let moving =
-    Hashtbl.fold
-      (fun _ n acc ->
-        match n with
-        | Node nd when depends_on_y nd.low || depends_on_y nd.high ->
-          nd :: acc
-        | Node _ | False | True -> acc)
-      xt []
+    Array.fold_left
+      (fun acc e ->
+        if e >= 2 && (dep m.n_lo.(e) || dep m.n_hi.(e)) then e :: acc else acc)
+      [] xt.s_slots
   in
   let queue = Queue.create () in
-  let decr ch =
-    match ch with
-    | Node c -> (
-      match Hashtbl.find_opt parents c.nid with
-      | Some r ->
-        Hashtbl.replace parents c.nid (r - 1);
-        if r - 1 = 0 && not (Hashtbl.mem protect c.nid) then
-          Queue.add ch queue
-      | None -> ())
-    | False | True -> ()
+  let decr f =
+    if f >= 2 then begin
+      let r = !pr.(f) - 1 in
+      !pr.(f) <- r;
+      if r = 0 && not (protected_ protect f) then Queue.add f queue
+    end
   in
-  let incr ch =
-    match ch with
-    | Node c ->
-      Hashtbl.replace parents c.nid
-        (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
-    | False | True -> ()
-  in
+  let incr_ f = if f >= 2 then !pr.(f) <- !pr.(f) + 1 in
   List.iter
-    (fun nd ->
-      let f0 = nd.low and f1 = nd.high in
-      let c_y f =
-        match f with
-        | Node c when c.var = y -> (c.low, c.high)
-        | False | True | Node _ -> (f, f)
+    (fun e ->
+      let f0 = m.n_lo.(e) and f1 = m.n_hi.(e) in
+      let f00, f01 =
+        if dep f0 then (m.n_lo.(f0), m.n_hi.(f0)) else (f0, f0)
       in
-      let f00, f01 = c_y f0 and f10, f11 = c_y f1 in
+      let f10, f11 =
+        if dep f1 then (m.n_lo.(f1), m.n_hi.(f1)) else (f1, f1)
+      in
       (* New cofactor nodes first (they may share the old children, so
          build before dropping edges). *)
-      let new_lo = reorder_mk m parents x f00 f10 in
-      let new_hi = reorder_mk m parents x f01 f11 in
-      incr new_lo;
-      incr new_hi;
-      Hashtbl.remove xt (id f0, id f1);
+      let new_lo = reorder_mk m pr protect x f00 f10 in
+      let new_hi = reorder_mk m pr protect x f01 f11 in
+      incr_ new_lo;
+      incr_ new_hi;
+      (* Remove under the old key while the columns still hold it. *)
+      sub_remove m xt e;
       decr f0;
       decr f1;
-      nd.var <- y;
-      nd.low <- new_lo;
-      nd.high <- new_hi;
-      let key = (id new_lo, id new_hi) in
-      assert (not (Hashtbl.mem yt key));
-      Hashtbl.add yt key (Node nd))
+      m.n_var.(e) <- y;
+      m.n_lo.(e) <- new_lo;
+      m.n_hi.(e) <- new_hi;
+      sub_insert m yt e)
     moving;
-  reorder_reap m parents protect queue;
+  reorder_reap m pr protect queue;
   m.lvl2var.(l) <- y;
   m.lvl2var.(l + 1) <- x;
   m.var2lvl.(x) <- l + 1;
@@ -1258,39 +1716,21 @@ let with_reorder m body =
       m.reorder_ms <- m.reorder_ms +. ((now_monotonic () -. t0) *. 1000.0);
       m.reorder_saved <- m.reorder_saved + (before - m.live))
     (fun () ->
-      let parents = Hashtbl.create (max 64 m.live) in
-      let incr ch =
-        match ch with
-        | Node c ->
-          Hashtbl.replace parents c.nid
-            (1 + Option.value (Hashtbl.find_opt parents c.nid) ~default:0)
-        | False | True -> ()
-      in
-      iter_nodes m (fun n ->
-          match n with
-          | Node nd ->
-            incr nd.low;
-            incr nd.high
-          | False | True -> ());
-      let protect = Hashtbl.create 256 in
-      iter_nodes m (fun n ->
-          match n with
-          | Node nd ->
-            if not (Hashtbl.mem parents nd.nid) then begin
-              Hashtbl.replace parents nd.nid 0;
-              Hashtbl.replace protect nd.nid ()
-            end
-          | False | True -> ());
+      let pr = ref (Array.make m.n_cap 0) in
+      let protect = Bytes.make m.n_cap '\000' in
+      iter_nodes m (fun e ->
+          let lo = m.n_lo.(e) and hi = m.n_hi.(e) in
+          if lo >= 2 then !pr.(lo) <- !pr.(lo) + 1;
+          if hi >= 2 then !pr.(hi) <- !pr.(hi) + 1);
+      iter_nodes m (fun e ->
+          if !pr.(e) = 0 then Bytes.set protect e '\001');
       Hashtbl.iter
         (fun _ provider ->
           List.iter
-            (fun f ->
-              match f with
-              | Node nd -> Hashtbl.replace protect nd.nid ()
-              | False | True -> ())
+            (fun f -> if f >= 2 then Bytes.set protect f '\001')
             (provider ()))
         m.roots;
-      body parents protect)
+      body pr protect)
 
 (* Poll attached limits between block exchanges so a deadline or node
    budget can abort a sift at a swap boundary. *)
@@ -1299,7 +1739,7 @@ let reorder_poll m =
 
 (* Bubble partners adjacent (top-down), so sifting can treat each
    current/next pair as one block. *)
-let normalize_pairs m parents protect =
+let normalize_pairs m pr protect =
   let l = ref 0 in
   while !l < m.nvars - 1 do
     let v = m.lvl2var.(!l) in
@@ -1307,7 +1747,7 @@ let normalize_pairs m parents protect =
     if p >= 0 then begin
       let pl = m.var2lvl.(p) in
       for k = pl - 1 downto !l + 1 do
-        swap_levels m parents protect k
+        swap_levels m pr protect k
       done;
       l := !l + 2
     end
@@ -1333,7 +1773,7 @@ let build_blocks m =
 
 (* Exchange adjacent blocks i and i+1 (a block exchange of widths p,q
    is p*q adjacent-level swaps). *)
-let exchange_blocks m parents protect blocks i =
+let exchange_blocks m pr protect blocks i =
   let bi = blocks.(i) and bj = blocks.(i + 1) in
   let p = Array.length bi in
   let base = m.var2lvl.(bi.(0)) in
@@ -1341,7 +1781,7 @@ let exchange_blocks m parents protect blocks i =
     (fun k _ ->
       let cur = base + p + k in
       for l = cur - 1 downto base + k do
-        swap_levels m parents protect l
+        swap_levels m pr protect l
       done)
     bj;
   blocks.(i) <- bj;
@@ -1353,13 +1793,13 @@ let exchange_blocks m parents protect blocks i =
    best position seen.  A scan direction is abandoned when the table
    grows past maxgrowth (1.2x), except while retreating through
    already-visited territory. *)
-let do_sift m parents protect =
+let do_sift m pr protect =
   if m.nvars > 1 then begin
-    normalize_pairs m parents protect;
+    normalize_pairs m pr protect;
     let blocks = build_blocks m in
     let nb = Array.length blocks in
     let bsize b =
-      Array.fold_left (fun acc v -> acc + Hashtbl.length m.subtables.(v)) 0 b
+      Array.fold_left (fun acc v -> acc + m.subs.(v).s_count) 0 b
     in
     let order =
       List.stable_sort
@@ -1381,7 +1821,7 @@ let do_sift m parents protect =
         let best = ref m.live and bestpos = ref i0 and pos = ref i0 in
         let down () =
           while !pos < nb - 1 && (!pos < i0 || m.live <= limit) do
-            exchange_blocks m parents protect blocks !pos;
+            exchange_blocks m pr protect blocks !pos;
             incr pos;
             if m.live < !best then begin
               best := m.live;
@@ -1391,7 +1831,7 @@ let do_sift m parents protect =
         in
         let up () =
           while !pos > 0 && (!pos > i0 || m.live <= limit) do
-            exchange_blocks m parents protect blocks (!pos - 1);
+            exchange_blocks m pr protect blocks (!pos - 1);
             decr pos;
             if m.live < !best then begin
               best := m.live;
@@ -1408,11 +1848,11 @@ let do_sift m parents protect =
           down ()
         end;
         while !pos > !bestpos do
-          exchange_blocks m parents protect blocks (!pos - 1);
+          exchange_blocks m pr protect blocks (!pos - 1);
           decr pos
         done;
         while !pos < !bestpos do
-          exchange_blocks m parents protect blocks !pos;
+          exchange_blocks m pr protect blocks !pos;
           incr pos
         done)
       order
@@ -1434,7 +1874,7 @@ module Reorder = struct
 
   let swap m l =
     if l < 0 || l >= m.nvars - 1 then invalid_arg "Bdd.Reorder.swap: bad level";
-    with_reorder m (fun parents protect -> swap_levels m parents protect l)
+    with_reorder m (fun pr protect -> swap_levels m pr protect l)
 
   let set_order m ord =
     let n = Array.length ord in
@@ -1458,12 +1898,12 @@ module Reorder = struct
       clear_caches m
     end
     else
-      with_reorder m (fun parents protect ->
+      with_reorder m (fun pr protect ->
           (* Selection by bubbling: settle each target level in turn. *)
           for target = 0 to n - 1 do
             let v = ord.(target) in
             for l = m.var2lvl.(v) - 1 downto target do
-              swap_levels m parents protect l
+              swap_levels m pr protect l
             done;
             reorder_poll m
           done)
@@ -1641,9 +2081,9 @@ end
 
 (* ------------------------------------------------------------------ *)
 (* Deterministic fault injection, public face.  The hooks themselves
-   live on the hot paths above ([fault_tick] in [mk] / [cache_find] /
-   [gc] / [with_reorder], [fault_step_tick] in [Limits.step]); this
-   module only arms and disarms them. *)
+   live on the hot paths above ([fault_tick] in [mk] / the cache
+   probes / [gc] / [with_reorder], [fault_step_tick] in [Limits.step]);
+   this module only arms and disarms them. *)
 
 module Fault = struct
   type site = fault_site = Mk | Cache_probe | Gc | Step | Reorder
@@ -1678,39 +2118,33 @@ module Fault = struct
 end
 
 let pp ppf f =
-  match f with
-  | False -> Format.fprintf ppf "false"
-  | True -> Format.fprintf ppf "true"
-  | Node n ->
-    Format.fprintf ppf "<bdd #%d root=v%d nodes=%d>" n.nid n.var (size f)
+  if f = 0 then Format.fprintf ppf "false"
+  else if f = 1 then Format.fprintf ppf "true"
+  else Format.fprintf ppf "<bdd #%d>" f
 
-let to_dot ?(name = fun v -> Printf.sprintf "v%d" v) f =
+let to_dot ?(name = fun v -> Printf.sprintf "v%d" v) m f =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph bdd {\n";
   Buffer.add_string buf "  node [shape=circle];\n";
   Buffer.add_string buf "  f0 [label=\"0\", shape=box];\n";
   Buffer.add_string buf "  f1 [label=\"1\", shape=box];\n";
   let seen = Hashtbl.create 64 in
-  let node_name = function
-    | False -> "f0"
-    | True -> "f1"
-    | Node n -> Printf.sprintf "n%d" n.nid
+  let node_name f =
+    if f = 0 then "f0" else if f = 1 then "f1" else Printf.sprintf "n%d" f
   in
-  let rec go = function
-    | False | True -> ()
-    | Node n ->
-      if not (Hashtbl.mem seen n.nid) then begin
-        Hashtbl.add seen n.nid ();
-        Buffer.add_string buf
-          (Printf.sprintf "  n%d [label=\"%s\"];\n" n.nid (name n.var));
-        Buffer.add_string buf
-          (Printf.sprintf "  n%d -> %s [style=dashed];\n" n.nid
-             (node_name n.low));
-        Buffer.add_string buf
-          (Printf.sprintf "  n%d -> %s;\n" n.nid (node_name n.high));
-        go n.low;
-        go n.high
-      end
+  let rec go f =
+    if f >= 2 && not (Hashtbl.mem seen f) then begin
+      Hashtbl.add seen f ();
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\"];\n" f (name m.n_var.(f)));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> %s [style=dashed];\n" f
+           (node_name m.n_lo.(f)));
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> %s;\n" f (node_name m.n_hi.(f)));
+      go m.n_lo.(f);
+      go m.n_hi.(f)
+    end
   in
   go f;
   Buffer.add_string buf "}\n";

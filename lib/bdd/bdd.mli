@@ -30,21 +30,25 @@ type t
 
 val create :
   ?unique_size:int -> ?cache_size:int -> ?cache_limit:int -> unit -> man
-(** [create ()] makes a fresh manager.  [unique_size] and [cache_size]
-    are initial sizes of the unique table and the operation caches.
-    [cache_limit], when given, bounds every operation cache: an insert
-    that pushes a cache past [cache_limit] entries drops that whole
-    cache (size-triggered eviction).  Results never change — caches
-    only affect sharing of work — so a limit trades recomputation for
-    bounded memory.  Default: unbounded. *)
+(** [create ()] makes a fresh manager.  [unique_size] sizes the initial
+    node-store columns (rounded to a power of two; the per-variable
+    open-addressing subtables start small and grow geometrically as
+    nodes land in them), and [cache_size] the initial operation caches.
+    [cache_limit], when given, caps every operation cache at the
+    largest power of two within it: the caches are direct-mapped, so at
+    the cap an insert that collides with a live entry of a different
+    key simply overwrites it (counted in [cache_evictions]).  Results
+    never change — caches only affect sharing of work — so a limit
+    trades recomputation for bounded memory.  Default: unbounded (up to
+    a fixed hard cap per cache). *)
 
 val set_cache_limit : man -> int option -> unit
-(** Install ([Some n]) or remove ([None]) the operation-cache
-    high-water mark; takes effect on the next cache insertion.  Raises
+(** Install ([Some n]) or remove ([None]) the operation-cache capacity
+    cap; an over-cap cache shrinks immediately.  Raises
     [Invalid_argument] when [n <= 0]. *)
 
 val cache_limit : man -> int option
-(** The current operation-cache high-water mark, if bounded. *)
+(** The current operation-cache capacity cap, if bounded. *)
 
 (** {1 Constants and variables} *)
 
@@ -78,16 +82,16 @@ val compare : t -> t -> int
 
 val hash : t -> int
 
-val topvar : t -> int
+val topvar : man -> t -> int
 (** Root variable of a non-constant diagram (the variable at the
     diagram's top {e level}; a {!Reorder} sweep can change which
     variable that is for the same handle).
     Raises [Invalid_argument] on constants. *)
 
-val low : t -> t
+val low : man -> t -> t
 (** Else-branch (variable false) of a non-constant diagram. *)
 
-val high : t -> t
+val high : man -> t -> t
 (** Then-branch (variable true) of a non-constant diagram. *)
 
 (** {1 Boolean connectives} *)
@@ -144,10 +148,11 @@ val constrain : man -> t -> t -> t
 
 (** {1 Cross-manager transfer} *)
 
-val transfer : dst:man -> t -> t
-(** [transfer ~dst f] — the canonical diagram of [dst] computing the
-    same boolean function as [f], mapped by variable {e id} (never by
-    level), so the two managers may hold entirely different orders.
+val transfer : src:man -> dst:man -> t -> t
+(** [transfer ~src ~dst f] — the canonical diagram of [dst] computing
+    the same boolean function as [f] (a diagram of [src]), mapped by
+    variable {e id} (never by level), so the two managers may hold
+    entirely different orders.
     When [dst]'s order agrees with the structure of [f] the copy is a
     memoised structural one — one node-constructor call per distinct
     node of [f], [size] preserved exactly; otherwise it transparently
@@ -177,13 +182,13 @@ val rename : man -> t -> (int -> int) -> t
 
 (** {1 Inspection} *)
 
-val support : t -> int list
+val support : man -> t -> int list
 (** Variables occurring in the diagram, sorted increasingly. *)
 
-val size : t -> int
+val size : man -> t -> int
 (** Number of distinct internal nodes (constants not counted). *)
 
-val eval : t -> (int -> bool) -> bool
+val eval : man -> t -> (int -> bool) -> bool
 (** Evaluate under an assignment. *)
 
 val sat_count : man -> t -> int -> float
@@ -193,7 +198,7 @@ val sat_count : man -> t -> int -> float
     of [f] must be < [n].  Takes the manager because the gap weighting
     walks the current variable order. *)
 
-val any_sat : t -> (int * bool) list
+val any_sat : man -> t -> (int * bool) list
 (** One satisfying {e partial} assignment (the least cube in the
     manager's current order, preferring [false] branches), as
     (variable, value) pairs sorted by variable.  Variables on which the cube does not depend
@@ -202,8 +207,8 @@ val any_sat : t -> (int * bool) list
     pin the don't-cares themselves or use {!any_sat_total}.  Raises
     [Not_found] on the constant false. *)
 
-val any_sat_total : t -> vars:int list -> (int * bool) list
-(** [any_sat_total f ~vars] — one satisfying {e total} assignment over
+val any_sat_total : man -> t -> vars:int list -> (int * bool) list
+(** [any_sat_total m f ~vars] — one satisfying {e total} assignment over
     [vars]: the {!any_sat} cube with every unmentioned variable of
     [vars] pinned to [false] (the lexicographically least satisfying
     point).  The support of [f] must be contained in [vars]; raises
@@ -248,12 +253,23 @@ type stats = {
   live_nodes : int;       (** current unique-table size *)
   peak_nodes : int;       (** largest unique-table size so far *)
   total_nodes : int;      (** nodes ever allocated *)
-  cache_evictions : int;  (** size-triggered whole-cache drops *)
+  cache_evictions : int;  (** direct-mapped cache entries overwritten by a
+                              colliding store with a different key *)
   gc_runs : int;
   gc_collected : int;     (** nodes swept across all {!gc} runs *)
   reorders : int;         (** reordering sweeps ({!reorder} and friends) *)
   reorder_ms : float;     (** wall-clock milliseconds spent reordering *)
   reorder_saved : int;    (** net live-node reduction across all sweeps *)
+  cache_stores : int;     (** operation-cache insertions across the five
+                              caches; hit rate = hits / (hits + misses),
+                              overwrite rate = evictions / stores *)
+  unique_lookups : int;   (** unique-table find-or-insert operations *)
+  unique_probes : int;    (** slots inspected across those lookups; mean
+                              probe length = probes / lookups *)
+  store_capacity : int;   (** allocated node-store column slots *)
+  unique_capacity : int;  (** open-addressing slots across all per-variable
+                              subtables; load factor =
+                              live_nodes / unique_capacity *)
 }
 (** A snapshot of the manager's counters. *)
 
@@ -335,8 +351,11 @@ val with_root : man -> (unit -> t list) -> (unit -> 'a) -> 'a
 
 val gc : man -> int
 (** Mark from every registered root and sweep unreachable nodes out of
-    the unique table; the operation caches are dropped (they may hold
-    swept nodes).  Returns the number of nodes collected. *)
+    the unique table; swept store slots go on a free list for reuse by
+    later node construction (handles of survivors are untouched — the
+    store is swept, never compacted).  The operation caches are dropped
+    (they may hold swept handles whose slots will be recycled).
+    Returns the number of nodes collected. *)
 
 (** {1 Dynamic variable reordering}
 
@@ -602,7 +621,8 @@ module Fault : sig
 end
 
 val pp : Format.formatter -> t -> unit
-(** Structural summary printer (id, root variable, node count). *)
+(** Debug printer: [false], [true], or [<bdd #id>].  Handles are plain
+    ids, so no manager is needed (or available) to render one. *)
 
-val to_dot : ?name:(int -> string) -> t -> string
+val to_dot : ?name:(int -> string) -> man -> t -> string
 (** Graphviz rendering; [name] maps variable indices to labels. *)

@@ -167,7 +167,7 @@ let image_with_schedule man schedule operand =
    [relevant] (parity of the BDD variable index distinguishes the
    copies), processing clusters in the given order. *)
 let make_schedule man ~relevant ~all_cube clusters =
-  let var_sets = List.map (fun c -> Bdd.support c) clusters in
+  let var_sets = List.map (fun c -> Bdd.support man c) clusters in
   (* Variables still alive after position i: union of supports of the
      clusters after it. *)
   let rec schedules clusters var_sets =
@@ -192,7 +192,7 @@ let make_schedule man ~relevant ~all_cube clusters =
        into a final step. *)
     let covered = List.concat var_sets in
     let missing =
-      Bdd.support all_cube
+      Bdd.support man all_cube
       |> List.filter (fun v -> not (List.mem v covered))
     in
     if missing = [] then steps
@@ -248,7 +248,7 @@ let clone_into dst m =
   Array.iteri (fun l v -> if l <> v then identity := false) src_order;
   if not !identity then Bdd.Reorder.set_order dst src_order;
   Bdd.Reorder.set_pairs dst (Bdd.Reorder.pairs m.man);
-  let t b = Bdd.transfer ~dst b in
+  let t b = Bdd.transfer ~src:m.man ~dst b in
   let clone_steps =
     List.map (fun s -> { cluster = t s.cluster; quant = t s.quant })
   in
@@ -364,7 +364,7 @@ let pick_state m set =
     (* [Bdd.any_sat] returns a partial cube; bits it leaves unmentioned
        are don't-cares, and pinning a don't-care to [false] stays inside
        the set, so the result is a genuine single state. *)
-    let partial = Bdd.any_sat set in
+    let partial = Bdd.any_sat m.man set in
     let st = Array.make m.nbits false in
     List.iter
       (fun (v, b) -> if v mod 2 = 0 then st.(v / 2) <- b)
@@ -372,7 +372,7 @@ let pick_state m set =
     (* A state set must constrain current-copy variables only; if the
        pinned state fell outside the set, the cube required a next-copy
        variable we cannot represent in a state. *)
-    if not (Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))) then
+    if not (Bdd.eval m.man set (fun v -> v mod 2 = 0 && st.(v / 2))) then
       invalid_arg "Kripke.pick_state: set constrains next-state variables";
     Some st
   end
@@ -410,7 +410,7 @@ let pick_random_state m ~rng set =
     done;
     (* Same guard as {!pick_state}: a state set must constrain
        current-copy variables only. *)
-    if not (Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))) then
+    if not (Bdd.eval m.man set (fun v -> v mod 2 = 0 && st.(v / 2))) then
       invalid_arg "Kripke.pick_random_state: set constrains next-state variables";
     Some st
   end
@@ -426,8 +426,7 @@ let states_in m set =
   |> List.rev
 
 let eval_in_state m set (st : state) =
-  ignore m;
-  Bdd.eval set (fun v -> v mod 2 = 0 && st.(v / 2))
+  Bdd.eval m.man set (fun v -> v mod 2 = 0 && st.(v / 2))
 
 let pp_value ppf = function
   | B b -> Format.fprintf ppf "%d" (if b then 1 else 0)

@@ -29,7 +29,7 @@ let map ~jobs ?cancel ?chaos_crash ?on_result ~f (m : Kripke.t) specs =
   let task i () =
     if cancelled () then raise Cancelled;
     let wm = Domain.DLS.get ctx in
-    let spec = Ctl.map_pred (Bdd.transfer ~dst:wm.Kripke.man) specs.(i) in
+    let spec = Ctl.map_pred (Bdd.transfer ~src:m.Kripke.man ~dst:wm.Kripke.man) specs.(i) in
     f wm spec i
   in
   let pool = Pool.create jobs in

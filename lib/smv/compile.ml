@@ -630,12 +630,33 @@ let compile ?(partitioned = false) ?(static_order = false)
     if partitioned then Kripke.Builder.build_partitioned builder
     else Kripke.Builder.build builder
   in
-  {
-    model;
-    specs = List.rev !specs;
-    defines = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.defines [];
-    clusters = Kripke.Builder.clusters builder;
-  }
+  let compiled =
+    {
+      model;
+      specs = List.rev !specs;
+      defines = Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.defines [];
+      clusters = Kripke.Builder.clusters builder;
+    }
+  in
+  (* The compiled artifact outlives any single check: a warm server
+     keeps it across requests, and recovery ladders run [Bdd.gc]
+     between attempts.  Its embedded diagrams — the Pred state sets
+     inside the spec formulas and the partition clusters — are not
+     reachable from the model's own roots, so register them here for
+     the artifact's lifetime; otherwise a gc would sweep them and any
+     later use of the compiled specs would dangle. *)
+  let spec_preds =
+    List.concat_map
+      (fun (_, spec) ->
+        let acc = ref [] in
+        ignore (Ctl.map_pred (fun b -> acc := b :: !acc; b) spec);
+        !acc)
+      compiled.specs
+  in
+  ignore
+    (Bdd.add_root model.Kripke.man (fun () -> spec_preds @ compiled.clusters)
+      : Bdd.root);
+  compiled
 
 let compile_expr compiled source =
   (* Rebuild a read-only environment over the existing model: variable

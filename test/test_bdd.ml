@@ -80,10 +80,10 @@ let test_constants () =
 
 let test_var_eval () =
   let x = Bdd.var man 3 in
-  Alcotest.(check bool) "x under x=true" true (Bdd.eval x (fun v -> v = 3));
-  Alcotest.(check bool) "x under x=false" false (Bdd.eval x (fun _ -> false));
+  Alcotest.(check bool) "x under x=true" true (Bdd.eval man x (fun v -> v = 3));
+  Alcotest.(check bool) "x under x=false" false (Bdd.eval man x (fun _ -> false));
   let nx = Bdd.nvar man 3 in
-  Alcotest.(check bool) "~x under x=false" true (Bdd.eval nx (fun _ -> false))
+  Alcotest.(check bool) "~x under x=false" true (Bdd.eval man nx (fun _ -> false))
 
 let test_var_negative () =
   Alcotest.check_raises "negative var" (Invalid_argument "Bdd.var: negative variable")
@@ -97,22 +97,22 @@ let test_hash_consing () =
 
 let test_topvar_structure () =
   let f = Bdd.and_ man (Bdd.var man 2) (Bdd.var man 5) in
-  Alcotest.(check int) "root is smallest var" 2 (Bdd.topvar f);
-  Alcotest.(check bool) "low is zero" true (Bdd.is_zero (Bdd.low f));
-  Alcotest.(check int) "high root" 5 (Bdd.topvar (Bdd.high f))
+  Alcotest.(check int) "root is smallest var" 2 (Bdd.topvar man f);
+  Alcotest.(check bool) "low is zero" true (Bdd.is_zero (Bdd.low man f));
+  Alcotest.(check int) "high root" 5 (Bdd.topvar man (Bdd.high man f))
 
 let test_topvar_constant () =
   Alcotest.check_raises "topvar of constant"
     (Invalid_argument "Bdd.topvar: constant") (fun () ->
-      ignore (Bdd.topvar (Bdd.one man)))
+      ignore (Bdd.topvar man (Bdd.one man)))
 
 let test_cube () =
   let c = Bdd.cube man [ 4; 1; 1; 2 ] in
   Alcotest.(check bool) "cube true when all set" true
-    (Bdd.eval c (fun v -> List.mem v [ 1; 2; 4 ]));
+    (Bdd.eval man c (fun v -> List.mem v [ 1; 2; 4 ]));
   Alcotest.(check bool) "cube false when one unset" false
-    (Bdd.eval c (fun v -> List.mem v [ 1; 4 ]));
-  Alcotest.(check (list int)) "support" [ 1; 2; 4 ] (Bdd.support c)
+    (Bdd.eval man c (fun v -> List.mem v [ 1; 4 ]));
+  Alcotest.(check (list int)) "support" [ 1; 2; 4 ] (Bdd.support man c)
 
 let test_empty_cube () =
   Alcotest.(check bool) "empty cube is true" true (Bdd.is_one (Bdd.cube man []))
@@ -157,10 +157,10 @@ let test_sat_count_bad_universe () =
 
 let test_any_sat () =
   let f = Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 2) in
-  let a = Bdd.any_sat f in
+  let a = Bdd.any_sat man f in
   Alcotest.(check (list (pair int bool))) "least cube" [ (0, false); (2, true) ] a;
   Alcotest.check_raises "any_sat false" Not_found (fun () ->
-      ignore (Bdd.any_sat (Bdd.zero man)))
+      ignore (Bdd.any_sat man (Bdd.zero man)))
 
 let test_fold_sat () =
   let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
@@ -182,16 +182,16 @@ let test_rename_swap () =
 let test_rename_shift () =
   let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 2) in
   let g = Bdd.rename man f (fun v -> v + 10 ) in
-  Alcotest.(check (list int)) "shifted support" [ 10; 12 ] (Bdd.support g)
+  Alcotest.(check (list int)) "shifted support" [ 10; 12 ] (Bdd.support man g)
 
 let test_size () =
   let f = Bdd.xor man (Bdd.var man 0) (Bdd.var man 1) in
-  Alcotest.(check int) "xor has 3 nodes" 3 (Bdd.size f);
-  Alcotest.(check int) "constant has 0 nodes" 0 (Bdd.size (Bdd.one man))
+  Alcotest.(check int) "xor has 3 nodes" 3 (Bdd.size man f);
+  Alcotest.(check int) "constant has 0 nodes" 0 (Bdd.size man (Bdd.one man))
 
 let test_to_dot () =
   let f = Bdd.and_ man (Bdd.var man 0) (Bdd.var man 1) in
-  let dot = Bdd.to_dot ~name:(Printf.sprintf "x%d") f in
+  let dot = Bdd.to_dot ~name:(Printf.sprintf "x%d") man f in
   Alcotest.(check bool) "mentions x0" true
     (Astring.String.is_infix ~affix:"x0" dot);
   Alcotest.(check bool) "digraph" true
@@ -209,7 +209,7 @@ let test_clear_caches () =
 let prop_eval_agrees =
   prop "bdd eval agrees with expression eval" expr_gen (fun e ->
       let b = bdd_of_expr e in
-      agree (fun env -> eval_expr env e) (fun env -> Bdd.eval b env))
+      agree (fun env -> eval_expr env e) (fun env -> Bdd.eval man b env))
 
 let prop_canonicity =
   prop "truth-table-equivalent expressions share one node"
@@ -233,7 +233,7 @@ let prop_ite =
       let f = bdd_of_expr ef and g = bdd_of_expr eg and h = bdd_of_expr eh in
       let r = Bdd.ite man f g h in
       agree
-        (fun env -> Bdd.eval r env)
+        (fun env -> Bdd.eval man r env)
         (fun env ->
           if eval_expr env ef then eval_expr env eg else eval_expr env eh))
 
@@ -273,8 +273,8 @@ let prop_rename_eval =
       let perm v = v + nvars in
       let g = Bdd.rename man f perm in
       agree
-        (fun env -> Bdd.eval f env)
-        (fun env -> Bdd.eval g (fun v -> env (v - nvars))))
+        (fun env -> Bdd.eval man f env)
+        (fun env -> Bdd.eval man g (fun v -> env (v - nvars))))
 
 let prop_sat_count =
   prop "sat_count agrees with brute force" expr_gen (fun e ->
@@ -290,8 +290,8 @@ let prop_any_sat =
       let f = bdd_of_expr e in
       if Bdd.is_zero f then true
       else
-        let a = Bdd.any_sat f in
-        Bdd.eval f (fun v ->
+        let a = Bdd.any_sat man f in
+        Bdd.eval man f (fun v ->
             match List.assoc_opt v a with Some b -> b | None -> false))
 
 let prop_fold_sat_count =
@@ -319,7 +319,7 @@ let prop_support_sound =
     QCheck2.Gen.(pair expr_gen (int_bound (nvars - 1)))
     (fun (e, v) ->
       let f = bdd_of_expr e in
-      List.mem v (Bdd.support f)
+      List.mem v (Bdd.support man f)
       || Bdd.equal f (Bdd.restrict man f v true)
          && Bdd.equal f (Bdd.restrict man f v false))
 
@@ -507,19 +507,19 @@ let test_with_root () =
 
 let test_any_sat_total () =
   let f = Bdd.and_ man (Bdd.nvar man 0) (Bdd.var man 2) in
-  let a = Bdd.any_sat_total f ~vars:[ 0; 1; 2; 3 ] in
+  let a = Bdd.any_sat_total man f ~vars:[ 0; 1; 2; 3 ] in
   Alcotest.(check (list (pair int bool))) "total, don't-cares pinned false"
     [ (0, false); (1, false); (2, true); (3, false) ]
     a;
   Alcotest.(check (list (pair int bool))) "tautology over two vars"
     [ (0, false); (1, false) ]
-    (Bdd.any_sat_total (Bdd.one man) ~vars:[ 1; 0 ]);
+    (Bdd.any_sat_total man (Bdd.one man) ~vars:[ 1; 0 ]);
   Alcotest.check_raises "support must be covered"
     (Invalid_argument "Bdd.any_sat_total: support not contained in vars")
-    (fun () -> ignore (Bdd.any_sat_total f ~vars:[ 0; 1 ]));
+    (fun () -> ignore (Bdd.any_sat_total man f ~vars:[ 0; 1 ]));
   Alcotest.check_raises "constant false"
     Not_found
-    (fun () -> ignore (Bdd.any_sat_total (Bdd.zero man) ~vars:[ 0 ]))
+    (fun () -> ignore (Bdd.any_sat_total man (Bdd.zero man) ~vars:[ 0 ]))
 
 let stats_suite =
   [

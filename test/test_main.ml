@@ -2,6 +2,7 @@ let () =
   Alcotest.run "counterexamples"
     [
       ("bdd", Test_bdd.suite);
+      ("store", Test_store.suite);
       ("kripke", Test_kripke.suite);
       ("ctl", Test_ctl.suite);
       ("explicit", Test_explicit.suite);

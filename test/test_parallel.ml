@@ -60,24 +60,24 @@ let transfer_props =
       (fun e ->
         let f = bdd_of_expr src e in
         let dst = Bdd.create () in
-        let g = Bdd.transfer ~dst f in
-        Bdd.size g = Bdd.size f
+        let g = Bdd.transfer ~src ~dst f in
+        Bdd.size dst g = Bdd.size src f
         && Bdd.sat_count dst g nvars = Bdd.sat_count src f nvars
         &&
         let ok = ref true in
         for bits = 0 to (1 lsl nvars) - 1 do
-          if Bdd.eval g (env_of_bits bits) <> Bdd.eval f (env_of_bits bits)
+          if Bdd.eval dst g (env_of_bits bits) <> Bdd.eval src f (env_of_bits bits)
           then ok := false
         done;
         !ok);
     prop "transferred node is the canonical node of dst" expr_gen (fun e ->
         let f = bdd_of_expr src e in
         let dst = Bdd.create () in
-        Bdd.equal (Bdd.transfer ~dst f) (bdd_of_expr dst e));
+        Bdd.equal (Bdd.transfer ~src ~dst f) (bdd_of_expr dst e));
     prop "transfer into the source manager is the identity" expr_gen
       (fun e ->
         let f = bdd_of_expr src e in
-        Bdd.equal (Bdd.transfer ~dst:src f) f);
+        Bdd.equal (Bdd.transfer ~src ~dst:src f) f);
   ]
 
 (* ------------------------------------------------------------------ *)

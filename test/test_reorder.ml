@@ -58,11 +58,11 @@ let rec bdd_of_expr man = function
 let env_of_bits bits v = bits land (1 lsl v) <> 0
 
 (* [f] denotes the same function as [e] on the whole universe. *)
-let agrees f e =
+let agrees man f e =
   let ok = ref true in
   for bits = 0 to (1 lsl nvars) - 1 do
     let env = env_of_bits bits in
-    if Bdd.eval f env <> eval_expr env e then ok := false
+    if Bdd.eval man f env <> eval_expr env e then ok := false
   done;
   !ok
 
@@ -93,7 +93,7 @@ let prop_swaps_preserve_eval =
       List.for_all
         (fun l ->
           Bdd.Reorder.swap man l;
-          Bdd.id f = id0 && agrees f e)
+          Bdd.id f = id0 && agrees man f e)
         levels
       || QCheck2.Test.fail_report "swap changed the function or the handle")
 
@@ -104,7 +104,7 @@ let prop_sift_preserves_eval =
       let count0 = Bdd.sat_count man f nvars in
       let id0 = Bdd.id f in
       Bdd.reorder man;
-      Bdd.id f = id0 && agrees f e && Bdd.sat_count man f nvars = count0)
+      Bdd.id f = id0 && agrees man f e && Bdd.sat_count man f nvars = count0)
 
 let order_gen =
   (* A permutation of 0..nvars-1 drawn from random transpositions. *)
@@ -130,7 +130,7 @@ let prop_set_order_preserves_eval =
       let man = fresh () in
       let f = bdd_of_expr man e in
       Bdd.Reorder.set_order man ord;
-      Bdd.Reorder.order man = ord && agrees f e)
+      Bdd.Reorder.order man = ord && agrees man f e)
 
 let prop_transfer_across_orders =
   prop "transfer between differently ordered managers" order_gen
@@ -143,11 +143,11 @@ let prop_transfer_across_orders =
       let dst = Bdd.create () in
       Bdd.Reorder.set_order dst (permutation_of_swaps swaps);
       let g = Bdd.with_root src (fun () -> [ f ]) (fun () ->
-          Bdd.transfer ~dst f) in
-      agrees g e
+          Bdd.transfer ~src ~dst f) in
+      agrees dst g e
       && Bdd.sat_count dst g nvars = Bdd.sat_count src f nvars
       (* ... and transferring back round-trips to the original node. *)
-      && Bdd.equal f (Bdd.transfer ~dst:src g))
+      && Bdd.equal f (Bdd.transfer ~src:dst ~dst:src g))
 
 (* -------------------------------------------------------------------- *)
 (* Unit tests: the swap primitive and explicit orders.                  *)
@@ -206,7 +206,7 @@ let test_pairs_stay_adjacent () =
   let n = 6 in
   Bdd.Reorder.set_pairs man (List.init n (fun i -> (i, n + i)));
   let f = copier man n in
-  let big = Bdd.size f in
+  let big = Bdd.size man f in
   Bdd.with_root man (fun () -> [ f ]) (fun () -> Bdd.reorder man);
   List.iter
     (fun i ->
@@ -217,9 +217,9 @@ let test_pairs_stay_adjacent () =
         1 (abs (la - lb)))
     (List.init n (fun i -> i));
   Alcotest.(check bool)
-    (Printf.sprintf "copier shrank (%d -> %d)" big (Bdd.size f))
+    (Printf.sprintf "copier shrank (%d -> %d)" big (Bdd.size man f))
     true
-    (Bdd.size f < big / 2);
+    (Bdd.size man f < big / 2);
   Alcotest.(check bool) "function preserved" true
     (let ok = ref true in
      for bits = 0 to (1 lsl (2 * n)) - 1 do
@@ -228,7 +228,7 @@ let test_pairs_stay_adjacent () =
        for i = 0 to n - 1 do
          if env i <> env (n + i) then expected := false
        done;
-       if Bdd.eval f env <> !expected then ok := false
+       if Bdd.eval man f env <> !expected then ok := false
      done;
      !ok)
 
