@@ -303,3 +303,142 @@ let bechamel_overload =
            ~queue_depth:8
            ~retry_after_ms:
              (Server.Overload.retry_after_ms ov ~queue_depth:8 ~workers:2)))
+
+(* ================================================================== *)
+(* E17 — restart-to-warm latency: rehydrating a crashed server from a
+   Bdd.Snapshot (via Server.Persist) vs paying the full cold recheck.
+
+   The crash-only serving mode (--supervise + --state-dir) claims that
+   a restarted child is warm within its first request because it loads
+   the last snapshot instead of recompiling.  This experiment measures
+   exactly that trade on the arbiter (the workload where cold is most
+   expensive: reordering dominates):
+
+     cold recheck      compile + order + reach + all specs on a fresh
+                       manager — what a crashed server without durable
+                       state pays on its first post-restart request;
+     snapshot save     one Persist.save_entry (dump + checksum + write);
+     snapshot restore  Persist.load_entry — read, validate, rebuild
+                       subtables, reconstruct the compiled artifact;
+     first warm check  the identical request against the rehydrated
+                       entry: must report warm, reuse the reachable
+                       set, allocate zero new nodes, and agree with
+                       the cold verdicts byte for byte.
+
+   restart-to-warm = restore + first check, the client-visible latency
+   of the first request after a supervised restart. *)
+
+let run_restart ~full =
+  let users = if full then 10 else 8 in
+  let workload = Printf.sprintf "arbiter%d" users in
+  let src = Exp_reorder.arbiter_smv users in
+  (* Pre-crash: one cold request warms the pool entry (this is also
+     the cold-recheck baseline), then a persist write snapshots it. *)
+  let cache = Server.Cache.create ~capacity:2 in
+  let (cold_verdicts, _, _), t_cold =
+    Harness.time_once (fun () -> request cache ~source:src ())
+  in
+  let key =
+    Server.Cache.digest ~source:src ~partitioned:false ~static_order:false
+  in
+  let compiled =
+    let entry, _ = Server.Cache.acquire cache ~key in
+    Fun.protect ~finally:(fun () -> Server.Cache.release cache entry)
+    @@ fun () -> Option.get entry.Server.Cache.compiled
+  in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bench_e17_%d" (Unix.getpid ()))
+  in
+  let persist = Server.Persist.create ~dir ~debug:false in
+  let saved, t_save =
+    Harness.time_once (fun () ->
+        Server.Persist.save_entry persist ~key ~uses:1 compiled)
+  in
+  if not saved then failwith "E17: snapshot write failed";
+  let path = Filename.concat dir (key ^ ".warm") in
+  let snapshot_bytes = (Unix.stat path).Unix.st_size in
+  (* The restart: a fresh process would load the file, seed its pool,
+     and serve the first request warm. *)
+  let (key', restored), t_restore =
+    Harness.time_once (fun () -> Server.Persist.load_entry path)
+  in
+  if key' <> key then failwith "E17: snapshot key mismatch";
+  let cache2 = Server.Cache.create ~capacity:2 in
+  if not (Server.Cache.seed cache2 ~key ~compiled:restored) then
+    failwith "E17: rehydrated entry not seeded";
+  let (warm_verdicts, was_warm, warm_nodes), t_first =
+    Harness.time_once (fun () -> request cache2 ~source:src ())
+  in
+  if not was_warm then failwith "E17: rehydrated request stayed cold";
+  if warm_nodes <> 0 then
+    failwith
+      (Printf.sprintf "E17: rehydrated request allocated %d nodes" warm_nodes);
+  if warm_verdicts <> cold_verdicts then
+    failwith "E17: rehydration changed a verdict";
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let restart_to_warm = t_restore +. t_first in
+  let speedup = t_cold /. Float.max 1e-9 restart_to_warm in
+  Harness.emit_json ~experiment:"E17"
+    [
+      ("workload", Harness.String workload);
+      ("cold_recheck_s", Harness.Float t_cold);
+      ("snapshot_save_s", Harness.Float t_save);
+      ("snapshot_restore_s", Harness.Float t_restore);
+      ("first_warm_check_s", Harness.Float t_first);
+      ("restart_to_warm_s", Harness.Float restart_to_warm);
+      ("speedup", Harness.Float speedup);
+      ("snapshot_bytes", Harness.Int snapshot_bytes);
+      ("warm_nodes", Harness.Int warm_nodes);
+    ];
+  Harness.print_table
+    ~title:
+      "E17: restart-to-warm — snapshot restore vs cold recheck after a \
+       crash (identical verdicts enforced)"
+    ~header:
+      [ "workload"; "cold recheck"; "save"; "restore"; "first check";
+        "restart-to-warm"; "speedup"; "bytes" ]
+    [
+      [
+        workload;
+        Harness.seconds_string t_cold;
+        Harness.seconds_string t_save;
+        Harness.seconds_string t_restore;
+        Harness.seconds_string t_first;
+        Harness.seconds_string restart_to_warm;
+        Printf.sprintf "%.0fx" speedup;
+        string_of_int snapshot_bytes;
+      ];
+    ];
+  Harness.note
+    "cold recheck: what a restarted server without --state-dir pays on its";
+  Harness.note
+    "first request.  restore: Persist.load_entry — read, checksum, rebuild";
+  Harness.note
+    "unique tables (re-proving canonicity per node), reconstruct the model.";
+  Harness.note
+    "first check: the identical request on the rehydrated entry — warm,";
+  Harness.note
+    "memoised reachable set, zero new nodes.  The snapshot turns a crash";
+  Harness.note
+    "from a full recompute into a file read."
+
+let bechamel_restart =
+  (* Snapshot dump throughput on a warm mid-size manager. *)
+  let man =
+    lazy
+      (let cache = Server.Cache.create ~capacity:1 in
+       let src = Exp_reorder.arbiter_smv 6 in
+       ignore (request cache ~source:src ());
+       let key =
+         Server.Cache.digest ~source:src ~partitioned:false
+           ~static_order:false
+       in
+       let entry, _ = Server.Cache.acquire cache ~key in
+       let compiled = Option.get entry.Server.Cache.compiled in
+       compiled.Smv.Compile.model.Kripke.man)
+  in
+  Bechamel.Test.make ~name:"e17-arbiter6-snapshot-dump"
+    (Bechamel.Staged.stage (fun () ->
+         ignore (Bdd.Snapshot.dump (Lazy.force man) : string)))

@@ -28,6 +28,7 @@ let experiments =
     ("E14", Exp_serve.run, Exp_serve.bechamel);
     ("E15", Exp_serve.run_overload, Exp_serve.bechamel_overload);
     ("E16", Exp_nodestore.run, Exp_nodestore.bechamel);
+    ("E17", Exp_serve.run_restart, Exp_serve.bechamel_restart);
   ]
 
 let run_raw () =

@@ -52,6 +52,8 @@ type options = {
   default_node_limit : int option;
   max_timeout : float option;
   mem_high_water : int option;
+  supervise : bool;
+  state_dir : string option;
   status : bool;
 }
 
@@ -741,6 +743,36 @@ let mem_high_water_arg =
            warm (warm models, pings and status probes are still \
            served).  Default: off.")
 
+let supervise_arg =
+  Arg.(
+    value & flag
+    & info [ "supervise" ]
+        ~doc:
+          "With $(b,--serve --socket): run the serve loop as a \
+           supervised child process.  The parent binds the socket \
+           once, holds the listening descriptor across restarts (so \
+           clients connecting during a restart queue instead of being \
+           refused), and restarts a crashed child with exponential \
+           backoff and jitter; a crash loop (5 crashes within 30s by \
+           default) trips a circuit breaker and exits with a report.  \
+           Pairs with $(b,--state-dir), which lets the replacement \
+           child rehydrate the crashed child's warm state.")
+
+let state_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "state-dir" ] ~docv:"DIR"
+        ~doc:
+          "With $(b,--serve): persist warm-model snapshots under DIR.  \
+           Idle compiled models are snapshotted (checksummed, written \
+           atomically) on the server's low-pressure watchdog ticks and \
+           on graceful shutdown, and rehydrated at startup, so a \
+           restarted server answers its first checks warm instead of \
+           recompiling; corrupt or stale snapshot files are \
+           quarantined (renamed $(i,*.quarantined)) and counted, never \
+           fatal.  Default: off.")
+
 let status_arg =
   Arg.(
     value & flag
@@ -755,7 +787,7 @@ let main file extra_specs no_fair no_trace stats partitioned cache_limit
     simulate seed timeout node_limit step_limit jobs retries retry_factor
     certify inject reorder reorder_threshold debug serve socket cache_models
     max_pending max_inflight default_timeout default_node_limit max_timeout
-    mem_high_water status =
+    mem_high_water supervise state_dir status =
   let opts =
     {
       file; extra_specs; fair = not no_fair; traces = not no_trace; stats;
@@ -763,7 +795,7 @@ let main file extra_specs no_fair no_trace stats partitioned cache_limit
       step_limit; jobs; retries; retry_factor; certify; inject; debug;
       reorder; reorder_threshold; serve; socket; cache_models; max_pending;
       max_inflight; default_timeout; default_node_limit; max_timeout;
-      mem_high_water; status;
+      mem_high_water; supervise; state_dir; status;
     }
   in
   Printexc.record_backtrace debug;
@@ -781,8 +813,18 @@ let main file extra_specs no_fair no_trace stats partitioned cache_limit
       Format.eprintf "--cache-models: N must be positive@.";
       3
     end
-    else
-      Server.Daemon.serve
+    else begin
+      (* In serve mode the only CLI-level injection site is the
+         supervision fault [child-crash:K]; per-request sites travel
+         in the request options instead. *)
+      let crash_after =
+        match inject with
+        | Some s when String.length s > 12 && String.sub s 0 12 = "child-crash:"
+          ->
+          int_of_string_opt (String.sub s 12 (String.length s - 12))
+        | Some _ | None -> None
+      in
+      let dcfg =
         {
           Server.Daemon.socket;
           jobs = (if jobs = 0 then Parallel.default_jobs () else max 1 jobs);
@@ -794,7 +836,14 @@ let main file extra_specs no_fair no_trace stats partitioned cache_limit
           default_node_limit = opts.default_node_limit;
           max_timeout = opts.max_timeout;
           mem_high_water = opts.mem_high_water;
+          state_dir = opts.state_dir;
+          crash_after;
+          restarts = 0;
         }
+      in
+      if supervise then Server.Supervise.run dcfg
+      else Server.Daemon.serve dcfg
+    end
   end
   else
     match file with
@@ -878,6 +927,14 @@ let cmd =
          caches, refuse cold models) and recovers when pressure \
          clears.  $(b,--status) probes a running server's health from \
          the command line.";
+      `P
+        "Crash-only operation: $(b,--supervise) forks the serve loop \
+         under a restarting parent that holds the listening socket \
+         across crashes, and $(b,--state-dir) persists checksummed \
+         warm-model snapshots so a restarted server rehydrates its \
+         pool instead of recompiling — together they make a SIGKILL \
+         at any moment cost one restart latency, not the accumulated \
+         warmth.";
       `S Manpage.s_exit_status;
       `P "0 — every specification holds.";
       `P "1 — at least one specification is false (none undetermined).";
@@ -898,6 +955,9 @@ let cmd =
       `P
         "smv_check --serve --socket /tmp/smv.sock --max-pending 32 \
          --max-timeout 30 --mem-high-water 5000000";
+      `P
+        "smv_check --serve --socket /tmp/smv.sock --supervise \
+         --state-dir /var/lib/smv_check";
       `P "smv_check --status --socket /tmp/smv.sock";
     ]
   in
@@ -911,6 +971,7 @@ let cmd =
       $ inject_arg $ reorder_arg $ reorder_threshold_arg $ debug_arg
       $ serve_arg $ socket_arg $ cache_models_arg $ max_pending_arg
       $ max_inflight_arg $ default_timeout_arg $ default_node_limit_arg
-      $ max_timeout_arg $ mem_high_water_arg $ status_arg)
+      $ max_timeout_arg $ mem_high_water_arg $ supervise_arg
+      $ state_dir_arg $ status_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -2149,3 +2149,234 @@ let to_dot ?(name = fun v -> Printf.sprintf "v%d" v) m f =
   go f;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: a versioned, checksummed binary dump of the packed node
+   store, for crash-only warm-state persistence.  Only the canonical
+   structure travels — columns, free list, order permutation, sift
+   pairs, zombies, and the flattened root handles.  Unique subtables
+   and op-caches are derived state and are rebuilt from scratch on
+   load: the rebuild re-proves canonicity node by node (a duplicate
+   key raises [Corrupt]), so a snapshot can never import a corrupted
+   table, and a cache is only ever a performance artifact. *)
+
+module Snapshot = struct
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+  (* Format: 8-byte magic (carries the version), a 16-byte [Digest]
+     of the payload, then the payload as a little-endian int64
+     sequence.  Bumping the layout bumps the magic. *)
+  let magic = "BDDSNAP1"
+
+  let dump m =
+    let b = Buffer.create (64 + (24 * m.n_next)) in
+    let put n = Buffer.add_int64_le b (Int64.of_int n) in
+    put m.n_next;
+    put m.free_head;
+    put m.total_created;
+    put m.live;
+    put m.peak_nodes;
+    put m.nvars;
+    put m.cache_limit;
+    for e = 2 to m.n_next - 1 do
+      put m.n_var.(e);
+      put m.n_lo.(e);
+      put m.n_hi.(e)
+    done;
+    for v = 0 to m.nvars - 1 do
+      put m.var2lvl.(v)
+    done;
+    for v = 0 to m.nvars - 1 do
+      put m.lvl2var.(v)
+    done;
+    for v = 0 to m.nvars - 1 do
+      put m.pair_with.(v)
+    done;
+    put (List.length m.zombies);
+    List.iter put m.zombies;
+    (* Root handles, flattened from the registered providers and
+       deduplicated with a stable order: providers are closures and
+       cannot travel, so the restored manager gets one static root
+       pinning exactly the nodes these providers reach today. *)
+    let root_handles =
+      Hashtbl.fold (fun _ provider acc -> provider () @ acc) m.roots []
+      |> List.sort_uniq Stdlib.compare
+    in
+    put (List.length root_handles);
+    List.iter put root_handles;
+    let payload = Buffer.contents b in
+    let out = Buffer.create (24 + String.length payload) in
+    Buffer.add_string out magic;
+    Buffer.add_string out (Digest.string payload);
+    Buffer.add_string out payload;
+    Buffer.contents out
+
+  let load blob =
+    let len = String.length blob in
+    if len < 24 then corrupt "snapshot too short (%d bytes)" len;
+    if String.sub blob 0 8 <> magic then
+      corrupt "bad magic %S (want %S)" (String.sub blob 0 8) magic;
+    if String.sub blob 8 16 <> Digest.string (String.sub blob 24 (len - 24))
+    then corrupt "checksum mismatch";
+    let pos = ref 24 in
+    let get () =
+      if !pos + 8 > len then corrupt "truncated payload at byte %d" !pos;
+      let v = Int64.to_int (String.get_int64_le blob !pos) in
+      pos := !pos + 8;
+      v
+    in
+    let n_next = get () in
+    let free_head = get () in
+    let total_created = get () in
+    let live = get () in
+    let peak_nodes = get () in
+    let nvars = get () in
+    let climit = get () in
+    if n_next < 2 then corrupt "bad watermark %d" n_next;
+    if nvars < 0 then corrupt "bad variable count %d" nvars;
+    if live < 0 || live > n_next - 2 then corrupt "bad live count %d" live;
+    let m = create ~unique_size:1024 () in
+    let cap = pow2_at_least (max 1024 n_next) in
+    m.n_var <- Array.make cap (-1);
+    m.n_lo <- Array.make cap 0;
+    m.n_hi <- Array.make cap 0;
+    m.n_cap <- cap;
+    m.n_next <- n_next;
+    m.free_head <- free_head;
+    m.total_created <- total_created;
+    m.live <- 0 (* recounted by the subtable rebuild below *);
+    for e = 2 to n_next - 1 do
+      m.n_var.(e) <- get ();
+      m.n_lo.(e) <- get ();
+      m.n_hi.(e) <- get ()
+    done;
+    if nvars > 0 then ensure_var m (nvars - 1);
+    let perm name =
+      let a = Array.init nvars (fun _ -> get ()) in
+      let seen = Array.make nvars false in
+      Array.iter
+        (fun l ->
+          if l < 0 || l >= nvars then corrupt "%s out of range: %d" name l
+          else if seen.(l) then corrupt "%s not a permutation (%d twice)" name l
+          else seen.(l) <- true)
+        a;
+      a
+    in
+    let var2lvl = perm "var2lvl" in
+    let lvl2var = perm "lvl2var" in
+    Array.iteri
+      (fun v l ->
+        if lvl2var.(l) <> v then corrupt "var2lvl/lvl2var not inverse at %d" v)
+      var2lvl;
+    Array.blit var2lvl 0 m.var2lvl 0 nvars;
+    Array.blit lvl2var 0 m.lvl2var 0 nvars;
+    for v = 0 to nvars - 1 do
+      let p = get () in
+      if p < -1 || p >= nvars then corrupt "bad sift pair %d for var %d" p v;
+      m.pair_with.(v) <- p
+    done;
+    let nzombies = get () in
+    if nzombies < 0 || nzombies > n_next then
+      corrupt "bad zombie count %d" nzombies;
+    let zombie = Bytes.make n_next '\000' in
+    let zombies = List.init nzombies (fun _ -> get ()) in
+    List.iter
+      (fun z ->
+        if z < 2 || z >= n_next || m.n_var.(z) < 0 then
+          corrupt "zombie %d is not a readable slot" z;
+        Bytes.set zombie z '\001')
+      zombies;
+    m.zombies <- zombies;
+    let nroots = get () in
+    if nroots < 0 || nroots > n_next then corrupt "bad root count %d" nroots;
+    let root_handles = List.init nroots (fun _ -> get ()) in
+    (* Rebuild the unique subtables from the columns, re-proving the
+       canonical invariants for every table entry: children in range
+       and not on the free list, lo <> hi, child levels strictly
+       deeper, and no duplicate (var, lo, hi) triple.  Zombie slots
+       stay out of the tables (that is what makes them zombies) but
+       their children must still be readable. *)
+    for e = 2 to n_next - 1 do
+      let v = m.n_var.(e) in
+      if v >= 0 then begin
+        if v >= nvars then corrupt "node %d has variable %d >= %d" e v nvars;
+        let lo = m.n_lo.(e) and hi = m.n_hi.(e) in
+        let child c =
+          if c < 0 || c >= n_next then corrupt "node %d: child %d out of range" e c;
+          if c >= 2 && m.n_var.(c) < 0 then
+            corrupt "node %d: child %d is a free slot" e c
+        in
+        child lo;
+        child hi;
+        if Bytes.get zombie e = '\000' then begin
+          if lo = hi then corrupt "node %d is redundant (lo = hi)" e;
+          let deeper c =
+            c >= 2 && m.var2lvl.(m.n_var.(c)) <= m.var2lvl.(v)
+          in
+          if deeper lo || deeper hi then
+            corrupt "node %d: child above its level" e;
+          let s = m.subs.(v) in
+          if sub_find m s lo hi <> -1 then
+            corrupt "duplicate node (%d, %d, %d)" v lo hi;
+          sub_insert m s e;
+          m.live <- m.live + 1
+        end
+      end
+    done;
+    if m.live <> live then
+      corrupt "live count mismatch: header %d, rebuilt %d" live m.live;
+    (* Walk the free list: every slot must be a hole, and the walk
+       must terminate without revisiting (the visited byte doubles as
+       the cycle guard). *)
+    let freeseen = Bytes.make n_next '\000' in
+    let nfree = ref 0 in
+    let f = ref m.free_head in
+    while !f >= 0 do
+      if !f < 2 || !f >= n_next then corrupt "free list leaves the store";
+      if m.n_var.(!f) >= 0 then corrupt "free list hits live slot %d" !f;
+      if Bytes.get freeseen !f <> '\000' then corrupt "free list cycle";
+      Bytes.set freeseen !f '\001';
+      incr nfree;
+      f := m.n_lo.(!f)
+    done;
+    for e = 2 to n_next - 1 do
+      if m.n_var.(e) < 0 && Bytes.get freeseen e = '\000' then
+        corrupt "hole %d not on the free list" e
+    done;
+    if !nfree + m.live + nzombies <> n_next - 2 then
+      corrupt "slot accounting: %d free + %d live + %d zombies <> %d"
+        !nfree m.live nzombies (n_next - 2);
+    List.iter
+      (fun r ->
+        if r < 0 || r >= n_next || (r >= 2 && m.n_var.(r) < 0) then
+          corrupt "root handle %d is not a node" r)
+      root_handles;
+    m.peak_nodes <- max peak_nodes m.live;
+    set_cache_limit m (if climit = max_int then None else Some climit);
+    ignore (add_root m (fun () -> root_handles) : int);
+    m
+
+  let save m ~path =
+    let blob = dump m in
+    let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc blob;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Sys.rename tmp path
+
+  let restore ~path =
+    let ic = open_in_bin path in
+    let blob =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    load blob
+end

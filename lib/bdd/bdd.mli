@@ -626,3 +626,41 @@ val pp : Format.formatter -> t -> unit
 
 val to_dot : ?name:(int -> string) -> man -> t -> string
 (** Graphviz rendering; [name] maps variable indices to labels. *)
+
+module Snapshot : sig
+  (** Versioned, checksummed binary snapshots of a manager's packed
+      node store: columns, free list, var/level permutation, sift
+      pairs, zombie slots, and the flattened registered roots.  Unique
+      subtables and operation caches are {e derived} state and never
+      travel — {!load} rebuilds them from scratch, re-proving the
+      canonical invariants for every node, so a snapshot can never
+      import a corrupted table.  Handles are preserved bit-for-bit:
+      any [t] valid against the dumped manager is valid against the
+      loaded one. *)
+
+  exception Corrupt of string
+  (** Raised by {!load} / {!restore} on any validation failure: bad
+      magic or version, checksum mismatch, truncation, or a violated
+      store invariant (duplicate node, child above its level, broken
+      free list, slot-accounting mismatch). *)
+
+  val dump : man -> string
+  (** Serialise the manager.  The manager is read, not mutated — in
+      particular no GC runs, so unrooted intermediate nodes survive
+      into the snapshot and a restored manager re-finds them instead
+      of re-creating them. *)
+
+  val load : string -> man
+  (** Rebuild a manager from {!dump} output.  The restored manager
+      carries one static root pinning every handle the dumped
+      manager's root providers reached; op-caches start empty.
+      @raise Corrupt on any validation failure. *)
+
+  val save : man -> path:string -> unit
+  (** {!dump} to [path] atomically (temp file + rename), so a crash
+      mid-write can never leave a torn snapshot under [path]. *)
+
+  val restore : path:string -> man
+  (** {!load} the file at [path].
+      @raise Corrupt on validation failure, [Sys_error] if unreadable. *)
+end

@@ -446,3 +446,63 @@ let pp_state_diff m ~prev ppf st =
       if old_v <> new_v then
         Format.fprintf ppf "%s = %a@," v.var_name pp_value new_v)
     m.vars
+
+(* ------------------------------------------------------------------ *)
+(* Skeletons: the pure-data shadow of a model for warm-state
+   persistence.  Every [Bdd.t] is an immediate int handle into the
+   owning manager's packed store, so the record marshals as plain
+   data; it is only meaningful against the exact manager it was taken
+   from (or a [Bdd.Snapshot] restore of it, which preserves handles
+   bit-for-bit). *)
+
+type skeleton = {
+  sk_vars : var array;
+  sk_nbits : int;
+  sk_space : Bdd.t;
+  sk_init : Bdd.t;
+  sk_trans : Bdd.t;
+  sk_pre : (Bdd.t * Bdd.t) list option;
+  sk_post : (Bdd.t * Bdd.t) list option;
+  sk_fairness : Bdd.t list;
+  sk_labels : (string * Bdd.t) list;
+  sk_fair_memo : Bdd.t option;
+  sk_reach_memo : Bdd.t option;
+}
+
+let skeleton m =
+  let steps = List.map (fun s -> (s.cluster, s.quant)) in
+  {
+    sk_vars = Array.map (fun v -> { v with bits = Array.copy v.bits }) m.vars;
+    sk_nbits = m.nbits;
+    sk_space = m.space;
+    sk_init = m.init;
+    sk_trans = m.trans;
+    sk_pre = Option.map steps m.pre_schedule;
+    sk_post = Option.map steps m.post_schedule;
+    sk_fairness = m.fairness;
+    sk_labels = m.labels;
+    sk_fair_memo = m.fair_memo;
+    sk_reach_memo = m.reach_memo;
+  }
+
+let of_skeleton ~man sk =
+  let steps = List.map (fun (cluster, quant) -> { cluster; quant }) in
+  (* Same pair grouping [make] declares; on a snapshot-restored
+     manager this rewrites the pairs it already carries (idempotent). *)
+  Bdd.Reorder.set_pairs man
+    (List.init sk.sk_nbits (fun b -> (2 * b, (2 * b) + 1)));
+  register_roots
+    {
+      man;
+      vars = sk.sk_vars;
+      nbits = sk.sk_nbits;
+      space = sk.sk_space;
+      init = sk.sk_init;
+      trans = sk.sk_trans;
+      pre_schedule = Option.map steps sk.sk_pre;
+      post_schedule = Option.map steps sk.sk_post;
+      fairness = sk.sk_fairness;
+      labels = sk.sk_labels;
+      fair_memo = sk.sk_fair_memo;
+      reach_memo = sk.sk_reach_memo;
+    }

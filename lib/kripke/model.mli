@@ -243,3 +243,22 @@ val pp_state : t -> Format.formatter -> state -> unit
 
 val pp_state_diff : t -> prev:state -> Format.formatter -> state -> unit
 (** Only the variables whose value changed w.r.t. [prev] (SMV style). *)
+
+(** {1 Skeletons (warm-state persistence)} *)
+
+type skeleton
+(** The pure-data shadow of a model: variable layout plus the [Bdd.t]
+    handles of every diagram the model owns (including schedules and
+    the fair/reachable memos).  Handles are immediate ints, so a
+    skeleton marshals as plain data — but it is only meaningful
+    against the exact manager it was taken from, or a [Bdd.Snapshot]
+    restore of that manager (snapshots preserve handles bit-for-bit). *)
+
+val skeleton : t -> skeleton
+(** Capture [m]'s skeleton.  The model is read, not mutated. *)
+
+val of_skeleton : man:Bdd.man -> skeleton -> t
+(** Rebuild a model over [man] from a skeleton taken against it (or
+    against the manager its snapshot came from).  Re-registers GC
+    roots and re-declares the current/next reordering pair groups,
+    exactly as {!make} does. *)

@@ -164,6 +164,38 @@ let unclamp_idle t =
       | _ -> acc)
     t.table 0
 
+(* ------------------------------------------------------------------ *)
+(* Warm-state persistence hooks (Persist). *)
+
+let with_idle t f =
+  with_lock t.pool_lock @@ fun () ->
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.compiled with
+      | Some c when e.busy = 0 ->
+        f ~key:e.key ~uses:e.uses c;
+        acc + 1
+      | _ -> acc)
+    t.table 0
+
+let seed t ~key ~compiled =
+  with_lock t.pool_lock @@ fun () ->
+  if Hashtbl.mem t.table key then false
+  else begin
+    Hashtbl.replace t.table key
+      {
+        key;
+        lock = Mutex.create ();
+        compiled = Some compiled;
+        busy = 0;
+        uses = 0;
+        last_used = Bdd.now_monotonic ();
+        clamped = false;
+      };
+    evict_over_capacity t;
+    true
+  end
+
 type info = {
   i_key : string;
   i_busy : int;

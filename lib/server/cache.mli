@@ -100,6 +100,21 @@ val unclamp_idle : t -> int
 (** Undo {!clamp_idle} on idle entries (restore unbounded op-caches)
     once pressure has cleared; returns how many were restored. *)
 
+(** {2 Warm-state persistence hooks} — used by [Persist]. *)
+
+val with_idle :
+  t -> (key:string -> uses:int -> Smv.Compile.compiled -> unit) -> int
+(** Call [f] on every idle, compiled entry under the pool lock (so no
+    holder can appear while [f] reads the manager); returns how many
+    entries were visited.  [uses] is the entry's acquisition count —
+    the persistence layer's cheap dirty check.  [f] must not call back
+    into the pool. *)
+
+val seed : t -> key:string -> compiled:Smv.Compile.compiled -> bool
+(** Insert a pre-compiled model (a rehydrated snapshot) under [key] if
+    no entry exists yet; returns whether it was inserted.  Respects
+    capacity (may evict older idle entries, like {!acquire}). *)
+
 (** {2 Introspection} — the [Status] reply's cache section. *)
 
 type info = {

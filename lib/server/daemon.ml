@@ -39,7 +39,23 @@ type config = {
   default_node_limit : int option;
   max_timeout : float option;
   mem_high_water : int option;
+  state_dir : string option;
+  crash_after : int option;
+  restarts : int;
 }
+
+(* The [child-crash:K] fault site: after the [K]-th check reply has
+   been written, the process SIGKILLs itself — no handlers, no
+   cleanup, exactly the crash the supervisor must absorb.  One armed
+   countdown per process ([min_int] = disarmed); [serve] arms it from
+   the config. *)
+let crash_countdown = Atomic.make min_int
+
+let crash_tick () =
+  if Atomic.get crash_countdown <> min_int then begin
+    let before = Atomic.fetch_and_add crash_countdown (-1) in
+    if before = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill
+  end
 
 (* One client connection: its fds, write lock, and the cancellation
    flags of its in-flight checks (ids are client-chosen and scoped to
@@ -196,46 +212,63 @@ let process cache ~id ~model ~specs ~(options : Protocol.options) ~cancel =
         | reach -> Some (Kripke.count_states m reach)
         | exception Bdd.Limits.Exhausted _ -> None
       in
-      let extra =
+      (* Extra specs are request data, and a request must never be
+         able to raise on a worker: each one compiles to [Ok] or to a
+         structured error naming the offending spec text, and the
+         first error becomes this request's (only) reply. *)
+      let extra_results =
         List.map
           (fun text ->
             match Smv.Compile.compile_expr compiled text with
-            | f -> (text, f)
+            | f -> Ok (text, f)
             | exception
                 ( Smv.Lexer.Error (msg, _)
                 | Smv.Parser.Error (msg, _)
                 | Smv.Compile.Error (msg, _) ) ->
-              failwith (Printf.sprintf "spec %S: %s" text msg))
+              Error (Printf.sprintf "spec %S: %s" text msg))
           specs
       in
-      let all_specs = compiled.Smv.Compile.specs @ extra in
-      let buf = Buffer.create 512 in
-      let ppf = Format.formatter_of_buffer buf in
-      let reports =
-        if all_specs = [] then begin
-          Format.fprintf ppf "no specifications to check@.";
-          []
-        end
-        else
+      match
+        List.find_map
+          (function Error msg -> Some msg | Ok _ -> None)
+          extra_results
+      with
+      | Some msg -> Error msg
+      | None ->
+        let extra =
           List.filter_map
-            (fun spec ->
-              if Atomic.get cancel then None
-              else
-                Some
-                  (Protocol.
-                     {
-                       sv_name = fst spec;
-                       sv_report =
-                         Engine.check_one ppf m ~opts
-                           ~clusters:(fun () -> compiled.Smv.Compile.clusters)
-                           ?inject:options.Protocol.inject spec;
-                     }))
-            all_specs
-      in
-      Format.pp_print_flush ppf ();
-      (reach_reused, reach_states, reports, Buffer.contents buf)
+            (function Ok sp -> Some sp | Error _ -> None)
+            extra_results
+        in
+        let all_specs = compiled.Smv.Compile.specs @ extra in
+        let buf = Buffer.create 512 in
+        let ppf = Format.formatter_of_buffer buf in
+        let reports =
+          if all_specs = [] then begin
+            Format.fprintf ppf "no specifications to check@.";
+            []
+          end
+          else
+            List.filter_map
+              (fun spec ->
+                if Atomic.get cancel then None
+                else
+                  Some
+                    (Protocol.
+                       {
+                         sv_name = fst spec;
+                         sv_report =
+                           Engine.check_one ppf m ~opts
+                             ~clusters:(fun () ->
+                               compiled.Smv.Compile.clusters)
+                             ?inject:options.Protocol.inject spec;
+                       }))
+              all_specs
+        in
+        Format.pp_print_flush ppf ();
+        Ok (reach_reused, reach_states, reports, Buffer.contents buf)
     with
-    | reach_reused, reach_states, verdicts, output ->
+    | Ok (reach_reused, reach_states, verdicts, output) ->
       let stats =
         if options.Protocol.stats then
           Some (Bdd.diff_stats (Bdd.stats man) stats_before)
@@ -249,7 +282,7 @@ let process cache ~id ~model ~specs ~(options : Protocol.options) ~cancel =
       Protocol.check_reply ~id ~exit_code ~verdicts ~output ~warm
         ~reach_reused ?reach_states ?stats ~faults_fired
         ~time_ms:((Bdd.now_monotonic () -. t0) *. 1000.) ()
-    | exception Failure msg -> Protocol.error_reply ~id msg)
+    | Error msg -> Protocol.error_reply ~id msg)
 
 (* The never-raise wrapper around [process]: whatever escapes the
    engine's own isolation becomes an error reply, and the server
@@ -270,8 +303,14 @@ let process_safe cache ~debug ~id ~model ~specs ~options ~cancel =
 (* The status reply is assembled (and sent) inline on the reader
    thread — a health probe must answer promptly even when every worker
    is busy and the queue is full. *)
-let send_status cfg cache pool ov conn =
+let send_status cfg cache pool ov persist conn =
   let s = Overload.stats ov in
+  let pc =
+    match persist with
+    | Some p -> Persist.counters p
+    | None ->
+      { Persist.snapshots = 0; restores = 0; quarantines = 0 }
+  in
   let infos = Cache.snapshot cache in
   let mem_live =
     List.fold_left (fun acc i -> acc + i.Cache.i_live) 0 infos
@@ -315,15 +354,19 @@ let send_status cfg cache pool ov conn =
            ss_avg_check_ms =
              Option.map (fun t -> t *. 1000.) s.Overload.avg_check_s;
            ss_faults_fired = faults;
+           ss_snapshots = pc.Persist.snapshots;
+           ss_restores = pc.Persist.restores;
+           ss_quarantines = pc.Persist.quarantines;
+           ss_restarts = cfg.restarts;
            ss_cache_capacity = Cache.capacity cache;
            ss_models = models;
          })
 
-let handle_request cfg cache pool ov conn stop payload =
+let handle_request cfg cache pool ov persist conn stop payload =
   match Protocol.parse_request payload with
   | Error msg -> send conn (Protocol.error_reply msg)
   | Ok Protocol.Ping -> send conn Protocol.pong_reply
-  | Ok Protocol.Status -> send_status cfg cache pool ov conn
+  | Ok Protocol.Status -> send_status cfg cache pool ov persist conn
   | Ok Protocol.Shutdown ->
     send conn Protocol.shutdown_reply;
     Atomic.set stop true
@@ -398,6 +441,7 @@ let handle_request cfg cache pool ov conn stop payload =
           in
           drop_id ();
           send conn reply;
+          crash_tick ();
           Overload.finished ov (Bdd.now_monotonic () -. t0)
         in
         (* Count the admission before queueing so [inflight] can never
@@ -425,11 +469,11 @@ let handle_request cfg cache pool ov conn stop payload =
    in-flight checks.  A client that disconnected (EOF while the server
    is not draining) cancels its own in-flight requests — nobody is
    listening for those replies. *)
-let reader_loop cfg cache pool ov conn stop =
+let reader_loop cfg cache pool ov persist conn stop =
   let rec loop () =
     match Frame.read ~should_stop:(fun () -> Atomic.get stop) conn.fd_in with
     | Some payload ->
-      handle_request cfg cache pool ov conn stop payload;
+      handle_request cfg cache pool ov persist conn stop payload;
       if not (Atomic.get stop) then loop ()
     | None -> ()
     | exception Frame.Closed -> ()
@@ -473,53 +517,39 @@ let install_signals stop =
   try_install Sys.sigint (Sys.Signal_handle handle);
   try_install Sys.sigterm (Sys.Signal_handle handle)
 
-let serve_stdio cfg cache pool ov stop =
-  let conn = make_conn Unix.stdin Unix.stdout in
-  (* No accept loop to piggyback the watchdog on: give it a timer
-     thread, but only when a high-water mark makes it do anything. *)
-  let watchdog_stop = Atomic.make false in
-  let watchdog_thread =
-    match cfg.mem_high_water with
-    | None -> None
-    | Some _ ->
-      Some
-        (Thread.create
-           (fun () ->
-             while not (Atomic.get watchdog_stop) do
-               Thread.delay 0.25;
-               if not (Atomic.get watchdog_stop) then
-                 Overload.watchdog ov cache
-             done)
-           ())
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      Atomic.set watchdog_stop true;
-      Option.iter Thread.join watchdog_thread)
-    (fun () -> reader_loop cfg cache pool ov conn stop);
-  0
+(* Unlink a socket path, logging (never raising) on failure: a path
+   we cannot remove means the next bind will fail mysteriously, so the
+   errno belongs in the log, not in a swallowed exception.  ENOENT is
+   the expected case on crash paths (nothing to clean) and stays
+   silent. *)
+let unlink_socket ~what path =
+  match Unix.unlink path with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf
+      "smv_check --serve: warning: cannot remove %s socket %s: %s@." what
+      path (Unix.error_message e)
 
-let serve_socket cfg cache pool ov stop path =
-  (* A stale socket file from a previous run would make bind fail;
-     replacing it is the conventional daemon behaviour — but only a
-     socket.  Unlinking whatever else sits at the path (a model file
-     passed by mistake, say) would destroy user data on a typo. *)
+(* Claim [path] and return a listening fd.  A stale socket file from a
+   previous run (or a SIGKILLed child) would make bind fail; replacing
+   it is the conventional daemon behaviour — but only a socket.
+   Unlinking whatever else sits at the path (a model file passed by
+   mistake, say) would destroy user data on a typo. *)
+let bind_socket ~path =
   let path_ok =
     match Unix.lstat path with
     | { Unix.st_kind = Unix.S_SOCK; _ } ->
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      unlink_socket ~what:"stale" path;
       true
     | { Unix.st_kind = _; _ } -> false
     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> true
     | exception Unix.Unix_error _ -> true (* let bind report it *)
   in
-  if not path_ok then begin
-    Format.eprintf
-      "smv_check --serve: %s exists and is not a socket; refusing to \
-       replace it@."
-      path;
-    3
-  end
+  if not path_ok then
+    Error
+      (Printf.sprintf "%s exists and is not a socket; refusing to replace it"
+         path)
   else begin
     let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match
@@ -527,114 +557,166 @@ let serve_socket cfg cache pool ov stop path =
       Unix.listen listen_fd 64
     with
     | exception Unix.Unix_error (e, _, _) ->
-      Unix.close listen_fd;
-      Format.eprintf "smv_check --serve: cannot listen on %s: %s@." path
-        (Unix.error_message e);
-      3
-    | () ->
-      Format.eprintf "smv_check: serving on %s (%d worker%s)@." path cfg.jobs
-        (if cfg.jobs = 1 then "" else "s");
-      let conns_lock = Mutex.create () in
-      let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
-      let next_id = ref 0 in
-      (* Reader threads are tracked in a table and reaped as they
-         finish: each pushes itself onto [finished] on exit, and the
-         accept loop joins and drops it on the next tick.  Both the
-         registration and the reap run on the main thread, so a thread
-         can never be reaped before it is registered. *)
-      let threads : (int, Thread.t) Hashtbl.t = Hashtbl.create 8 in
-      let finished : Thread.t list ref = ref [] in
-      let reap () =
-        let fin =
-          with_lock conns_lock @@ fun () ->
-          let f = !finished in
-          finished := [];
-          f
-        in
-        List.iter
-          (fun t ->
-            Thread.join t;
-            with_lock conns_lock (fun () ->
-                Hashtbl.remove threads (Thread.id t)))
-          fin
-      in
-      let accept_one fd =
-        let conn = make_conn fd fd in
-        let id =
-          with_lock conns_lock @@ fun () ->
-          incr next_id;
-          Hashtbl.replace conns !next_id conn;
-          !next_id
-        in
-        let thread =
-          Thread.create
-            (fun () ->
-              Fun.protect
-                ~finally:(fun () ->
-                  with_lock conns_lock (fun () ->
-                      Hashtbl.remove conns id;
-                      finished := Thread.self () :: !finished);
-                  try Unix.close fd with Unix.Unix_error _ -> ())
-                (fun () -> reader_loop cfg cache pool ov conn stop))
-            ()
-        in
-        with_lock conns_lock (fun () ->
-            Hashtbl.replace threads (Thread.id thread) thread)
-      in
-      (* Accept with a select tick so the loop notices [stop] promptly
-         even when no connection ever arrives; the same tick drives
-         the watchdog and the thread reaper, throttled to the tick
-         period even when accepts keep select from timing out. *)
-      let last_tick = ref (Bdd.now_monotonic ()) in
-      let tick () =
-        let now = Bdd.now_monotonic () in
-        if now -. !last_tick >= 0.25 then begin
-          last_tick := now;
-          reap ();
-          Overload.watchdog ov cache
-        end
-      in
-      let rec accept_loop () =
-        if not (Atomic.get stop) then begin
-          (match Unix.select [ listen_fd ] [] [] 0.25 with
-          | [], _, _ -> ()
-          | _ :: _, _, _ -> (
-            match Unix.accept listen_fd with
-            | fd, _ -> accept_one fd
-            | exception
-                Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
-              ())
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-          tick ();
-          accept_loop ()
-        end
-      in
-      accept_loop ();
-      (* Drain: wake readers parked in [read] by shutting their receive
-         sides, then join them (each settles its in-flight futures
-         before exiting). *)
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-      with_lock conns_lock (fun () ->
-          Hashtbl.iter
-            (fun _ c ->
-              try Unix.shutdown c.fd_in Unix.SHUTDOWN_RECEIVE
-              with Unix.Unix_error _ -> ())
-            conns);
-      reap ();
-      let remaining =
-        with_lock conns_lock (fun () ->
-            Hashtbl.fold (fun _ t acc -> t :: acc) threads [])
-      in
-      List.iter Thread.join remaining;
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
-      0
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" path (Unix.error_message e))
+    | () -> Ok listen_fd
   end
 
-let serve cfg =
-  let invalid msg =
-    Format.eprintf "smv_check --serve: %s@." msg;
-    3
+(* The idle-pressure persistence tick, shared by both serve modes:
+   snapshot dirty idle models, but only when the overload ladder is
+   at level 0 (low water) — under pressure the watchdog is busy
+   evicting, and adding disk writes would help nothing — and at most
+   once a second, so a hot model is not re-dumped 4x per second. *)
+let persist_ticker ov cache persist =
+  let last = ref (Bdd.now_monotonic ()) in
+  fun () ->
+    match persist with
+    | Some p when Overload.level ov = 0 ->
+      let now = Bdd.now_monotonic () in
+      if now -. !last >= 1.0 then begin
+        last := now;
+        Persist.tick p cache
+      end
+    | Some _ | None -> ()
+
+let serve_stdio cfg cache pool ov persist stop =
+  let conn = make_conn Unix.stdin Unix.stdout in
+  (* No accept loop to piggyback the watchdog on: give it a timer
+     thread, but only when a high-water mark (or a state dir) makes
+     it do anything. *)
+  let ptick = persist_ticker ov cache persist in
+  let watchdog_stop = Atomic.make false in
+  let watchdog_thread =
+    match (cfg.mem_high_water, persist) with
+    | None, None -> None
+    | Some _, _ | _, Some _ ->
+      Some
+        (Thread.create
+           (fun () ->
+             while not (Atomic.get watchdog_stop) do
+               Thread.delay 0.25;
+               if not (Atomic.get watchdog_stop) then begin
+                 Overload.watchdog ov cache;
+                 ptick ()
+               end
+             done)
+           ())
   in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set watchdog_stop true;
+      Option.iter Thread.join watchdog_thread)
+    (fun () -> reader_loop cfg cache pool ov persist conn stop);
+  0
+
+(* The accept loop proper, over an already-listening fd.  [owns_path]
+   says whether this process should unlink the socket path on exit:
+   true for a standalone daemon, false for a supervised child (the
+   supervisor owns the path and the fd; a child that unlinked it
+   would tear the endpoint out from under its own successor). *)
+let serve_listening cfg cache pool ov persist stop ~path ~listen_fd
+    ~owns_path =
+  Format.eprintf "smv_check: serving on %s (%d worker%s)@." path cfg.jobs
+    (if cfg.jobs = 1 then "" else "s");
+  let ptick = persist_ticker ov cache persist in
+  let conns_lock = Mutex.create () in
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 8 in
+  let next_id = ref 0 in
+  (* Reader threads are tracked in a table and reaped as they
+     finish: each pushes itself onto [finished] on exit, and the
+     accept loop joins and drops it on the next tick.  Both the
+     registration and the reap run on the main thread, so a thread
+     can never be reaped before it is registered. *)
+  let threads : (int, Thread.t) Hashtbl.t = Hashtbl.create 8 in
+  let finished : Thread.t list ref = ref [] in
+  let reap () =
+    let fin =
+      with_lock conns_lock @@ fun () ->
+      let f = !finished in
+      finished := [];
+      f
+    in
+    List.iter
+      (fun t ->
+        Thread.join t;
+        with_lock conns_lock (fun () -> Hashtbl.remove threads (Thread.id t)))
+      fin
+  in
+  let accept_one fd =
+    let conn = make_conn fd fd in
+    let id =
+      with_lock conns_lock @@ fun () ->
+      incr next_id;
+      Hashtbl.replace conns !next_id conn;
+      !next_id
+    in
+    let thread =
+      Thread.create
+        (fun () ->
+          Fun.protect
+            ~finally:(fun () ->
+              with_lock conns_lock (fun () ->
+                  Hashtbl.remove conns id;
+                  finished := Thread.self () :: !finished);
+              try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> reader_loop cfg cache pool ov persist conn stop))
+        ()
+    in
+    with_lock conns_lock (fun () ->
+        Hashtbl.replace threads (Thread.id thread) thread)
+  in
+  (* Accept with a select tick so the loop notices [stop] promptly
+     even when no connection ever arrives; the same tick drives
+     the watchdog, the thread reaper and the persistence layer,
+     throttled to the tick period even when accepts keep select from
+     timing out. *)
+  let last_tick = ref (Bdd.now_monotonic ()) in
+  let tick () =
+    let now = Bdd.now_monotonic () in
+    if now -. !last_tick >= 0.25 then begin
+      last_tick := now;
+      reap ();
+      Overload.watchdog ov cache;
+      ptick ()
+    end
+  in
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      (match Unix.select [ listen_fd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ -> accept_one fd
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+          ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      tick ();
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* Drain: wake readers parked in [read] by shutting their receive
+     sides, then join them (each settles its in-flight futures
+     before exiting). *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  with_lock conns_lock (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          try Unix.shutdown c.fd_in Unix.SHUTDOWN_RECEIVE
+          with Unix.Unix_error _ -> ())
+        conns);
+  reap ();
+  let remaining =
+    with_lock conns_lock (fun () ->
+        Hashtbl.fold (fun _ t acc -> t :: acc) threads [])
+  in
+  List.iter Thread.join remaining;
+  if owns_path then unlink_socket ~what:"served" path;
+  0
+
+let validate cfg =
   let bad_opt name = function
     | Some n when n < 1 -> Some (name ^ " must be >= 1")
     | _ -> None
@@ -643,34 +725,82 @@ let serve cfg =
     | Some t when t <= 0. -> Some (name ^ " must be > 0")
     | _ -> None
   in
-  let problem =
-    List.find_map Fun.id
-      [
-        (if cfg.jobs < 1 then Some "jobs must be >= 1" else None);
-        (if cfg.capacity < 1 then Some "cache capacity must be >= 1"
-         else None);
-        bad_opt "max-pending" cfg.max_pending;
-        bad_opt "max-inflight" cfg.max_inflight;
-        bad_opt "default-node-limit" cfg.default_node_limit;
-        bad_opt "mem-high-water" cfg.mem_high_water;
-        bad_time "default-timeout" cfg.default_timeout;
-        bad_time "max-timeout" cfg.max_timeout;
-      ]
+  List.find_map Fun.id
+    [
+      (if cfg.jobs < 1 then Some "jobs must be >= 1" else None);
+      (if cfg.capacity < 1 then Some "cache capacity must be >= 1" else None);
+      bad_opt "max-pending" cfg.max_pending;
+      bad_opt "max-inflight" cfg.max_inflight;
+      bad_opt "default-node-limit" cfg.default_node_limit;
+      bad_opt "mem-high-water" cfg.mem_high_water;
+      bad_opt "child-crash" cfg.crash_after;
+      bad_time "default-timeout" cfg.default_timeout;
+      bad_time "max-timeout" cfg.max_timeout;
+    ]
+
+(* Shared server setup + teardown around a mode-specific [run]: arm
+   the crash fault site, build pool / cache / overload state, rehydrate
+   warm models from the state dir, and on a {e graceful} exit flush
+   them back.  A crash by definition skips the flush — that is what
+   the watchdog ticks and the rehydrate path are for. *)
+let serve_with cfg run =
+  let invalid msg =
+    Format.eprintf "smv_check --serve: %s@." msg;
+    3
   in
-  match problem with
+  match validate cfg with
   | Some msg -> invalid msg
-  | None ->
-    let stop = Atomic.make false in
-    install_signals stop;
-    let cache = Cache.create ~capacity:cfg.capacity in
-    let pool = Parallel.Pool.create ?max_pending:cfg.max_pending cfg.jobs in
-    let ov = Overload.create ?mem_high_water:cfg.mem_high_water () in
-    Fun.protect
-      ~finally:(fun () -> Parallel.Pool.shutdown pool)
-      (fun () ->
-        match cfg.socket with
-        | None -> serve_stdio cfg cache pool ov stop
-        | Some path -> serve_socket cfg cache pool ov stop path)
+  | None -> (
+    match
+      Option.map
+        (fun dir -> Persist.create ~dir ~debug:cfg.debug)
+        cfg.state_dir
+    with
+    | exception Invalid_argument msg -> invalid msg
+    | persist ->
+      (match cfg.crash_after with
+      | Some k -> Atomic.set crash_countdown k
+      | None -> Atomic.set crash_countdown min_int);
+      let stop = Atomic.make false in
+      install_signals stop;
+      let cache = Cache.create ~capacity:cfg.capacity in
+      Option.iter
+        (fun p ->
+          let restored = Persist.rehydrate p cache in
+          if restored > 0 && cfg.debug then
+            Format.eprintf "smv_check --serve: rehydrated %d warm model%s@."
+              restored
+              (if restored = 1 then "" else "s"))
+        persist;
+      let pool = Parallel.Pool.create ?max_pending:cfg.max_pending cfg.jobs in
+      let ov = Overload.create ?mem_high_water:cfg.mem_high_water () in
+      Fun.protect
+        ~finally:(fun () -> Parallel.Pool.shutdown pool)
+        (fun () ->
+          let code = run cfg cache pool ov persist stop in
+          Option.iter (fun p -> Persist.flush p cache) persist;
+          code))
+
+let serve cfg =
+  serve_with cfg (fun cfg cache pool ov persist stop ->
+      match cfg.socket with
+      | None -> serve_stdio cfg cache pool ov persist stop
+      | Some path -> (
+        match bind_socket ~path with
+        | Error msg ->
+          Format.eprintf "smv_check --serve: %s@." msg;
+          3
+        | Ok listen_fd ->
+          serve_listening cfg cache pool ov persist stop ~path ~listen_fd
+            ~owns_path:true))
+
+(* A supervised child: the parent already holds the listening fd (so
+   clients never see ECONNREFUSED across a restart) and owns the
+   socket path. *)
+let serve_fd cfg ~path ~listen_fd =
+  serve_with cfg (fun cfg cache pool ov persist stop ->
+      serve_listening cfg cache pool ov persist stop ~path ~listen_fd
+        ~owns_path:false)
 
 (* ------------------------------------------------------------------ *)
 (* The one-shot status client (--status) *)

@@ -67,6 +67,15 @@ type config = {
           default *)
   mem_high_water : int option;
       (** live-node mark arming the memory watchdog; [None] = off *)
+  state_dir : string option;
+      (** directory for durable warm-state snapshots ({!Persist});
+          [None] = no persistence *)
+  crash_after : int option;
+      (** the [child-crash:K] fault site: SIGKILL this process after
+          the [K]-th check reply (supervision testing); [None] = off *)
+  restarts : int;
+      (** how many times the supervisor has restarted this serve loop
+          (reported by the status op); [0] when unsupervised *)
 }
 
 val apply_defaults : config -> Protocol.options -> Protocol.options
@@ -78,7 +87,22 @@ val serve : config -> int
 (** Run until shutdown; the returned exit code is [0] after a clean
     drain, [3] on a setup failure (unusable socket path — including a
     path occupied by a non-socket file, which is {e not} replaced —
-    or bad config). *)
+    or bad config).  With [state_dir] set, warm models are rehydrated
+    before serving, snapshotted on idle watchdog ticks, and flushed on
+    graceful exit. *)
+
+val bind_socket : path:string -> (Unix.file_descr, string) result
+(** Claim [path] and return a listening fd: unlink a stale socket left
+    by a dead process (logging, never silently swallowing, an unlink
+    failure), refuse to replace a non-socket, then bind + listen.
+    Used directly by the {!Supervise}d parent, which must hold the fd
+    across child restarts. *)
+
+val serve_fd : config -> path:string -> listen_fd:Unix.file_descr -> int
+(** Run the serve loop on an already-listening fd (a supervised
+    child).  Identical to the socket branch of {!serve} except that
+    the fd is inherited and the socket path is {e not} unlinked on
+    exit — the supervisor owns both. *)
 
 val status_client : socket:string -> int
 (** One-shot health probe: connect to a serving daemon's socket, send

@@ -322,6 +322,10 @@ type server_status = {
   ss_respawns : int;
   ss_avg_check_ms : float option;
   ss_faults_fired : int;
+  ss_snapshots : int;
+  ss_restores : int;
+  ss_quarantines : int;
+  ss_restarts : int;
   ss_cache_capacity : int;
   ss_models : model_status list;
 }
@@ -371,6 +375,10 @@ let status_reply s =
                ("cache_clamps", Num (float_of_int s.ss_cache_clamps));
                ( "level_transitions",
                  Num (float_of_int s.ss_level_transitions) );
+               ("snapshots", Num (float_of_int s.ss_snapshots));
+               ("restores", Num (float_of_int s.ss_restores));
+               ("quarantines", Num (float_of_int s.ss_quarantines));
+               ("restarts", Num (float_of_int s.ss_restarts));
              ] );
          ("pressure_level", Num (float_of_int s.ss_pressure_level));
          ("mem_live_nodes", Num (float_of_int s.ss_mem_live_nodes));

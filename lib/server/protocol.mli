@@ -147,6 +147,10 @@ type server_status = {
   ss_respawns : int;
   ss_avg_check_ms : float option;
   ss_faults_fired : int;
+  ss_snapshots : int;
+  ss_restores : int;
+  ss_quarantines : int;
+  ss_restarts : int;
   ss_cache_capacity : int;
   ss_models : model_status list;
 }

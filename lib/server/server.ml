@@ -12,4 +12,6 @@ module Protocol = Protocol
 module Cache = Cache
 module Engine = Engine
 module Overload = Overload
+module Persist = Persist
 module Daemon = Daemon
+module Supervise = Supervise

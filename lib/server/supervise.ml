@@ -1,0 +1,178 @@
+(* The crash-only supervisor.  The parent does almost nothing — that
+   is the point: it binds the socket once, forks the serve loop, and
+   from then on only reaps, restarts, and forwards signals.  Holding
+   the listening fd in the parent means a crashed child never
+   unbinds the endpoint: clients connecting during a restart queue in
+   the socket backlog instead of seeing ECONNREFUSED.
+
+   The parent must fork {e before} the child builds its worker pool —
+   forking a process that already has domains and threads is undefined
+   behaviour territory — so everything expensive (pool, cache,
+   rehydration) happens on the child side of the fork, inside
+   [Daemon.serve_fd]. *)
+
+type config = {
+  max_crashes : int;
+  window_s : float;
+  backoff0_ms : float;
+  backoff_max_ms : float;
+}
+
+(* Environment overrides exist so the smoke tests can tighten the
+   windows without waiting out production defaults. *)
+let default () =
+  let env_int name d =
+    match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+    | Some n when n > 0 -> n
+    | Some _ | None -> d
+  in
+  let env_float name d =
+    match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+    | Some x when x > 0. -> x
+    | Some _ | None -> d
+  in
+  {
+    max_crashes = env_int "SMV_SUPERVISE_MAX_CRASHES" 5;
+    window_s = env_float "SMV_SUPERVISE_WINDOW_S" 30.0;
+    backoff0_ms = env_float "SMV_SUPERVISE_BACKOFF0_MS" 100.0;
+    backoff_max_ms = env_float "SMV_SUPERVISE_BACKOFF_MAX_MS" 5000.0;
+  }
+
+let log fmt = Format.eprintf ("smv_check --supervise: " ^^ fmt ^^ "@.")
+
+(* OCaml signal numbers are negative internals; name the ones an
+   operator will actually meet in a crash report. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "signal %d" s
+
+let describe_status = function
+  | Unix.WEXITED n -> Printf.sprintf "exited with code %d" n
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+let run ?(cfg = default ()) (dcfg : Daemon.config) =
+  match dcfg.Daemon.socket with
+  | None ->
+    log "supervision requires --socket (stdio has no endpoint to hold)";
+    3
+  | Some path -> (
+    match Daemon.bind_socket ~path with
+    | Error msg ->
+      log "%s" msg;
+      3
+    | Ok listen_fd ->
+      let child = Atomic.make (-1) in
+      let stopping = Atomic.make false in
+      let forward signal _ =
+        Atomic.set stopping true;
+        let pid = Atomic.get child in
+        if pid > 0 then
+          match Unix.kill pid signal with
+          | () -> ()
+          | exception Unix.Unix_error _ -> ()
+      in
+      let try_install s h =
+        match Sys.set_signal s h with
+        | () -> ()
+        | exception (Invalid_argument _ | Sys_error _) -> ()
+      in
+      try_install Sys.sigint (Sys.Signal_handle (forward Sys.sigint));
+      try_install Sys.sigterm (Sys.Signal_handle (forward Sys.sigterm));
+      try_install Sys.sigpipe Sys.Signal_ignore;
+      Random.self_init ();
+      let cleanup () =
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        match Unix.unlink path with
+        | () -> ()
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+        | exception Unix.Unix_error (e, _, _) ->
+          log "warning: cannot remove socket %s: %s" path
+            (Unix.error_message e)
+      in
+      let crashes = ref [] in
+      let backoff = ref cfg.backoff0_ms in
+      let restarts = ref 0 in
+      let rec spawn () =
+        let spawned_at = Bdd.now_monotonic () in
+        match Unix.fork () with
+        | exception Unix.Unix_error (e, _, _) ->
+          log "fork failed: %s" (Unix.error_message e);
+          crashed spawned_at (Unix.WEXITED 127)
+        | 0 ->
+          (* The child: everything heavy lives here, after the fork. *)
+          exit
+            (Daemon.serve_fd
+               { dcfg with Daemon.restarts = !restarts }
+               ~path ~listen_fd)
+        | pid -> (
+          Atomic.set child pid;
+          if !restarts > 0 then
+            log "child %d serving (restart %d)" pid !restarts;
+          let status = waitpid_retry pid in
+          Atomic.set child (-1);
+          match status with
+          | Unix.WEXITED 0 ->
+            cleanup ();
+            0
+          | Unix.WEXITED 3 ->
+            (* The child refused its own config / socket: restarting
+               cannot help. *)
+            log "child setup failed; not restarting";
+            cleanup ();
+            3
+          | status when Atomic.get stopping ->
+            (* We asked it to stop and it died un-gracefully; honour
+               the shutdown rather than restart against the operator. *)
+            log "child %s during shutdown" (describe_status status);
+            cleanup ();
+            1
+          | status -> crashed spawned_at status)
+      and crashed spawned_at status =
+        let now = Bdd.now_monotonic () in
+        crashes :=
+          now :: List.filter (fun t -> now -. t <= cfg.window_s) !crashes;
+        log "child %s (%d crash%s in the last %.0fs window)"
+          (describe_status status)
+          (List.length !crashes)
+          (if List.length !crashes = 1 then "" else "es")
+          cfg.window_s;
+        if List.length !crashes >= cfg.max_crashes then begin
+          log
+            "crash loop: %d crashes within %.0fs (limit %d); giving up — \
+             last child %s"
+            (List.length !crashes) cfg.window_s cfg.max_crashes
+            (describe_status status);
+          cleanup ();
+          3
+        end
+        else begin
+          (* A child that outlived the crash window was healthy:
+             start the backoff ladder over. *)
+          if now -. spawned_at > cfg.window_s then
+            backoff := cfg.backoff0_ms;
+          let jitter = Random.float (0.25 *. !backoff) in
+          let delay_s = (!backoff +. jitter) /. 1000. in
+          backoff := Float.min (2. *. !backoff) cfg.backoff_max_ms;
+          (try Unix.sleepf delay_s
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          incr restarts;
+          if Atomic.get stopping then begin
+            cleanup ();
+            1
+          end
+          else spawn ()
+        end
+      in
+      spawn ())

@@ -1,0 +1,41 @@
+(** Crash-only supervision for [--serve]: fork the serve loop, hold
+    the listening socket in the parent, restart on crashes.
+
+    The parent binds the socket {e once} (cleaning a stale path left
+    by a SIGKILLed predecessor) and keeps the listening fd open across
+    every child generation, so a crash never unbinds the endpoint —
+    clients connecting mid-restart wait in the backlog instead of
+    seeing [ECONNREFUSED].  The child inherits the fd across the fork
+    and runs {!Daemon.serve_fd}; all the heavy state (worker pool,
+    warm cache, state-dir rehydration) lives on the child side, which
+    is what makes restarts safe {e and} cheap: with [--state-dir] the
+    replacement child rehydrates the crashed child's last snapshots
+    and is warm within its first request.
+
+    Restart policy: exponential backoff with jitter, reset after a
+    child survives the crash window; a circuit breaker turns [N]
+    crashes within [W] seconds into exit code [3] with a report
+    (restarting a deterministic crasher forever helps nobody).
+    SIGINT / SIGTERM are forwarded to the child and its graceful exit
+    (code 0) becomes the supervisor's. *)
+
+type config = {
+  max_crashes : int;     (** the circuit breaker's [N] *)
+  window_s : float;      (** the sliding window [W], seconds *)
+  backoff0_ms : float;   (** first restart delay *)
+  backoff_max_ms : float; (** backoff ceiling *)
+}
+
+val default : unit -> config
+(** [N = 5] crashes in [W = 30s], backoff 100ms doubling to 5s — each
+    overridable via [SMV_SUPERVISE_MAX_CRASHES] / [..._WINDOW_S] /
+    [..._BACKOFF0_MS] / [..._BACKOFF_MAX_MS] (used by the smoke tests
+    to tighten the windows). *)
+
+val run : ?cfg:config -> Daemon.config -> int
+(** Supervise [Daemon.serve_fd] on the daemon config's socket.  Exit
+    codes: [0] after the child drains gracefully, [3] on setup
+    failure, a child setup failure (the child's own exit 3), or a
+    tripped circuit breaker, [1] when a child dies un-gracefully
+    during an operator-requested shutdown.  Requires a socket path —
+    stdio mode has no endpoint for the parent to hold. *)

@@ -22,5 +22,6 @@ let () =
       ("robust", Test_robust.suite);
       ("chaos", Test_chaos.suite);
       ("server", Test_server.suite);
+      ("snapshot", Test_snapshot.suite);
       ("cli", Test_cli.suite);
     ]

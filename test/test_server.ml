@@ -133,6 +133,78 @@ let test_frame_should_stop () =
       | exception Frame.Closed -> ()
       | Some _ | None -> Alcotest.fail "torn frame not reported")
 
+let test_frame_split_header () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* The 4-byte length prefix arrives in two separate writes, then
+         the payload in two more: the header loop must reassemble it
+         rather than treat a short read as a malformed frame. *)
+      let writer =
+        Thread.create
+          (fun () ->
+            let put s =
+              let b = Bytes.of_string s in
+              ignore (Unix.write w b 0 (Bytes.length b));
+              Thread.yield ();
+              Unix.sleepf 0.01
+            in
+            put "\x00\x00";
+            put "\x00\x05";
+            put "he";
+            put "llo";
+            Unix.close w)
+          ()
+      in
+      Alcotest.(check (option string)) "split header reassembled"
+        (Some "hello") (Frame.read r);
+      Thread.join writer)
+
+let test_frame_oversized_bytewise () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* An oversize header dribbling in one byte at a time must still
+         be rejected as Oversized once complete — never a partial-read
+         misparse, never an allocation of the announced size. *)
+      let writer =
+        Thread.create
+          (fun () ->
+            String.iter
+              (fun c ->
+                let b = Bytes.make 1 c in
+                ignore (Unix.write w b 0 1);
+                Thread.yield ();
+                Unix.sleepf 0.01)
+              "\x7f\xff\xff\xff";
+            Unix.close w)
+          ()
+      in
+      (match Frame.read r with
+      | exception Frame.Oversized n ->
+        Alcotest.(check int) "announced size reported" 0x7fffffff n
+      | Some _ | None -> Alcotest.fail "byte-by-byte oversize accepted");
+      Thread.join writer)
+
+let test_frame_eof_mid_header () =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close r with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* EOF after two header bytes: a torn stream, not a clean end. *)
+      let _ = Unix.write w (Bytes.of_string "\x00\x00") 0 2 in
+      Unix.close w;
+      match Frame.read r with
+      | exception Frame.Closed -> ()
+      | Some _ | None -> Alcotest.fail "EOF mid-header not reported")
+
 (* ------------------------------------------------------------------ *)
 (* Protocol *)
 
@@ -469,6 +541,10 @@ let test_protocol_status_reply () =
         ss_respawns = 0;
         ss_avg_check_ms = Some 42.5;
         ss_faults_fired = 0;
+        ss_snapshots = 2;
+        ss_restores = 1;
+        ss_quarantines = 0;
+        ss_restarts = 3;
         ss_cache_capacity = 8;
         ss_models =
           [
@@ -504,6 +580,14 @@ let test_protocol_status_reply () =
       (Option.bind (Json.member "shed_queue" counters) Json.to_num);
     Alcotest.(check (option (float 0.))) "watchdog_evictions" (Some 4.)
       (Option.bind (Json.member "watchdog_evictions" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "snapshots" (Some 2.)
+      (Option.bind (Json.member "snapshots" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "restores" (Some 1.)
+      (Option.bind (Json.member "restores" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "quarantines" (Some 0.)
+      (Option.bind (Json.member "quarantines" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "restarts" (Some 3.)
+      (Option.bind (Json.member "restarts" counters) Json.to_num);
     let cache = Json.member "cache" v |> Option.get in
     Alcotest.(check (option (float 0.))) "cache entries" (Some 1.)
       (Option.bind (Json.member "entries" cache) Json.to_num);
@@ -529,6 +613,9 @@ let daemon_cfg ?default_timeout ?default_node_limit ?max_timeout () =
     default_node_limit;
     max_timeout;
     mem_high_water = None;
+    state_dir = None;
+    crash_after = None;
+    restarts = 0;
   }
 
 let test_daemon_apply_defaults () =
@@ -667,6 +754,66 @@ let test_overload_watchdog_ladder () =
   Overload.watchdog ov0 cache;
   Alcotest.(check int) "unarmed stays at level 0" 0 (Overload.level ov0)
 
+(* ------------------------------------------------------------------ *)
+(* Daemon: a request carrying an unparseable extra spec must come back
+   as a structured error reply naming the offending text — never an
+   escaped exception on a worker (which would kill the process, not
+   the request).  Exercised against the real server binary over stdio
+   pipes so the whole worker path is under test. *)
+
+let test_daemon_bad_extra_spec () =
+  let exe = Filename.concat (Filename.concat ".." "bin") "smv_check.exe" in
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:false () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:false () in
+  let pid =
+    Unix.create_process exe [| exe; "--serve" |] stdin_r stdout_w Unix.stderr
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  let send obj = Frame.write stdin_w (Json.to_string obj) in
+  let recv () =
+    match Frame.read stdout_r with
+    | None -> Alcotest.fail "server closed the stream"
+    | Some payload -> (
+      match Json.of_string payload with
+      | Ok v -> v
+      | Error e -> Alcotest.fail ("bad JSON from server: " ^ e))
+  in
+  let str k v = Option.bind (Json.member k v) Json.to_str in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close stdin_w with Unix.Unix_error _ -> ());
+      (try Unix.close stdout_r with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid))
+    (fun () ->
+      let check_req ~id specs =
+        Json.Obj
+          [
+            ("op", Json.Str "check");
+            ("id", Json.Str id);
+            ("model", Json.Str mutex_source);
+            ("specs", Json.Arr (List.map (fun s -> Json.Str s) specs));
+          ]
+      in
+      send (check_req ~id:"bad" [ "AG (p = " ]);
+      let v = recv () in
+      Alcotest.(check (option string)) "structured error reply"
+        (Some "error") (str "status" v);
+      Alcotest.(check (option string)) "id echoed" (Some "bad") (str "id" v);
+      (match str "error" v with
+      | Some msg ->
+        Alcotest.(check bool) "message names the offending spec text" true
+          (Astring.String.is_infix ~affix:{|"AG (p = "|} msg)
+      | None -> Alcotest.fail "error reply has no message");
+      (* The worker survived: the same connection still answers, and a
+         well-formed extra spec on the same (now warm) model runs. *)
+      send (check_req ~id:"good" [ "EF (p = crit)" ]);
+      let v2 = recv () in
+      Alcotest.(check (option string)) "worker survived the bad spec"
+        (Some "ok") (str "status" v2);
+      send (Json.Obj [ ("op", Json.Str "shutdown") ]);
+      ignore (recv ()))
+
 let suite =
   [
     Alcotest.test_case "json: compact printing" `Quick test_json_print;
@@ -678,6 +825,12 @@ let suite =
       test_frame_oversized;
     Alcotest.test_case "frame: torn stream reported" `Quick
       test_frame_should_stop;
+    Alcotest.test_case "frame: split header reassembled" `Quick
+      test_frame_split_header;
+    Alcotest.test_case "frame: oversize byte-by-byte" `Quick
+      test_frame_oversized_bytewise;
+    Alcotest.test_case "frame: EOF mid-header" `Quick
+      test_frame_eof_mid_header;
     Alcotest.test_case "protocol: check request" `Quick
       test_protocol_parse_check;
     Alcotest.test_case "protocol: option defaults" `Quick
@@ -714,4 +867,6 @@ let suite =
       test_cache_pressure_hooks;
     Alcotest.test_case "overload: watchdog ladder" `Quick
       test_overload_watchdog_ladder;
+    Alcotest.test_case "daemon: bad extra spec is a structured error" `Quick
+      test_daemon_bad_extra_spec;
   ]
