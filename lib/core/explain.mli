@@ -20,8 +20,9 @@
 exception Cannot_explain of string
 
 val explain :
-  ?limits:Bdd.Limits.t -> Kripke.t -> Ctl.t -> start:Kripke.state ->
-  Kripke.Trace.t
+  ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
+  Kripke.t -> Ctl.t -> start:Kripke.state -> Kripke.Trace.t
 (** [explain m f ~start] — a trace demonstrating [f] at [start]; the
     formula must hold there under fair semantics (raises
     {!Cannot_explain} otherwise).  The trace is finite when no temporal
@@ -30,12 +31,17 @@ val explain :
     [limits] is threaded to every fixpoint and ring descent involved; a
     breach raises [Bdd.Limits.Exhausted]. *)
 
-val witness : ?limits:Bdd.Limits.t -> Kripke.t -> Ctl.t -> Kripke.Trace.t option
+val witness :
+  ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
+  Kripke.t -> Ctl.t -> Kripke.Trace.t option
 (** A trace from some initial state demonstrating the (existential)
     formula; [None] when no initial state satisfies it. *)
 
 val counterexample :
-  ?limits:Bdd.Limits.t -> Kripke.t -> Ctl.t -> Kripke.Trace.t option
+  ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
+  Kripke.t -> Ctl.t -> Kripke.Trace.t option
 (** A trace from some initial state demonstrating the *negation* of the
     formula; [None] when the formula holds on every initial state
     (i.e. the specification is true and there is nothing to show). *)

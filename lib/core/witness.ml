@@ -180,10 +180,10 @@ let run_round ?limits m ~strategy ~f ~egf ~(rings : Ctl.Fair.rings list) s =
       Closed (round_states, closing)
     | None -> Failed round_states)
 
-let eg_stats ?limits ?(strategy = Restart) ?(max_restarts = 1_000_000) m ~f
-    ~start =
+let eg_stats ?limits ?engine ?(strategy = Restart) ?(max_restarts = 1_000_000)
+    m ~f ~start =
   let f = Bdd.and_ m.Kripke.man f m.Kripke.space in
-  let egf, rings = Ctl.Fair.eg_with_rings ?limits m f in
+  let egf, rings = Ctl.Fair.eg_with_rings ?limits ?engine m f in
   if not (in_set m egf start) then
     raise (No_witness "EG: start state does not satisfy fair EG f");
   (* Each failed round strictly descends the DAG of strongly connected
@@ -218,26 +218,27 @@ let eg_stats ?limits ?(strategy = Restart) ?(max_restarts = 1_000_000) m ~f
   in
   loop [ start ] start 0
 
-let eg ?limits ?strategy m ~f ~start =
-  fst (eg_stats ?limits ?strategy m ~f ~start)
+let eg ?limits ?engine ?strategy m ~f ~start =
+  fst (eg_stats ?limits ?engine ?strategy m ~f ~start)
 
 (* ------------------------------------------------------------------ *)
 (* Fair EX / EU: reduce to the unfair operator against [g /\ fair] and
    extend to an infinite fair path with an [EG true] witness.          *)
 
-let extend_fair ?limits m trace =
+let extend_fair ?limits ?engine m trace =
   match List.rev (Kripke.Trace.states trace) with
   | [] -> raise (No_witness "internal: empty trace")
   | last :: _ ->
-    let tail = eg ?limits m ~f:m.Kripke.space ~start:last in
+    let tail = eg ?limits ?engine m ~f:m.Kripke.space ~start:last in
     Kripke.Trace.append trace tail
 
-let ex_fair ?limits m ~f ~start =
+let ex_fair ?limits ?engine m ~f ~start =
   let bman = m.Kripke.man in
-  let fair = Ctl.Fair.fair_states ?limits m in
-  extend_fair ?limits m (ex ?limits m ~f:(Bdd.and_ bman f fair) ~start)
+  let fair = Ctl.Fair.fair_states ?limits ?engine m in
+  extend_fair ?limits ?engine m (ex ?limits m ~f:(Bdd.and_ bman f fair) ~start)
 
-let eu_fair ?limits m ~f ~g ~start =
+let eu_fair ?limits ?engine m ~f ~g ~start =
   let bman = m.Kripke.man in
-  let fair = Ctl.Fair.fair_states ?limits m in
-  extend_fair ?limits m (eu ?limits m ~f ~g:(Bdd.and_ bman g fair) ~start)
+  let fair = Ctl.Fair.fair_states ?limits ?engine m in
+  extend_fair ?limits ?engine m
+    (eu ?limits m ~f ~g:(Bdd.and_ bman g fair) ~start)

@@ -61,14 +61,19 @@ val eu :
 
 val eg :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   ?strategy:strategy ->
   Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Lasso witness for [EG f] under the model's fairness constraints
     (all of Section 6).  With no declared constraints this degenerates
-    to a plain [EG] witness. *)
+    to a plain [EG] witness.  [engine] selects the fair-cycle engine
+    used to converge the hull; the rings the construction walks are
+    extracted by engine-independent code, so the witness is
+    byte-identical under either. *)
 
 val eg_stats :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   ?strategy:strategy ->
   ?max_restarts:int ->
   Kripke.t ->
@@ -84,12 +89,14 @@ val eg_stats :
 
 val ex_fair :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   Kripke.t -> f:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Witness for [EX f] under fairness: a step into [f /\ fair],
     extended to an infinite fair path by an [EG true] witness. *)
 
 val eu_fair :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   Kripke.t -> f:Bdd.t -> g:Bdd.t -> start:Kripke.state -> Kripke.Trace.t
 (** Witness for [E[f U g]] under fairness: a finite prefix to
     [g /\ fair], extended to an infinite fair path. *)

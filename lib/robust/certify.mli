@@ -21,6 +21,7 @@
 
 val witness :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   Kripke.t ->
   Ctl.t ->
   Kripke.Trace.t ->
@@ -30,10 +31,14 @@ val witness :
     initial state.  [Error msg] pinpoints the first violated
     requirement.  [limits] governs the satisfaction-set fixpoints (at
     minimum pass a cancellable bundle so SIGINT interrupts
-    certification too). *)
+    certification too).  [engine] selects the fair-cycle engine for
+    those fixpoints — both engines compute identical sets, so the
+    choice affects only cost (and keeps a warm model's fair-states
+    memo keyed to the engine the caller requested). *)
 
 val counterexample :
   ?limits:Bdd.Limits.t ->
+  ?engine:Ctl.Fair.engine ->
   Kripke.t ->
   Ctl.t ->
   Kripke.Trace.t ->

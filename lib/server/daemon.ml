@@ -110,6 +110,7 @@ let apply_defaults cfg (o : Protocol.options) =
 let engine_opts (o : Protocol.options) ~cancel =
   {
     Engine.fair = o.Protocol.fair;
+    fair_engine = o.Protocol.fair_engine;
     traces = o.Protocol.traces;
     stats = o.Protocol.stats;
     certify = o.Protocol.certify;
@@ -358,6 +359,8 @@ let send_status cfg cache pool ov persist conn =
            ss_restores = pc.Persist.restores;
            ss_quarantines = pc.Persist.quarantines;
            ss_restarts = cfg.restarts;
+           ss_checks_el = s.Overload.checks_el;
+           ss_checks_lockstep = s.Overload.checks_lockstep;
            ss_cache_capacity = Cache.capacity cache;
            ss_models = models;
          })
@@ -442,6 +445,8 @@ let handle_request cfg cache pool ov persist conn stop payload =
           drop_id ();
           send conn reply;
           crash_tick ();
+          Overload.checked_engine ov
+            ~lockstep:(options.Protocol.fair_engine = Ctl.Fair.Lockstep);
           Overload.finished ov (Bdd.now_monotonic () -. t0)
         in
         (* Count the admission before queueing so [inflight] can never

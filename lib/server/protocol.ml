@@ -5,6 +5,7 @@ let ( let* ) = Result.bind
 
 type options = {
   fair : bool;
+  fair_engine : Ctl.Fair.engine;
   traces : bool;
   stats : bool;
   certify : bool;
@@ -24,6 +25,7 @@ type options = {
 let default_options =
   {
     fair = true;
+    fair_engine = Ctl.Fair.El;
     traces = true;
     stats = false;
     certify = false;
@@ -131,6 +133,18 @@ let parse_options json =
   let* reorder =
     match reorder_s with None -> Ok d.reorder | Some s -> parse_reorder s
   in
+  let* engine_s = opt_field fields "fair_engine" Json.to_str "a string" in
+  let* fair_engine =
+    match engine_s with
+    | None -> Ok d.fair_engine
+    | Some s -> (
+      match Ctl.Fair.engine_of_string s with
+      | Some e -> Ok e
+      | None ->
+        Error
+          (Printf.sprintf "\"fair_engine\": unknown engine %S (el or lockstep)"
+             s))
+  in
   (* The same sanity checks the CLI's [validate] performs, so a bad
      option is a request error, not a mid-check surprise. *)
   let* () =
@@ -162,8 +176,9 @@ let parse_options json =
   in
   Ok
     {
-      fair; traces; stats; certify; partitioned; retries; retry_factor;
-      timeout; node_limit; step_limit; inject; reorder; reorder_threshold;
+      fair; fair_engine; traces; stats; certify; partitioned; retries;
+      retry_factor; timeout; node_limit; step_limit; inject; reorder;
+      reorder_threshold;
     }
 
 let parse_request payload =
@@ -326,6 +341,8 @@ type server_status = {
   ss_restores : int;
   ss_quarantines : int;
   ss_restarts : int;
+  ss_checks_el : int;
+  ss_checks_lockstep : int;
   ss_cache_capacity : int;
   ss_models : model_status list;
 }
@@ -379,6 +396,8 @@ let status_reply s =
                ("restores", Num (float_of_int s.ss_restores));
                ("quarantines", Num (float_of_int s.ss_quarantines));
                ("restarts", Num (float_of_int s.ss_restarts));
+               ("checks_el", Num (float_of_int s.ss_checks_el));
+               ("checks_lockstep", Num (float_of_int s.ss_checks_lockstep));
              ] );
          ("pressure_level", Num (float_of_int s.ss_pressure_level));
          ("mem_live_nodes", Num (float_of_int s.ss_mem_live_nodes));

@@ -27,7 +27,8 @@
     [stats], [certify], [partitioned]; integers [retries],
     [node_limit], [step_limit], [reorder_threshold]; numbers
     [timeout], [retry_factor]; strings [inject] ("SITE:COUNT" as on
-    the CLI, minus "worker") and [reorder] ("none"/"once"/"auto").
+    the CLI, minus "worker"), [reorder] ("none"/"once"/"auto") and
+    [fair_engine] ("el"/"lockstep", the CLI's [--fair-engine]).
 
     {2 Replies}
 
@@ -50,6 +51,7 @@
 
 type options = {
   fair : bool;
+  fair_engine : Ctl.Fair.engine;
   traces : bool;
   stats : bool;
   certify : bool;
@@ -151,6 +153,8 @@ type server_status = {
   ss_restores : int;
   ss_quarantines : int;
   ss_restarts : int;
+  ss_checks_el : int;      (** checks served by the Emerson-Lei engine *)
+  ss_checks_lockstep : int;  (** checks served by the lock-step engine *)
   ss_cache_capacity : int;
   ss_models : model_status list;
 }

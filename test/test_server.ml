@@ -367,6 +367,7 @@ let compile source = Smv.load_string source
 let engine_opts ?(cancel = Atomic.make false) () =
   {
     Engine.fair = true;
+    fair_engine = Ctl.Fair.El;
     traces = true;
     stats = false;
     certify = false;
@@ -545,6 +546,8 @@ let test_protocol_status_reply () =
         ss_restores = 1;
         ss_quarantines = 0;
         ss_restarts = 3;
+        ss_checks_el = 5;
+        ss_checks_lockstep = 2;
         ss_cache_capacity = 8;
         ss_models =
           [
@@ -588,6 +591,10 @@ let test_protocol_status_reply () =
       (Option.bind (Json.member "quarantines" counters) Json.to_num);
     Alcotest.(check (option (float 0.))) "restarts" (Some 3.)
       (Option.bind (Json.member "restarts" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "checks_el" (Some 5.)
+      (Option.bind (Json.member "checks_el" counters) Json.to_num);
+    Alcotest.(check (option (float 0.))) "checks_lockstep" (Some 2.)
+      (Option.bind (Json.member "checks_lockstep" counters) Json.to_num);
     let cache = Json.member "cache" v |> Option.get in
     Alcotest.(check (option (float 0.))) "cache entries" (Some 1.)
       (Option.bind (Json.member "entries" cache) Json.to_num);

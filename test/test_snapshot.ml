@@ -148,6 +148,7 @@ let check_all compiled =
   let opts =
     {
       Server.Engine.fair = true;
+      fair_engine = Ctl.Fair.El;
       traces = true;
       stats = false;
       certify = false;
